@@ -1,0 +1,130 @@
+"""Session fixtures for the benchmark harness.
+
+Training is the expensive part of every experiment, so each forecaster
+is trained exactly once per pytest session and shared across all
+table/figure benchmarks.  Rolling quantile forecasts over the test split
+are likewise computed once per (model, trace) and cached — the policy
+and quantile sweeps in Figs. 9-12 then reduce to cheap re-planning.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.forecast import (
+    ARIMAForecaster,
+    DeepARForecaster,
+    MLPForecaster,
+    QB5000Forecaster,
+    TFTForecaster,
+    TFTPointForecaster,
+    TrainingConfig,
+)
+from repro.traces import STEPS_PER_DAY, alibaba_like_trace, google_like_trace
+
+from benchmarks.helpers import (
+    ALL_LEVELS,
+    CONTEXT,
+    HORIZON,
+    TRACE_DAYS,
+    RollingForecasts,
+    rolling_forecasts,
+)
+
+TRACE_MAKERS = {"alibaba": alibaba_like_trace, "google": google_like_trace}
+
+
+def _config(epochs: int, seed: int = 0) -> TrainingConfig:
+    return TrainingConfig(
+        epochs=epochs, batch_size=64, window_stride=3, patience=3, seed=seed
+    )
+
+
+@pytest.fixture(scope="session", params=["alibaba", "google"])
+def trace_name(request) -> str:
+    return request.param
+
+
+@pytest.fixture(scope="session")
+def splits(trace_name):
+    trace = TRACE_MAKERS[trace_name](num_steps=TRACE_DAYS * STEPS_PER_DAY, seed=3)
+    return trace.split(test_fraction=0.25)
+
+
+@pytest.fixture(scope="session")
+def train_series(splits) -> np.ndarray:
+    return splits[0].values
+
+
+@pytest.fixture(scope="session")
+def test_series(splits) -> np.ndarray:
+    return splits[1].values
+
+
+# ---------------------------------------------------------------------------
+# Trained forecasters (one per session per trace)
+# ---------------------------------------------------------------------------
+@pytest.fixture(scope="session")
+def arima(train_series) -> ARIMAForecaster:
+    return ARIMAForecaster(HORIZON, order=(3, 1, 2)).fit(train_series)
+
+
+@pytest.fixture(scope="session")
+def mlp(train_series) -> MLPForecaster:
+    return MLPForecaster(CONTEXT, HORIZON, hidden_size=64, config=_config(12)).fit(
+        train_series
+    )
+
+
+@pytest.fixture(scope="session")
+def deepar(train_series) -> DeepARForecaster:
+    return DeepARForecaster(
+        CONTEXT, HORIZON, hidden_size=32, num_layers=1, num_samples=100,
+        config=_config(10),
+    ).fit(train_series)
+
+
+@pytest.fixture(scope="session")
+def tft(train_series) -> TFTForecaster:
+    return TFTForecaster(
+        CONTEXT, HORIZON, quantile_levels=ALL_LEVELS, d_model=32, num_heads=4,
+        config=_config(15),
+    ).fit(train_series)
+
+
+@pytest.fixture(scope="session")
+def tft_point(train_series) -> TFTPointForecaster:
+    return TFTPointForecaster(
+        CONTEXT, HORIZON, d_model=32, num_heads=4, config=_config(15)
+    ).fit(train_series)
+
+
+@pytest.fixture(scope="session")
+def qb5000(train_series) -> QB5000Forecaster:
+    return QB5000Forecaster(CONTEXT, HORIZON, hidden_size=32, config=_config(10)).fit(
+        train_series
+    )
+
+
+# ---------------------------------------------------------------------------
+# Cached rolling forecasts over the test split
+# ---------------------------------------------------------------------------
+@pytest.fixture(scope="session")
+def tft_rolling(tft, test_series, train_series) -> RollingForecasts:
+    return rolling_forecasts(tft, "TFT", test_series, len(train_series))
+
+
+@pytest.fixture(scope="session")
+def deepar_rolling(deepar, test_series, train_series) -> RollingForecasts:
+    return rolling_forecasts(deepar, "DeepAR", test_series, len(train_series))
+
+
+@pytest.fixture(scope="session")
+def mlp_rolling(mlp, test_series, train_series) -> RollingForecasts:
+    return rolling_forecasts(mlp, "MLP", test_series, len(train_series))
+
+
+@pytest.fixture(scope="session")
+def arima_rolling(arima, test_series, train_series) -> RollingForecasts:
+    return rolling_forecasts(arima, "ARIMA", test_series, len(train_series))

@@ -1,0 +1,102 @@
+"""Shared machinery for the benchmark/experiment harness.
+
+Every benchmark reproduces one table or figure from the paper at a
+laptop-scale budget.  Models are trained once per session (see
+``conftest.py``) and their rolling forecasts over the test split are
+cached, so re-planning with different policies/quantiles — which is what
+most figures sweep — costs almost nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core import decision_points
+from repro.forecast.base import Forecaster, QuantileForecast
+
+# ---------------------------------------------------------------------------
+# Experiment scale (reduced relative to the paper; shapes, not magnitudes,
+# are the reproduction target — see EXPERIMENTS.md)
+# ---------------------------------------------------------------------------
+TRACE_DAYS = 12
+CONTEXT = 72  # 12 hours at 10-minute steps, as in the paper
+HORIZON = 72
+THETA = 60.0  # percentage-CPU threshold per node
+EVAL_STRIDE = 36  # decisions every 6 hours for more evaluation windows
+TABLE1_LEVELS = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9)
+SCALING_LEVELS = (0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99)
+ALL_LEVELS = tuple(sorted(set(TABLE1_LEVELS) | set(SCALING_LEVELS)))
+
+
+@dataclass
+class RollingForecasts:
+    """Quantile forecasts for every decision window over a test split."""
+
+    model: str
+    points: list[int]
+    forecasts: list[QuantileForecast]
+    actuals: list[np.ndarray]
+
+    @property
+    def merged_actual(self) -> np.ndarray:
+        return np.concatenate(self.actuals)
+
+    def merged_level(self, tau: float) -> np.ndarray:
+        return np.concatenate([fc.at(tau) for fc in self.forecasts])
+
+    def merged_levels(self, levels: tuple[float, ...]) -> dict[float, np.ndarray]:
+        return {tau: self.merged_level(tau) for tau in levels}
+
+    def merged_point(self) -> np.ndarray:
+        return np.concatenate([fc.point for fc in self.forecasts])
+
+
+def rolling_forecasts(
+    model: Forecaster,
+    model_name: str,
+    test_values: np.ndarray,
+    train_length: int,
+    levels: tuple[float, ...] = ALL_LEVELS,
+    context: int = CONTEXT,
+    horizon: int = HORIZON,
+    stride: int = EVAL_STRIDE,
+) -> RollingForecasts:
+    """Forecast every decision window of the test split once."""
+    points = decision_points(len(test_values), context, horizon, stride)
+    forecasts, actuals = [], []
+    for point in points:
+        fc = model.predict(
+            test_values[point - context : point],
+            levels=levels,
+            start_index=train_length + point - context,
+        )
+        forecasts.append(fc)
+        actuals.append(test_values[point : point + horizon])
+    return RollingForecasts(model_name, points, forecasts, actuals)
+
+
+def provisioning_rates(
+    forecasts: RollingForecasts, bound_fn, threshold: float = THETA
+) -> tuple[float, float]:
+    """(under, over) rates when allocating to ``bound_fn(forecast)``."""
+    from repro.core import ScalingPlan, evaluate_plan, required_nodes
+
+    nodes = np.concatenate(
+        [
+            required_nodes(np.maximum(bound_fn(fc), 0.0), threshold)
+            for fc in forecasts.forecasts
+        ]
+    )
+    plan = ScalingPlan(nodes=nodes, threshold=threshold)
+    report = evaluate_plan(plan, forecasts.merged_actual)
+    return report.under_provisioning_rate, report.over_provisioning_rate
+
+
+def print_header(title: str, detail: str = "") -> None:
+    bar = "=" * max(len(title), 60)
+    print(f"\n{bar}\n{title}")
+    if detail:
+        print(detail)
+    print(bar)

@@ -1,0 +1,55 @@
+"""Ablation — closed-form vs LP solver for the robust optimization.
+
+DESIGN.md calls out the choice to solve Definition 6 in closed form
+(the problem is separable) while also shipping the LP formulation the
+paper mentions.  This bench verifies the two agree bit-for-bit on real
+forecast bounds and quantifies the speed gap, plus times the
+ramp-constrained variant.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import solve_closed_form, solve_lp, solve_with_ramp_limits
+
+from benchmarks.helpers import THETA, print_header
+
+
+@pytest.fixture(scope="module", autouse=True)
+def only_alibaba(trace_name):
+    if trace_name != "alibaba":
+        pytest.skip("solver ablation is trace-independent")
+
+
+@pytest.fixture(scope="module")
+def bounds(tft_rolling):
+    return [np.maximum(fc.at(0.9), 0.0) for fc in tft_rolling.forecasts]
+
+
+def test_solvers_agree(benchmark, bounds):
+    for bound in bounds:
+        np.testing.assert_array_equal(
+            solve_closed_form(bound, THETA).nodes, solve_lp(bound, THETA).nodes
+        )
+    print_header(
+        "Ablation — solver agreement",
+        f"closed-form == LP on {len(bounds)} real 72-step planning problems",
+    )
+    benchmark(lambda: solve_closed_form(bounds[0], THETA))
+
+
+@pytest.mark.benchmark(group="ablation-solver")
+def test_closed_form_speed(benchmark, bounds):
+    benchmark(lambda: solve_closed_form(bounds[0], THETA))
+
+
+@pytest.mark.benchmark(group="ablation-solver")
+def test_lp_speed(benchmark, bounds):
+    benchmark(lambda: solve_lp(bounds[0], THETA))
+
+
+@pytest.mark.benchmark(group="ablation-solver")
+def test_ramped_speed(benchmark, bounds):
+    benchmark(
+        lambda: solve_with_ramp_limits(bounds[0], THETA, max_scale_out=3, max_scale_in=3)
+    )

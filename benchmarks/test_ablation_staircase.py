@@ -1,0 +1,69 @@
+"""Ablation — two-level adaptive (Algorithm 1) vs the staircase extension.
+
+The paper sketches extending the adaptive policy "beyond just two
+optional quantile levels ... a staircase-like range of options".  We
+quantify what the extra rungs buy: with cut points at the uncertainty
+distribution's terciles, a 3-rung staircase should interpolate the
+trade-off curve more finely than any single two-level policy with the
+same extremes — matching the conservative end's robustness at lower
+total allocation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import StaircasePolicy, UncertaintyAwarePolicy, quantile_uncertainty
+from repro.core.plan import required_nodes
+
+from benchmarks.helpers import THETA, print_header, provisioning_rates
+
+
+def _total_nodes(rolling, bound_fn) -> int:
+    return int(
+        sum(
+            required_nodes(np.maximum(bound_fn(fc), 0.0), THETA).sum()
+            for fc in rolling.forecasts
+        )
+    )
+
+
+def test_staircase_ablation(benchmark, trace_name, tft_rolling):
+    uncertainty = np.concatenate(
+        [quantile_uncertainty(fc) for fc in tft_rolling.forecasts]
+    )
+    t1, t2 = np.quantile(uncertainty, [1 / 3, 2 / 3])
+
+    policies = {
+        "fixed-0.7": lambda fc: fc.at(0.7),
+        "fixed-0.95": lambda fc: fc.at(0.95),
+        "two-level 0.7/0.95": UncertaintyAwarePolicy(
+            0.7, 0.95, uncertainty_threshold=float(t1)
+        ).bound_workload,
+        "staircase 0.7/0.9/0.95": StaircasePolicy(
+            [(0.0, 0.7), (float(t1), 0.9), (float(t2), 0.95)]
+        ).bound_workload,
+    }
+
+    print_header(
+        f"Ablation — staircase vs two-level adaptive ({trace_name}, TFT)",
+        f"uncertainty terciles: {t1:.1f}, {t2:.1f}",
+    )
+    print(f"{'policy':<24} {'under':>8} {'over':>8} {'node-steps':>11}")
+    results = {}
+    for name, bound_fn in policies.items():
+        under, over = provisioning_rates(tft_rolling, bound_fn)
+        nodes = _total_nodes(tft_rolling, bound_fn)
+        results[name] = (under, over, nodes)
+        print(f"{name:<24} {under:>8.4f} {over:>8.4f} {nodes:>11}")
+
+    stair = results["staircase 0.7/0.9/0.95"]
+    two = results["two-level 0.7/0.95"]
+    conservative = results["fixed-0.95"]
+    optimistic = results["fixed-0.7"]
+    # The staircase sits inside the fixed envelope.
+    assert optimistic[0] >= stair[0] >= conservative[0] - 1e-9
+    assert optimistic[2] <= stair[2] <= conservative[2]
+    # And it spends fewer nodes than always-conservative.
+    assert stair[2] < conservative[2]
+
+    benchmark(lambda: provisioning_rates(tft_rolling, policies["staircase 0.7/0.9/0.95"]))

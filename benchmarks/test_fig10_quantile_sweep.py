@@ -1,0 +1,44 @@
+"""Figure 10 — the under/over-provisioning trade-off across quantiles.
+
+Scaling against forecasts at tau in {0.5 .. 0.99} traces the trade-off
+curve: under-provisioning falls monotonically with tau while
+over-provisioning rises; the crossover region identifies the operating
+point the paper recommends choosing.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.helpers import SCALING_LEVELS, print_header, provisioning_rates
+
+
+def test_fig10_sweep(benchmark, trace_name, deepar_rolling, tft_rolling):
+    print_header(
+        f"Figure 10 — provisioning rates vs quantile level ({trace_name})"
+    )
+    curves = {}
+    for rolling, label in ((deepar_rolling, "DeepAR"), (tft_rolling, "TFT")):
+        print(f"\n{label}:")
+        print(f"{'tau':>6} {'under-prov':>11} {'over-prov':>10}")
+        unders, overs = [], []
+        for tau in SCALING_LEVELS:
+            under, over = provisioning_rates(rolling, lambda fc, t=tau: fc.at(t))
+            unders.append(under)
+            overs.append(over)
+            print(f"{tau:>6} {under:>11.4f} {over:>10.4f}")
+        curves[label] = (np.array(unders), np.array(overs))
+
+    for label, (unders, overs) in curves.items():
+        # Monotone trade-off (allowing tiny ties at node granularity).
+        assert np.all(np.diff(unders) <= 1e-9), f"{label} under not non-increasing"
+        assert np.all(np.diff(overs) >= -1e-9), f"{label} over not non-decreasing"
+        # The sweep actually moves both rates materially.
+        assert unders[0] - unders[-1] > 0.05
+        assert overs[-1] - overs[0] > 0.05
+
+    # Identify the crossover operating point the paper's Figure 10 suggests.
+    unders, overs = curves["TFT"]
+    crossover = SCALING_LEVELS[int(np.argmin(np.abs(unders - (1 - overs))))]
+    print(f"\nTFT balance point (under ~= 1 - over): tau ~ {crossover}")
+
+    benchmark(lambda: provisioning_rates(tft_rolling, lambda fc: fc.at(0.9)))

@@ -1,0 +1,72 @@
+"""Figure 12 — sensitivity of the adaptive policy to the uncertainty
+threshold rho (Google trace).
+
+Sweeping rho from 0 (always conservative) to +inf (always optimistic)
+moves the adaptive policy between its two fixed endpoints.  The paper
+observes distinct *step-like* changes: ranges of rho yield identical
+rates because only a handful of per-step uncertainty values separate the
+regimes — which is what makes threshold selection forgiving in practice.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import UncertaintyAwarePolicy, quantile_uncertainty
+
+from benchmarks.helpers import print_header, provisioning_rates
+
+COMBOS = [(0.7, 0.9), (0.8, 0.95)]
+
+
+@pytest.fixture(scope="module", autouse=True)
+def only_google(trace_name):
+    if trace_name != "google":
+        pytest.skip("the paper runs Figure 12 on the Google trace")
+
+
+def test_fig12_threshold_sweep(benchmark, tft_rolling):
+    all_uncertainty = np.concatenate(
+        [quantile_uncertainty(fc) for fc in tft_rolling.forecasts]
+    )
+    # Sweep thresholds across the uncertainty distribution's range.
+    sweep = np.quantile(all_uncertainty, np.linspace(0.0, 1.0, 13))
+    sweep = np.concatenate([[0.0], sweep, [np.inf]])
+
+    print_header(
+        "Figure 12 — sensitivity to the uncertainty threshold (Google, TFT)"
+    )
+    for tau1, tau2 in COMBOS:
+        print(f"\ncombination (tau1={tau1}, tau2={tau2}):")
+        print(f"{'rho':>12} {'under-prov':>11} {'over-prov':>10}")
+        unders, overs = [], []
+        for rho in sweep:
+            policy = UncertaintyAwarePolicy(tau1, tau2, uncertainty_threshold=float(rho))
+            under, over = provisioning_rates(tft_rolling, policy.bound_workload)
+            unders.append(under)
+            overs.append(over)
+            label = f"{rho:.1f}" if np.isfinite(rho) else "inf"
+            print(f"{label:>12} {under:>11.4f} {over:>10.4f}")
+
+        unders, overs = np.array(unders), np.array(overs)
+        # Endpoints are the fixed policies.
+        end_conservative = provisioning_rates(
+            tft_rolling, lambda fc, t=tau2: fc.at(t)
+        )
+        end_optimistic = provisioning_rates(tft_rolling, lambda fc, t=tau1: fc.at(t))
+        assert unders[0] == pytest.approx(end_conservative[0])
+        assert unders[-1] == pytest.approx(end_optimistic[0])
+        # Raising rho (less conservative) never decreases under-provisioning
+        # and never increases over-provisioning.
+        assert np.all(np.diff(unders) >= -1e-9)
+        assert np.all(np.diff(overs) <= 1e-9)
+        # Step-like structure: adjacent thresholds often yield identical rates.
+        repeats = int((np.diff(unders) == 0).sum())
+        print(f"plateau segments: {repeats}/{len(unders) - 1} adjacent pairs identical")
+        assert repeats >= 2
+
+    benchmark(
+        lambda: provisioning_rates(
+            tft_rolling,
+            UncertaintyAwarePolicy(0.7, 0.9, uncertainty_threshold=1.0).bound_workload,
+        )
+    )

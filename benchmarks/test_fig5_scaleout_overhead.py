@@ -1,0 +1,71 @@
+"""Figure 5 — scale-out overhead is seconds-scale.
+
+The paper's Figure 5 (data from Alibaba Cloud) shows that scaling out a
+storage-disaggregated database — rebuilding in-memory components from
+checkpoints — takes only a few seconds.  We reproduce the shape on the
+simulator: warm-up grows linearly with checkpoint size and stays in
+single-digit seconds for realistic buffer-pool checkpoints, which is
+negligible against the 600-second scaling interval.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import solve_closed_form
+from repro.simulator import SharedStorage, replay_plan
+
+from benchmarks.helpers import print_header
+
+
+@pytest.fixture(scope="module", autouse=True)
+def only_alibaba(trace_name):
+    if trace_name != "alibaba":
+        pytest.skip("Figure 5 is a property of the simulator, not of a trace")
+
+
+CHECKPOINT_SIZES_GB = [0.5, 1.0, 2.0, 4.0, 8.0, 16.0]
+
+
+def test_fig5_warmup_curve(benchmark):
+    print_header(
+        "Figure 5 — scale-out overhead vs in-memory checkpoint size",
+        "warm-up = attach latency + checkpoint / rebuild bandwidth",
+    )
+    print(f"{'checkpoint (GB)':>16} {'warm-up (s)':>12} {'% of 10-min interval':>22}")
+    warmups = []
+    for size in CHECKPOINT_SIZES_GB:
+        storage = SharedStorage(
+            checkpoint_gb=size, rebuild_bandwidth_gbps=1.2,
+            attach_latency_s=0.8, jitter_fraction=0.0,
+        )
+        seconds = storage.expected_warmup_seconds()
+        warmups.append(seconds)
+        print(f"{size:>16.1f} {seconds:>12.2f} {100 * seconds / 600:>21.2f}%")
+
+    # Shape: linear in checkpoint size, seconds-scale throughout.
+    assert all(w < 30.0 for w in warmups)
+    increments = np.diff(warmups) / np.diff(CHECKPOINT_SIZES_GB)
+    np.testing.assert_allclose(increments, increments[0], rtol=1e-9)
+
+    benchmark(
+        lambda: SharedStorage(checkpoint_gb=4.0, jitter_fraction=0.0).warmup_seconds()
+    )
+
+
+def test_fig5_negligible_in_replay(benchmark, test_series):
+    """End-to-end: warm-up costs <1% capacity at the paper's interval."""
+    w = test_series[:72]
+    plan = solve_closed_form(w, 60.0)
+    result = replay_plan(
+        plan, w, interval_seconds=600.0,
+        storage=SharedStorage(checkpoint_gb=4.0, jitter_fraction=0.0),
+    )
+    efficiency = [o.effective_nodes / o.target_nodes for o in result.outcomes]
+    print(f"\nmean capacity efficiency during replay: {np.mean(efficiency):.4f}")
+    assert np.mean(efficiency) > 0.99
+    benchmark(
+        lambda: replay_plan(
+            plan, w, interval_seconds=600.0,
+            storage=SharedStorage(checkpoint_gb=4.0, jitter_fraction=0.0),
+        )
+    )

@@ -1,0 +1,113 @@
+"""Figure 9 — under-provisioning rate across all scaling strategies.
+
+The paper's headline comparison on both traces: reactive scalers
+(Reactive-Max, Reactive-Avg), point-forecast scalers (QB5000,
+TFT-point), their CloudScale-style padding enhancements, and the robust
+quantile strategies DeepAR-tau / TFT-tau for tau in {0.6, 0.8, 0.9}.
+
+Expected shape:
+* predictive strategies beat reactive ones (inherent reactive lag);
+* quantile strategies beat point strategies, even when the quantile
+  model (DeepAR) is less accurate than the point model (TFT);
+* padding improves point forecasting but does not catch the robust
+  quantile strategies;
+* under-provisioning falls monotonically with tau.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    PointForecastScaler,
+    ReactiveAvgScaler,
+    ReactiveMaxScaler,
+    evaluate_strategy,
+)
+from repro.forecast import PaddedPointForecaster
+
+from benchmarks.helpers import (
+    CONTEXT,
+    EVAL_STRIDE,
+    HORIZON,
+    THETA,
+    print_header,
+    provisioning_rates,
+)
+
+TAUS = (0.6, 0.8, 0.9)
+
+
+def _point_rates(forecaster, name, test_series, train_length, padding=False):
+    if padding:
+        forecaster = PaddedPointForecaster(forecaster, window=HORIZON * 4, percentile=0.95)
+        forecaster._fitted = True
+    scaler = PointForecastScaler(forecaster, THETA, name=name)
+
+    def feedback(point, plan, actual):
+        if padding:
+            forecaster.observe(actual, plan.metadata["point_forecast"])
+
+    ev = evaluate_strategy(
+        scaler, test_series, CONTEXT, HORIZON, THETA, stride=EVAL_STRIDE,
+        on_window=feedback, series_start_index=train_length,
+    )
+    return ev.report.under_provisioning_rate, ev.report.over_provisioning_rate
+
+
+def test_fig9(
+    benchmark,
+    trace_name,
+    test_series,
+    train_series,
+    qb5000,
+    tft_point,
+    deepar_rolling,
+    tft_rolling,
+):
+    rows: list[tuple[str, float, float]] = []
+
+    for scaler in (ReactiveMaxScaler(), ReactiveAvgScaler()):
+        ev = evaluate_strategy(
+            scaler, test_series, CONTEXT, HORIZON, THETA, stride=EVAL_STRIDE
+        )
+        rows.append(
+            (scaler.name, ev.report.under_provisioning_rate,
+             ev.report.over_provisioning_rate)
+        )
+
+    train_length = len(train_series)
+    for name, forecaster, pad in [
+        ("QB5000", qb5000, False),
+        ("QB5000-padding", qb5000, True),
+        ("TFT-point", tft_point, False),
+        ("TFT-point-padding", tft_point, True),
+    ]:
+        under, over = _point_rates(forecaster, name, test_series, train_length, pad)
+        rows.append((name, under, over))
+
+    for rolling, label in ((deepar_rolling, "DeepAR"), (tft_rolling, "TFT")):
+        for tau in TAUS:
+            under, over = provisioning_rates(rolling, lambda fc, t=tau: fc.at(t))
+            rows.append((f"{label}-{tau}", under, over))
+
+    print_header(
+        f"Figure 9 — under-provisioning rates ({trace_name})",
+        f"theta = {THETA}% CPU per node, horizon {HORIZON} steps",
+    )
+    print(f"{'strategy':<20} {'under-prov':>11} {'over-prov':>10}")
+    for name, under, over in rows:
+        print(f"{name:<20} {under:>11.4f} {over:>10.4f}")
+
+    by_name = {name: under for name, under, _ in rows}
+    # Predictive beats reactive (reactive lag).
+    assert by_name["TFT-0.9"] < by_name["Reactive-Avg"]
+    # Quantile strategies beat raw point strategies.
+    assert by_name["TFT-0.9"] < by_name["TFT-point"]
+    assert by_name["DeepAR-0.9"] < by_name["TFT-point"]
+    # Padding helps point forecasting but monotone tau ordering holds.
+    assert by_name["TFT-point-padding"] <= by_name["TFT-point"] + 1e-9
+    for label in ("DeepAR", "TFT"):
+        taus = [by_name[f"{label}-{tau}"] for tau in TAUS]
+        assert taus == sorted(taus, reverse=True) or max(taus) - min(taus) < 1e-9
+
+    benchmark(lambda: provisioning_rates(tft_rolling, lambda fc: fc.at(0.9)))

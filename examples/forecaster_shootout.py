@@ -1,0 +1,58 @@
+"""Compare every probabilistic forecaster on both traces (mini Table I).
+
+Evaluates ARIMA, MLP, DeepAR, and TFT with the paper's metrics
+(mean_wQL, wQL/Coverage at 0.7/0.8/0.9, MSE) at a laptop-scale budget.
+The full-budget version is benchmarks/test_table1_forecast_accuracy.py.
+
+Run:  python examples/forecaster_shootout.py
+"""
+
+import numpy as np
+
+from repro import TrainingConfig, alibaba_like_trace, google_like_trace
+from repro.evaluation import evaluate_quantile_forecast, format_table
+from repro.forecast import ARIMAForecaster, DeepARForecaster, MLPForecaster, TFTForecaster
+
+CONTEXT, HORIZON = 72, 36
+LEVELS = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9)
+
+
+def build_models():
+    config = TrainingConfig(epochs=10, window_stride=3, patience=3, seed=0)
+    return {
+        "ARIMA": ARIMAForecaster(HORIZON, order=(3, 1, 2)),
+        "MLP": MLPForecaster(CONTEXT, HORIZON, hidden_size=64, config=config),
+        "DeepAR": DeepARForecaster(
+            CONTEXT, HORIZON, hidden_size=24, num_samples=80, config=config
+        ),
+        "TFT": TFTForecaster(
+            CONTEXT, HORIZON, quantile_levels=LEVELS, d_model=24, num_heads=2,
+            config=config,
+        ),
+    }
+
+
+for maker, name in ((alibaba_like_trace, "Alibaba"), (google_like_trace, "Google")):
+    trace = maker(num_steps=144 * 12, seed=5)
+    train, test = trace.split(test_fraction=0.25)
+    reports = []
+    for model_name, model in build_models().items():
+        print(f"[{name}] training {model_name} ...")
+        model.fit(train.values)
+        # Average metrics over several rolling windows.
+        merged_target, merged = [], {tau: [] for tau in LEVELS}
+        for point in range(CONTEXT, len(test.values) - HORIZON + 1, HORIZON):
+            context = test.values[point - CONTEXT : point]
+            fc = model.predict(
+                context, levels=LEVELS,
+                start_index=len(train.values) + point - CONTEXT,
+            )
+            merged_target.append(test.values[point : point + HORIZON])
+            for i, tau in enumerate(LEVELS):
+                merged[tau].append(fc.values[i])
+        target = np.concatenate(merged_target)
+        forecasts = {tau: np.concatenate(chunks) for tau, chunks in merged.items()}
+        reports.append(evaluate_quantile_forecast(model_name, name, target, forecasts))
+    print()
+    print(format_table(reports, title=f"=== {name} trace ==="))
+    print()

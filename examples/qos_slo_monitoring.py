@@ -1,0 +1,59 @@
+"""QoS view of auto-scaling: from node counts to p99 latency.
+
+The paper scores strategies against resource thresholds; this example
+uses the M/M/c performance model (the Section V-B future-work direction)
+to translate allocations into query latency and score a p99 SLO.
+
+Run:  python examples/qos_slo_monitoring.py
+"""
+
+import numpy as np
+
+from repro import (
+    FixedQuantilePolicy,
+    RobustPredictiveAutoscaler,
+    TFTForecaster,
+    TrainingConfig,
+    alibaba_like_trace,
+    evaluate_strategy,
+)
+from repro.simulator import MMcQueue, evaluate_qos
+from repro.core import ScalingPlan
+
+CONTEXT, HORIZON, THETA = 72, 72, 60.0
+SERVICE_RATE = 100.0  # queries/s per node
+SLO = 0.025  # 25 ms p99 target
+
+trace = alibaba_like_trace(num_steps=144 * 12, seed=17)
+train, test = trace.split(test_fraction=0.25)
+
+forecaster = TFTForecaster(
+    CONTEXT, HORIZON, d_model=32, num_heads=4,
+    config=TrainingConfig(epochs=12, window_stride=3, patience=3, seed=0),
+)
+print("training ...")
+forecaster.fit(train.values)
+
+print(f"\n{'policy':<12} {'under-prov':>11} {'p99 SLO viol.':>14} "
+      f"{'mean p99 (ms)':>14} {'node-steps':>11}")
+for tau in (0.5, 0.8, 0.9, 0.99):
+    scaler = RobustPredictiveAutoscaler(forecaster, THETA, FixedQuantilePolicy(tau))
+    ev = evaluate_strategy(
+        scaler, test.values, CONTEXT, HORIZON, THETA,
+        series_start_index=len(train.values),
+    )
+    plan = ScalingPlan(nodes=ev.nodes, threshold=THETA)
+    qos = evaluate_qos(plan, ev.actual, service_rate=SERVICE_RATE, slo_seconds=SLO)
+    print(
+        f"{'tau=' + str(tau):<12} {ev.report.under_provisioning_rate:>11.3f} "
+        f"{qos.slo_violation_rate:>14.3f} {qos.mean_p99 * 1000:>14.2f} "
+        f"{int(plan.total_nodes):>11}"
+    )
+
+# A single interval, inspected closely.
+queue = MMcQueue(arrival_rate=2200.0, service_rate=SERVICE_RATE, servers=40)
+print(
+    f"\nexample interval: 22 Erlangs on 40 nodes -> rho={queue.utilization:.2f}, "
+    f"P(wait)={queue.erlang_c():.4f}, p99 response="
+    f"{queue.response_quantile(0.99) * 1000:.2f} ms"
+)

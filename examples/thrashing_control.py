@@ -1,0 +1,62 @@
+"""Thrashing control via ramp limits (Section V-A) on the simulator.
+
+An unconstrained robust plan can flap: bursty quantile forecasts yield
+node counts that jump up and down every interval.  Bounding the per-step
+scale-out/in rate smooths the plan at a small node premium.  Both plans
+are replayed on the cluster simulator to count actual scale events and
+node-hours.
+
+Run:  python examples/thrashing_control.py
+"""
+
+import numpy as np
+
+from repro import (
+    FixedQuantilePolicy,
+    RobustPredictiveAutoscaler,
+    SeasonalNaiveForecaster,
+    alibaba_like_trace,
+)
+from repro.simulator import SharedStorage, replay_plan
+from repro.traces import STEPS_PER_DAY
+
+CONTEXT, HORIZON, THETA = 144, 144, 60.0  # one-day horizon
+
+trace = alibaba_like_trace(num_steps=144 * 10, seed=31)
+train, test = trace.split(test_fraction=0.3)
+
+# A deliberately jumpy forecaster (seasonal naive repeats last-day noise)
+# makes thrashing visible.
+forecaster = SeasonalNaiveForecaster(horizon=HORIZON, season=STEPS_PER_DAY)
+forecaster.fit(train.values)
+
+free = RobustPredictiveAutoscaler(
+    forecaster, THETA, FixedQuantilePolicy(0.9), quantile_levels=(0.5, 0.9)
+)
+ramped = RobustPredictiveAutoscaler(
+    forecaster, THETA, FixedQuantilePolicy(0.9), quantile_levels=(0.5, 0.9),
+    max_scale_out=2, max_scale_in=2,
+)
+
+context = test.values[:CONTEXT]
+actual = test.values[CONTEXT : CONTEXT + HORIZON]
+storage = SharedStorage(checkpoint_gb=4.0, jitter_fraction=0.05)
+
+print(f"{'plan':<14} {'node-steps':>11} {'direction changes':>18} "
+      f"{'scale events':>13} {'node-hours':>11} {'violations':>11}")
+for name, scaler in (("unconstrained", free), ("ramped (2/step)", ramped)):
+    plan = scaler.plan(context, start_index=len(train.values))
+    deltas = np.diff(plan.nodes)
+    changes = int((np.diff(np.sign(deltas[deltas != 0])) != 0).sum())
+    result = replay_plan(plan, actual, interval_seconds=600.0, storage=storage)
+    print(
+        f"{name:<14} {plan.total_nodes:>11} {changes:>18} "
+        f"{result.scale_out_events + result.scale_in_events:>13} "
+        f"{result.total_node_seconds / 3600:>11.1f} "
+        f"{result.violation_rate:>11.3f}"
+    )
+
+print(
+    "\nRamping trades a small node premium for far fewer scale operations "
+    "— the Section V-A mitigation."
+)

@@ -1,0 +1,239 @@
+"""Command-line interface: train, plan, and evaluate in one shot.
+
+Examples
+--------
+Evaluate robust scaling at the 0.9 quantile on an Alibaba-like trace::
+
+    repro-autoscale evaluate --trace alibaba --quantile 0.9
+
+Compare every strategy the paper evaluates (small budget)::
+
+    repro-autoscale compare --trace google --days 10
+
+Show a quantile forecast::
+
+    repro-autoscale forecast --trace alibaba --model tft
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from .core import (
+    FixedQuantilePolicy,
+    ReactiveAvgScaler,
+    ReactiveMaxScaler,
+    RobustPredictiveAutoscaler,
+    UncertaintyAwarePolicy,
+    evaluate_strategy,
+)
+from .forecast import (
+    ARIMAForecaster,
+    DeepARForecaster,
+    MLPForecaster,
+    SeasonalNaiveForecaster,
+    TFTForecaster,
+    TrainingConfig,
+)
+from .traces import STEPS_PER_DAY, alibaba_like_trace, google_like_trace
+
+TRACES = {"alibaba": alibaba_like_trace, "google": google_like_trace}
+
+
+def _build_forecaster(name: str, context: int, horizon: int, epochs: int, seed: int):
+    config = TrainingConfig(epochs=epochs, window_stride=2, seed=seed)
+    grid = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99)
+    if name == "tft":
+        return TFTForecaster(context, horizon, quantile_levels=grid, config=config)
+    if name == "deepar":
+        return DeepARForecaster(context, horizon, config=config)
+    if name == "mlp":
+        return MLPForecaster(context, horizon, config=config)
+    if name == "arima":
+        return ARIMAForecaster(horizon)
+    if name == "naive":
+        return SeasonalNaiveForecaster(horizon, season=STEPS_PER_DAY)
+    raise SystemExit(f"unknown model {name!r}")
+
+
+def _load_trace(args: argparse.Namespace):
+    trace = TRACES[args.trace](num_steps=args.days * STEPS_PER_DAY, seed=args.seed)
+    return trace.split(test_fraction=0.25)
+
+
+def cmd_forecast(args: argparse.Namespace) -> int:
+    train, test = _load_trace(args)
+    forecaster = _build_forecaster(args.model, args.context, args.horizon, args.epochs, args.seed)
+    forecaster.fit(train.values)
+    context = test.values[: args.context]
+    fc = forecaster.predict(context, start_index=len(train.values))
+    actual = test.values[args.context : args.context + args.horizon]
+    print(f"# {args.model} forecast on {args.trace} (horizon {args.horizon})")
+    print(f"{'step':>4} {'q0.5':>10} {'q0.9':>10} {'actual':>10}")
+    for t in range(args.horizon):
+        print(f"{t:>4} {fc.at(0.5)[t]:>10.1f} {fc.at(0.9)[t]:>10.1f} {actual[t]:>10.1f}")
+    return 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    train, test = _load_trace(args)
+    forecaster = _build_forecaster(args.model, args.context, args.horizon, args.epochs, args.seed)
+    forecaster.fit(train.values)
+    if args.adaptive:
+        policy = UncertaintyAwarePolicy(
+            args.quantile_low, args.quantile, uncertainty_threshold=args.uncertainty_threshold
+        )
+    else:
+        policy = FixedQuantilePolicy(args.quantile)
+    scaler = RobustPredictiveAutoscaler(forecaster, args.threshold, policy)
+    ev = evaluate_strategy(
+        scaler, test.values, args.context, args.horizon, args.threshold,
+        series_start_index=len(train.values),
+    )
+    print(f"strategy            : {scaler.name}")
+    print(f"under-provisioning  : {ev.report.under_provisioning_rate:.4f}")
+    print(f"over-provisioning   : {ev.report.over_provisioning_rate:.4f}")
+    print(f"total node-steps    : {ev.report.total_nodes}")
+    print(f"minimum node-steps  : {ev.report.minimum_nodes}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    train, test = _load_trace(args)
+    rows = []
+    for scaler in (ReactiveMaxScaler(), ReactiveAvgScaler()):
+        ev = evaluate_strategy(scaler, test.values, args.context, args.horizon, args.threshold)
+        rows.append((scaler.name, ev.report))
+    forecaster = _build_forecaster("tft", args.context, args.horizon, args.epochs, args.seed)
+    forecaster.fit(train.values)
+    for tau in (0.5, 0.8, 0.9, 0.95):
+        scaler = RobustPredictiveAutoscaler(forecaster, args.threshold, FixedQuantilePolicy(tau))
+        ev = evaluate_strategy(
+            scaler, test.values, args.context, args.horizon, args.threshold,
+            series_start_index=len(train.values),
+        )
+        rows.append((f"TFT-{tau}", ev.report))
+    print(f"{'strategy':<16} {'under':>8} {'over':>8} {'nodes':>8}")
+    for name, report in rows:
+        print(
+            f"{name:<16} {report.under_provisioning_rate:>8.4f} "
+            f"{report.over_provisioning_rate:>8.4f} {report.total_nodes:>8}"
+        )
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    """Closed-loop run: runtime + forecaster + simulated cluster."""
+    from .core import AutoscalingRuntime
+    from .core.plan import required_nodes
+    from .simulator import DisaggregatedCluster, SharedStorage, Simulation
+
+    train, test = _load_trace(args)
+    forecaster = _build_forecaster(
+        args.model, args.context, args.horizon, args.epochs, args.seed
+    )
+    forecaster.fit(train.values)
+    planner = RobustPredictiveAutoscaler(
+        forecaster, args.threshold, FixedQuantilePolicy(args.quantile)
+    )
+    runtime = AutoscalingRuntime(
+        planner=planner,
+        context_length=args.context,
+        horizon=args.horizon,
+        threshold=args.threshold,
+        replan_every=args.replan_every,
+        start_index=len(train.values),
+    )
+    simulation = Simulation()
+    cluster = DisaggregatedCluster(
+        simulation,
+        SharedStorage(checkpoint_gb=args.checkpoint_gb, seed=args.seed),
+        initial_nodes=1,
+    )
+    interval = 600.0
+    violations = 0
+    for workload in test.values:
+        cluster.scale_to(runtime.target_nodes())
+        start = simulation.now
+        simulation.run(until=start + interval)
+        serving = sum(
+            node.serving_seconds(start, simulation.now) for node in cluster.nodes
+        )
+        if workload / max(serving / interval, 1e-9) > args.threshold:
+            violations += 1
+        runtime.observe(workload)
+    steps = len(test.values)
+    ideal = int(required_nodes(test.values, args.threshold).sum())
+    print(f"intervals simulated : {steps}")
+    print(f"planning decisions  : {len(runtime.decisions)}")
+    print(f"violations          : {violations} ({violations / steps:.1%})")
+    print(f"node-hours consumed : {cluster.total_node_seconds() / 3600:.0f}")
+    print(f"oracle node-hours   : {ideal * interval / 3600:.0f}")
+    print(f"scale events        : {cluster.scale_out_events} out / "
+          f"{cluster.scale_in_events} in")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-autoscale",
+        description="Robust predictive auto-scaling for cloud databases (ICDE 2024 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--trace", choices=sorted(TRACES), default="alibaba")
+        p.add_argument("--days", type=int, default=14, help="trace length in days")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--context", type=int, default=72, help="context steps (10 min each)")
+        p.add_argument("--horizon", type=int, default=72, help="forecast steps")
+        p.add_argument("--epochs", type=int, default=10)
+        p.add_argument("--threshold", type=float, default=60.0, help="per-node workload threshold")
+
+    p_forecast = sub.add_parser("forecast", help="print a quantile forecast vs actuals")
+    common(p_forecast)
+    p_forecast.add_argument("--model", default="tft",
+                            choices=["tft", "deepar", "mlp", "arima", "naive"])
+    p_forecast.set_defaults(func=cmd_forecast)
+
+    p_eval = sub.add_parser("evaluate", help="evaluate one robust scaling strategy")
+    common(p_eval)
+    p_eval.add_argument("--model", default="tft",
+                        choices=["tft", "deepar", "mlp", "arima", "naive"])
+    p_eval.add_argument("--quantile", type=float, default=0.9)
+    p_eval.add_argument("--adaptive", action="store_true",
+                        help="use the uncertainty-aware adaptive policy")
+    p_eval.add_argument("--quantile-low", type=float, default=0.7,
+                        help="optimistic level for --adaptive")
+    p_eval.add_argument("--uncertainty-threshold", type=float, default=100.0)
+    p_eval.set_defaults(func=cmd_evaluate)
+
+    p_cmp = sub.add_parser("compare", help="compare reactive and robust strategies")
+    common(p_cmp)
+    p_cmp.set_defaults(func=cmd_compare)
+
+    p_sim = sub.add_parser(
+        "simulate", help="closed-loop run on the simulated cluster"
+    )
+    common(p_sim)
+    p_sim.add_argument("--model", default="naive",
+                       choices=["tft", "deepar", "mlp", "arima", "naive"])
+    p_sim.add_argument("--quantile", type=float, default=0.9)
+    p_sim.add_argument("--replan-every", type=int, default=None,
+                       help="re-plan cadence in intervals (default: horizon)")
+    p_sim.add_argument("--checkpoint-gb", type=float, default=4.0,
+                       help="in-memory state rebuilt on scale-out")
+    p_sim.set_defaults(func=cmd_simulate)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,87 @@
+"""End-to-end robust predictive auto-scaler (Figure 2's full workflow).
+
+:class:`RobustPredictiveAutoscaler` wires a probabilistic workload
+forecaster to a :class:`RobustAutoScalingManager`: historical trace in,
+scaling plan out.  This is the class a downstream user instantiates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..forecast.base import Forecaster, QuantileForecast
+from .manager import RobustAutoScalingManager
+from .plan import ScalingPlan
+from .policies import QuantilePolicy
+
+__all__ = ["RobustPredictiveAutoscaler"]
+
+
+class RobustPredictiveAutoscaler:
+    """Probabilistic forecaster + robust manager, as one object.
+
+    Parameters
+    ----------
+    forecaster:
+        Any :class:`~repro.forecast.base.Forecaster`; must be fitted
+        (or fit via :meth:`fit`).
+    threshold:
+        Per-node workload threshold theta.
+    policy:
+        Quantile-selection policy (fixed / uncertainty-aware adaptive /
+        staircase); defaults to fixed 0.9.
+    quantile_levels:
+        Grid requested from the forecaster at planning time.  Must cover
+        every level the policy can select.
+    max_scale_out, max_scale_in:
+        Optional per-step ramp limits (thrashing control).
+    """
+
+    def __init__(
+        self,
+        forecaster: Forecaster,
+        threshold: float,
+        policy: QuantilePolicy | None = None,
+        quantile_levels: tuple[float, ...] | None = None,
+        max_scale_out: int | None = None,
+        max_scale_in: int | None = None,
+    ) -> None:
+        self.forecaster = forecaster
+        self.manager = RobustAutoScalingManager(
+            threshold=threshold,
+            policy=policy,
+            max_scale_out=max_scale_out,
+            max_scale_in=max_scale_in,
+        )
+        self.quantile_levels = quantile_levels
+
+    @property
+    def threshold(self) -> float:
+        return self.manager.threshold
+
+    @property
+    def name(self) -> str:
+        return f"{type(self.forecaster).__name__}/{self.manager.policy.name}"
+
+    def fit(self, series: np.ndarray) -> "RobustPredictiveAutoscaler":
+        """Train the forecaster on a historical workload series."""
+        self.forecaster.fit(series)
+        return self
+
+    def forecast(self, context: np.ndarray, start_index: int = 0) -> QuantileForecast:
+        """The quantile forecast underlying the next plan."""
+        if self.quantile_levels is not None:
+            return self.forecaster.predict(
+                context, levels=self.quantile_levels, start_index=start_index
+            )
+        return self.forecaster.predict(context, start_index=start_index)
+
+    def plan(
+        self,
+        context: np.ndarray,
+        start_index: int = 0,
+        current_nodes: int | None = None,
+    ) -> ScalingPlan:
+        """One decision cycle: forecast the horizon, solve for nodes."""
+        forecast = self.forecast(context, start_index)
+        return self.manager.plan(forecast, current_nodes=current_nodes)

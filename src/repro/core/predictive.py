@@ -1,0 +1,44 @@
+"""Predictive scalers built on point forecasts (the paper's baselines).
+
+These realise Definition 3 — allocate against a single-valued forecast —
+with optionally the CloudScale padding enhancement already wrapped into
+the forecaster (:class:`~repro.forecast.point.PaddedPointForecaster`).
+Compared in Figure 9 as QB5000, TFT-point, and their ``-padding``
+variants.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..forecast.base import PointForecaster
+from .optimizer import solve_closed_form
+from .plan import ScalingPlan
+
+__all__ = ["PointForecastScaler"]
+
+
+class PointForecastScaler:
+    """Definition 3: nodes sized to a point forecast of the workload."""
+
+    def __init__(
+        self, forecaster: PointForecaster, threshold: float, name: str = ""
+    ) -> None:
+        if threshold <= 0:
+            raise ValueError("threshold must be strictly positive")
+        self.forecaster = forecaster
+        self.threshold = threshold
+        self._name = name or type(forecaster).__name__
+
+    def plan(self, context: np.ndarray, start_index: int = 0) -> ScalingPlan:
+        """Forecast the horizon and allocate the per-step minimum."""
+        forecast = self.forecaster.predict_point(context, start_index)
+        plan = solve_closed_form(
+            np.maximum(forecast, 0.0), self.threshold, strategy=self._name
+        )
+        plan.metadata["point_forecast"] = forecast
+        return plan
+
+    @property
+    def name(self) -> str:
+        return self._name

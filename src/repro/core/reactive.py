@@ -1,0 +1,86 @@
+"""Reactive auto-scalers (the paper's non-predictive baselines).
+
+"Reactive scalers, such as Google Autopilot and Kubernetes default HPA
+... employ a moving window approach to gather resource usage statistics
+over a recent period, which in turn informs the scaling of resources"
+(Section IV-A2).  Two window statistics are implemented, matching the
+paper's *Reactive-Max* and *Reactive-Avg* (exponentially-decaying
+weights, half-life 6 intervals).
+
+A reactive scaler's decision for time t can only see workloads up to
+t-1 — the inherent lag the paper's Figure 9 exposes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .plan import ScalingPlan, required_nodes
+
+__all__ = ["ReactiveScaler", "ReactiveMaxScaler", "ReactiveAvgScaler"]
+
+
+class ReactiveScaler:
+    """Base: replay a workload series, allocating from a trailing window."""
+
+    def __init__(self, window: int = 6) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = window
+
+    def window_statistic(self, recent: np.ndarray) -> float:
+        """The demand estimate extracted from the trailing window."""
+        raise NotImplementedError
+
+    def replay(self, workload: np.ndarray, threshold: float) -> ScalingPlan:
+        """Allocate nodes for each step of ``workload`` reactively.
+
+        Step t's allocation is computed from the window of *observed*
+        workloads ``workload[max(0, t-window):t]``; the first step has no
+        history and allocates a single node.
+        """
+        workload = np.asarray(workload, dtype=np.float64)
+        nodes = np.ones(len(workload), dtype=np.int64)
+        for t in range(1, len(workload)):
+            recent = workload[max(0, t - self.window) : t]
+            estimate = self.window_statistic(recent)
+            nodes[t] = required_nodes(np.array([max(estimate, 0.0)]), threshold)[0]
+        return ScalingPlan(nodes=nodes, threshold=threshold, strategy=self.name)
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+
+class ReactiveMaxScaler(ReactiveScaler):
+    """Scale to the maximum workload observed in the window."""
+
+    def window_statistic(self, recent: np.ndarray) -> float:
+        return float(recent.max())
+
+    @property
+    def name(self) -> str:
+        return "Reactive-Max"
+
+
+class ReactiveAvgScaler(ReactiveScaler):
+    """Scale to an exponentially-decaying weighted average of the window.
+
+    Weights halve every ``half_life`` intervals (paper: half-life 6, so
+    with the default 6-step window the newest observation dominates).
+    """
+
+    def __init__(self, window: int = 6, half_life: float = 6.0) -> None:
+        super().__init__(window)
+        if half_life <= 0:
+            raise ValueError("half_life must be positive")
+        self.half_life = half_life
+
+    def window_statistic(self, recent: np.ndarray) -> float:
+        ages = np.arange(len(recent) - 1, -1, -1, dtype=np.float64)  # newest age 0
+        weights = 0.5 ** (ages / self.half_life)
+        return float((recent * weights).sum() / weights.sum())
+
+    @property
+    def name(self) -> str:
+        return "Reactive-Avg"

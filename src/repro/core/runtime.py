@@ -1,0 +1,160 @@
+"""Continuous auto-scaling runtime — Figure 2's workflow as a live loop.
+
+The evaluation harness in :mod:`repro.core.evaluation` scores committed
+plans offline.  :class:`AutoscalingRuntime` is the production-shaped
+counterpart: it ingests workload observations one interval at a time,
+re-plans every ``replan_every`` intervals from the trailing context, and
+exposes the node target for the *next* interval — the object one would
+wire to a real cluster's scaling API.
+
+It also supports an optional reactive fallback for the cold-start phase
+(before enough history exists to form a context window) and records
+every decision for audit.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .evaluation import PlanningStrategy
+from .plan import ScalingPlan, required_nodes
+from .reactive import ReactiveScaler
+
+__all__ = ["Decision", "AutoscalingRuntime"]
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One planning event in the runtime's audit log."""
+
+    time_index: int
+    plan: ScalingPlan
+    source: str  # "predictive" or "reactive-fallback"
+
+
+@dataclass
+class AutoscalingRuntime:
+    """Closed-loop driver around a planning strategy.
+
+    Parameters
+    ----------
+    planner:
+        Any object with ``plan(context, start_index) -> ScalingPlan``
+        (e.g. :class:`~repro.core.autoscaler.RobustPredictiveAutoscaler`).
+    context_length:
+        History needed before predictive planning can start.
+    horizon:
+        Steps each plan covers.
+    replan_every:
+        Re-plan cadence in intervals; defaults to ``horizon``
+        (back-to-back plans, the paper's evaluation protocol).  Smaller
+        values give receding-horizon control.
+    fallback:
+        Reactive scaler used before enough history exists (default
+        Reactive-Max over a 6-interval window) — a real deployment
+        cannot refuse to scale during warm-up.
+    threshold:
+        Per-node workload threshold for the fallback's allocations.
+    """
+
+    planner: PlanningStrategy
+    context_length: int
+    horizon: int
+    threshold: float
+    replan_every: int | None = None
+    fallback: ReactiveScaler | None = None
+    start_index: int = 0
+
+    _history: deque = field(default_factory=deque, repr=False)
+    decisions: list[Decision] = field(default_factory=list, repr=False)
+    _current_plan: ScalingPlan | None = field(default=None, repr=False)
+    _plan_position: int = field(default=0, repr=False)
+    _time: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.context_length < 1 or self.horizon < 1:
+            raise ValueError("context_length and horizon must be >= 1")
+        if self.replan_every is None:
+            self.replan_every = self.horizon
+        if not 1 <= self.replan_every <= self.horizon:
+            raise ValueError("replan_every must be in [1, horizon]")
+        if self.fallback is None:
+            self.fallback = _default_fallback()
+        self._history = deque(maxlen=self.context_length)
+        self._time = self.start_index
+
+    # ------------------------------------------------------------------
+    @property
+    def time_index(self) -> int:
+        """Absolute index of the next interval to be provisioned."""
+        return self._time
+
+    def observe(self, workload: float) -> None:
+        """Record the workload that materialised in the current interval."""
+        if workload < 0:
+            raise ValueError("workload must be non-negative")
+        self._history.append(float(workload))
+        self._time += 1
+        self._plan_position += 1
+
+    def target_nodes(self) -> int:
+        """Node target for the upcoming interval (plans lazily)."""
+        if self._needs_replan():
+            self._replan()
+        if self._current_plan is not None:
+            position = min(self._plan_position, self._current_plan.horizon - 1)
+            return int(self._current_plan.nodes[position])
+        return self._fallback_target()
+
+    def _needs_replan(self) -> bool:
+        if len(self._history) < self.context_length:
+            return False
+        if self._current_plan is None:
+            return True
+        return (
+            self._plan_position >= self.replan_every
+            or self._plan_position >= self._current_plan.horizon
+        )
+
+    def _replan(self) -> None:
+        context = np.asarray(self._history, dtype=np.float64)
+        plan = self.planner.plan(
+            context, start_index=self._time - self.context_length
+        )
+        self._current_plan = plan
+        self._plan_position = 0
+        self.decisions.append(
+            Decision(time_index=self._time, plan=plan, source="predictive")
+        )
+
+    def _fallback_target(self) -> int:
+        if not self._history:
+            return 1
+        recent = np.asarray(self._history, dtype=np.float64)
+        window = recent[-self.fallback.window :]
+        estimate = max(self.fallback.window_statistic(window), 0.0)
+        return int(required_nodes(np.array([estimate]), self.threshold)[0])
+
+    # ------------------------------------------------------------------
+    def run(self, workload: np.ndarray) -> np.ndarray:
+        """Convenience: drive the loop over a whole series.
+
+        For each interval the runtime first commits a node target (using
+        only past observations), then observes the interval's actual
+        workload.  Returns the allocation series.
+        """
+        workload = np.asarray(workload, dtype=np.float64)
+        allocations = np.empty(len(workload), dtype=np.int64)
+        for i, value in enumerate(workload):
+            allocations[i] = self.target_nodes()
+            self.observe(value)
+        return allocations
+
+
+def _default_fallback() -> ReactiveScaler:
+    from .reactive import ReactiveMaxScaler
+
+    return ReactiveMaxScaler(window=6)

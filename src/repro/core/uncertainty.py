@@ -1,0 +1,66 @@
+"""Forecast-uncertainty quantification (paper Eq. 8).
+
+For quantile-grid forecasters the paper defines a per-step uncertainty
+
+    U = sum_i (tau_i - I[w^tau_i < w^0.5]) * (w^0.5 - w^tau_i)
+
+— pinball-shaped, but measured against the *median forecast* rather than
+the realised target, so it is computable before the future arrives.
+Wide, asymmetric quantile fans score high; tight fans score low.  For
+parametric models the predicted distribution's standard deviation is the
+natural equivalent (Section III-C2), also provided here.
+
+Note on signs: as printed, the paper's Eq. 1 and Eq. 8 use
+``(yhat - y)`` where the standard (non-negative) pinball loss uses
+``(y - yhat)``; taken literally the formulas are non-positive.  We
+implement the evidently intended non-negative form
+``U = sum_i (tau_i - I[w^tau_i < w^0.5]) * (w^tau_i - w^0.5)``,
+which is zero exactly when all quantiles collapse onto the median and
+grows with the spread of the fan.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..distributions import Distribution
+from ..forecast.base import QuantileForecast
+
+__all__ = ["quantile_uncertainty", "distribution_uncertainty", "forecast_uncertainty"]
+
+
+def quantile_uncertainty(forecast: QuantileForecast) -> np.ndarray:
+    """Per-step uncertainty U of Eq. 8 from a quantile forecast.
+
+    Returns an array of shape (horizon,).  Every level on the forecast's
+    grid participates; the median (0.5 quantile, interpolated if not on
+    the grid) is the reference.
+    """
+    median = forecast.at(0.5)
+    total = np.zeros(forecast.horizon)
+    for i, tau in enumerate(forecast.levels):
+        values = forecast.values[i]
+        indicator = (values < median).astype(np.float64)
+        total += (tau - indicator) * (values - median)
+    return total
+
+
+def distribution_uncertainty(distribution: Distribution) -> np.ndarray:
+    """Per-step predictive standard deviation (the parametric-model route)."""
+    return distribution.std()
+
+
+def forecast_uncertainty(
+    forecast: QuantileForecast, normalise: bool = False
+) -> np.ndarray:
+    """Eq. 8 uncertainty, optionally scale-normalised by the median.
+
+    Normalisation (divide by max(|median|, 1)) makes thresholds
+    comparable across workloads of different magnitude; the paper's
+    experiments use the raw metric, which is the default.
+    """
+    uncertainty = quantile_uncertainty(forecast)
+    if normalise:
+        scale = np.maximum(np.abs(forecast.at(0.5)), 1.0)
+        uncertainty = uncertainty / scale
+    return uncertainty

@@ -1,0 +1,8 @@
+"""Output distributions for probabilistic workload forecasting."""
+
+from .base import Distribution
+from .empirical import Empirical
+from .gaussian import Gaussian
+from .studentt import StudentT
+
+__all__ = ["Distribution", "Gaussian", "StudentT", "Empirical"]

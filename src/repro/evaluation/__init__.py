@@ -1,0 +1,30 @@
+"""Forecast evaluation metrics, reports, and backtesting (Section IV)."""
+
+from .backtest import BacktestResult, backtest
+from .metrics import (
+    calibration_table,
+    coverage,
+    mae,
+    mape,
+    mean_weighted_quantile_loss,
+    mse,
+    quantile_loss,
+    weighted_quantile_loss,
+)
+from .report import ForecastReport, evaluate_quantile_forecast, format_table
+
+__all__ = [
+    "quantile_loss",
+    "weighted_quantile_loss",
+    "mean_weighted_quantile_loss",
+    "coverage",
+    "mse",
+    "mae",
+    "mape",
+    "calibration_table",
+    "ForecastReport",
+    "evaluate_quantile_forecast",
+    "format_table",
+    "backtest",
+    "BacktestResult",
+]

@@ -1,0 +1,169 @@
+"""Quantile-forecast ensembling.
+
+Combining probabilistic forecasters is the standard way to hedge model
+risk: the paper's two methodologies (parametric and quantile-grid) have
+complementary failure modes — mis-specified parametric form vs a frozen
+grid — and averaging their quantile functions ("Vincentization") keeps
+whichever is better calibrated per regime from being ruined by the
+other.  The ensemble also provides a clean upgrade path for the robust
+scaler: it consumes :class:`QuantileForecast`, so nothing downstream
+changes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import DEFAULT_QUANTILE_LEVELS, Forecaster, QuantileForecast
+
+__all__ = ["EnsembleForecaster", "combine_quantile_forecasts"]
+
+
+def combine_quantile_forecasts(
+    forecasts: list[QuantileForecast],
+    levels: tuple[float, ...],
+    weights: list[float] | None = None,
+) -> QuantileForecast:
+    """Vincentize: average each quantile across forecasts.
+
+    Averaging quantile functions (rather than CDFs) preserves location
+    and spread structure and always yields monotone quantiles when the
+    inputs are monotone.
+
+    Parameters
+    ----------
+    forecasts:
+        Member forecasts; must all cover ``levels`` and share a horizon.
+    weights:
+        Optional non-negative member weights (normalised internally);
+        defaults to equal weighting.
+    """
+    if not forecasts:
+        raise ValueError("need at least one forecast")
+    horizon = forecasts[0].horizon
+    if any(fc.horizon != horizon for fc in forecasts):
+        raise ValueError("all forecasts must share the same horizon")
+    if weights is None:
+        weights = [1.0] * len(forecasts)
+    if len(weights) != len(forecasts):
+        raise ValueError("weights must match the number of forecasts")
+    weights_arr = np.asarray(weights, dtype=np.float64)
+    if np.any(weights_arr < 0) or weights_arr.sum() <= 0:
+        raise ValueError("weights must be non-negative and sum to > 0")
+    weights_arr = weights_arr / weights_arr.sum()
+
+    levels = tuple(sorted(levels))
+    values = np.zeros((len(levels), horizon))
+    for weight, fc in zip(weights_arr, forecasts):
+        values += weight * np.stack([fc.at(tau) for tau in levels])
+    means = [fc.mean for fc in forecasts]
+    mean = None
+    if all(m is not None for m in means):
+        mean = np.einsum("i,ij->j", weights_arr, np.stack(means))
+    return QuantileForecast(levels=np.array(levels), values=values, mean=mean)
+
+
+class EnsembleForecaster(Forecaster):
+    """Forecaster that averages the quantiles of its members.
+
+    Parameters
+    ----------
+    members:
+        Forecasters to combine; each is fitted on the same series.
+    weights:
+        Optional fixed member weights.  With ``weights=None`` and
+        ``tune_on_validation=True``, weights are chosen inversely
+        proportional to each member's pinball loss on the last
+        ``validation_fraction`` of the training series — a cheap,
+        robust skill weighting.
+    """
+
+    def __init__(
+        self,
+        members: list[Forecaster],
+        weights: list[float] | None = None,
+        tune_on_validation: bool = False,
+        validation_fraction: float = 0.15,
+    ) -> None:
+        if not members:
+            raise ValueError("need at least one member")
+        if weights is not None and len(weights) != len(members):
+            raise ValueError("weights must match the number of members")
+        if not 0.0 < validation_fraction < 0.5:
+            raise ValueError("validation_fraction must be in (0, 0.5)")
+        self.members = list(members)
+        self.weights = list(weights) if weights is not None else None
+        self.tune_on_validation = tune_on_validation
+        self.validation_fraction = validation_fraction
+
+    def fit(self, series: np.ndarray) -> "EnsembleForecaster":
+        series = np.asarray(series, dtype=np.float64)
+        for member in self.members:
+            member.fit(series)
+        if self.tune_on_validation and self.weights is None:
+            self.weights = self._skill_weights(series)
+        self._fitted = True
+        return self
+
+    @staticmethod
+    def _member_predict(
+        member: Forecaster,
+        context: np.ndarray,
+        levels: tuple[float, ...],
+        start_index: int,
+    ) -> QuantileForecast:
+        """Call a member, trimming the context to its exact needs.
+
+        Members declare a fixed ``context_length`` (neural models) or
+        accept any sufficiently long history (statistical models); the
+        ensemble passes each the most recent slice it can use, keeping
+        calendar features aligned by advancing ``start_index``.
+        """
+        needed = getattr(member, "context_length", None)
+        if needed is not None and len(context) > needed:
+            offset = len(context) - needed
+            return member.predict(
+                context[offset:], levels=levels, start_index=start_index + offset
+            )
+        return member.predict(context, levels=levels, start_index=start_index)
+
+    def _skill_weights(self, series: np.ndarray) -> list[float]:
+        """Inverse-MAE weights from a held-out tail of the training series."""
+        horizon = self._horizon()
+        val_len = int(len(series) * self.validation_fraction)
+        start = len(series) - val_len
+        if start < 1 or val_len < horizon:
+            return [1.0] * len(self.members)
+        losses = []
+        for member in self.members:
+            total, count = 0.0, 0
+            for point in range(start, len(series) - horizon + 1, horizon):
+                fc = self._member_predict(
+                    member, series[:point], levels=(0.5,), start_index=0
+                )
+                actual = series[point : point + horizon]
+                total += float(np.abs(fc.values[0] - actual).mean())
+                count += 1
+            losses.append(total / max(count, 1))
+        inverse = 1.0 / np.maximum(np.asarray(losses), 1e-12)
+        return list(inverse / inverse.sum())
+
+    def _horizon(self) -> int:
+        horizons = {getattr(m, "horizon") for m in self.members}
+        if len(horizons) != 1:
+            raise ValueError(f"members disagree on horizon: {sorted(horizons)}")
+        return horizons.pop()
+
+    def predict(
+        self,
+        context: np.ndarray,
+        levels: tuple[float, ...] = DEFAULT_QUANTILE_LEVELS,
+        start_index: int = 0,
+    ) -> QuantileForecast:
+        self._require_fitted()
+        context = np.asarray(context, dtype=np.float64)
+        forecasts = [
+            self._member_predict(member, context, levels, start_index)
+            for member in self.members
+        ]
+        return combine_quantile_forecasts(forecasts, levels, self.weights)

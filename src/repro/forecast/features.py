@@ -1,0 +1,39 @@
+"""Calendar covariates for the neural forecasters.
+
+Workload traces carry strong daily/weekly cycles; DeepAR and TFT receive
+them as known future inputs (sin/cos of time-of-day and day-of-week),
+which is how the reference implementations condition multi-horizon
+forecasts on the calendar.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..traces.synthetic import STEPS_PER_DAY, STEPS_PER_WEEK
+
+__all__ = ["calendar_features", "NUM_CALENDAR_FEATURES"]
+
+NUM_CALENDAR_FEATURES = 4
+
+
+def calendar_features(indices: np.ndarray) -> np.ndarray:
+    """Sin/cos encodings of daily and weekly phase.
+
+    Parameters
+    ----------
+    indices:
+        Absolute 10-minute step indices, any shape.
+
+    Returns
+    -------
+    Array of shape (*indices.shape, 4):
+    [sin_day, cos_day, sin_week, cos_week].
+    """
+    indices = np.asarray(indices, dtype=np.float64)
+    day_phase = 2.0 * np.pi * (indices % STEPS_PER_DAY) / STEPS_PER_DAY
+    week_phase = 2.0 * np.pi * (indices % STEPS_PER_WEEK) / STEPS_PER_WEEK
+    return np.stack(
+        [np.sin(day_phase), np.cos(day_phase), np.sin(week_phase), np.cos(week_phase)],
+        axis=-1,
+    )

@@ -1,0 +1,138 @@
+"""Point-forecast adapters and the CloudScale-style padding enhancement.
+
+The paper compares against two point-forecast scalers:
+
+* *TFT-point* — "we train TFT to exclusively output the 0.5 quantile,
+  effectively serving as a point forecasting model" (Section IV-A2);
+* *-padding* variants — the enhancement of Shen et al. (CloudScale,
+  SoCC 2011): "adding a small additional value to future predictions
+  based on past underestimation errors".
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from .base import Forecaster, PointForecaster
+from .neural import TrainingConfig
+from .tft import TFTForecaster
+
+__all__ = ["TFTPointForecaster", "MedianPointAdapter", "PaddedPointForecaster"]
+
+
+class TFTPointForecaster(PointForecaster):
+    """TFT restricted to the 0.5 quantile — a pure point forecaster.
+
+    The architecture and training are identical to the quantile TFT; only
+    the output grid shrinks to {0.5}, making the pinball loss equivalent
+    to (half) the MAE.
+    """
+
+    def __init__(
+        self,
+        context_length: int,
+        horizon: int,
+        d_model: int = 32,
+        num_heads: int = 4,
+        config: TrainingConfig | None = None,
+    ) -> None:
+        self._tft = TFTForecaster(
+            context_length,
+            horizon,
+            quantile_levels=(0.5,),
+            d_model=d_model,
+            num_heads=num_heads,
+            config=config,
+        )
+
+    @property
+    def context_length(self) -> int:
+        return self._tft.context_length
+
+    @property
+    def horizon(self) -> int:
+        return self._tft.horizon
+
+    def fit(self, series: np.ndarray) -> "TFTPointForecaster":
+        self._tft.fit(series)
+        self._fitted = True
+        return self
+
+    def predict_point(self, context: np.ndarray, start_index: int = 0) -> np.ndarray:
+        self._require_fitted()
+        return self._tft.predict(context, levels=(0.5,), start_index=start_index).values[0]
+
+
+class MedianPointAdapter(PointForecaster):
+    """Use any quantile forecaster's median as a point forecast."""
+
+    def __init__(self, forecaster: Forecaster) -> None:
+        self.forecaster = forecaster
+
+    def fit(self, series: np.ndarray) -> "MedianPointAdapter":
+        self.forecaster.fit(series)
+        self._fitted = True
+        return self
+
+    def predict_point(self, context: np.ndarray, start_index: int = 0) -> np.ndarray:
+        self._require_fitted()
+        return self.forecaster.predict(context, levels=(0.5,), start_index=start_index).values[0]
+
+
+class PaddedPointForecaster(PointForecaster):
+    """Point forecaster + additive padding learned from past underestimation.
+
+    After every decision cycle the caller feeds back what actually
+    happened via :meth:`observe`.  The padding added to subsequent
+    forecasts is a high percentile of the recent *underestimation* errors
+    ``max(0, actual - forecast)``, so sustained under-forecasting raises
+    the safety margin while overestimation leaves it untouched — the
+    CloudScale recipe.
+
+    Parameters
+    ----------
+    window:
+        Number of recent per-step errors remembered.
+    percentile:
+        Which percentile of remembered underestimation errors to add
+        (1.0 = the maximum error, the most conservative choice).
+    """
+
+    def __init__(
+        self, base: PointForecaster, window: int = 288, percentile: float = 0.95
+    ) -> None:
+        if not 0.0 < percentile <= 1.0:
+            raise ValueError("percentile must be in (0, 1]")
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.base = base
+        self.window = window
+        self.percentile = percentile
+        self._errors: deque[float] = deque(maxlen=window)
+
+    def fit(self, series: np.ndarray) -> "PaddedPointForecaster":
+        self.base.fit(series)
+        self._fitted = True
+        return self
+
+    def observe(self, actual: np.ndarray, forecast: np.ndarray) -> None:
+        """Record the underestimation errors of a completed horizon."""
+        actual = np.asarray(actual, dtype=np.float64)
+        forecast = np.asarray(forecast, dtype=np.float64)
+        if actual.shape != forecast.shape:
+            raise ValueError("actual and forecast must have the same shape")
+        for error in np.maximum(actual - forecast, 0.0):
+            self._errors.append(float(error))
+
+    @property
+    def padding(self) -> float:
+        """Current additive safety margin."""
+        if not self._errors:
+            return 0.0
+        return float(np.quantile(np.asarray(self._errors), self.percentile))
+
+    def predict_point(self, context: np.ndarray, start_index: int = 0) -> np.ndarray:
+        self._require_fitted()
+        return self.base.predict_point(context, start_index) + self.padding

@@ -1,0 +1,193 @@
+"""QueryBot 5000 (QB5000) hybrid point forecaster.
+
+The paper's learned point-forecast baseline (Section IV-A2): "A hybrid
+forecaster that combines linear regression, long short-term memory
+network, and kernel regression" (Ma et al., SIGMOD 2018).  Following the
+original design:
+
+* **linear regression** on the context window, solved in closed form with
+  one multi-output least-squares system (fast, captures level + trend);
+* **LSTM** trained with MSE through a direct multi-horizon head (captures
+  nonlinear seasonal structure);
+* **kernel regression** (Nadaraya–Watson over historical windows), which
+  QB5000 uses to recover recurring spike patterns that the other two
+  smooth away.
+
+The ensemble averages the component forecasts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import LSTM, Linear, Module, Tensor, no_grad
+from ..nn import functional as F
+from ..traces.dataset import StandardScaler
+from .base import PointForecaster
+from .neural import NeuralForecaster, TrainingConfig
+
+__all__ = ["QB5000Forecaster", "LinearRegressionForecaster", "KernelRegressionForecaster"]
+
+
+class LinearRegressionForecaster(PointForecaster):
+    """Direct multi-horizon linear regression on the context window."""
+
+    def __init__(self, context_length: int, horizon: int, ridge: float = 1e-3) -> None:
+        self.context_length = context_length
+        self.horizon = horizon
+        self.ridge = ridge
+        self.weights: np.ndarray | None = None  # (context+1, horizon)
+
+    def fit(self, series: np.ndarray) -> "LinearRegressionForecaster":
+        series = np.asarray(series, dtype=np.float64)
+        window = self.context_length + self.horizon
+        if len(series) < window + 1:
+            raise ValueError("series too short")
+        rows = len(series) - window + 1
+        contexts = np.stack([series[i : i + self.context_length] for i in range(rows)])
+        targets = np.stack(
+            [series[i + self.context_length : i + window] for i in range(rows)]
+        )
+        design = np.column_stack([np.ones(rows), contexts])
+        gram = design.T @ design + self.ridge * np.eye(design.shape[1])
+        self.weights = np.linalg.solve(gram, design.T @ targets)
+        self._fitted = True
+        return self
+
+    def predict_point(self, context: np.ndarray, start_index: int = 0) -> np.ndarray:
+        self._require_fitted()
+        context = np.asarray(context, dtype=np.float64)[-self.context_length :]
+        return np.concatenate([[1.0], context]) @ self.weights
+
+
+class KernelRegressionForecaster(PointForecaster):
+    """Nadaraya–Watson: weight historical horizons by context similarity.
+
+    The bandwidth is set to a low percentile (5th) of the pairwise
+    context distances, keeping the kernel local so that genuinely
+    similar historical windows dominate the prediction — QB5000 uses
+    this component precisely to recall recurring spiky patterns that
+    global models smooth away.  ``max_windows`` bounds memory on long
+    traces.
+    """
+
+    def __init__(self, context_length: int, horizon: int, max_windows: int = 2000) -> None:
+        self.context_length = context_length
+        self.horizon = horizon
+        self.max_windows = max_windows
+        self._contexts: np.ndarray | None = None
+        self._futures: np.ndarray | None = None
+        self._bandwidth = 1.0
+
+    def fit(self, series: np.ndarray) -> "KernelRegressionForecaster":
+        series = np.asarray(series, dtype=np.float64)
+        window = self.context_length + self.horizon
+        if len(series) < window + 1:
+            raise ValueError("series too short")
+        rows = len(series) - window + 1
+        stride = max(1, rows // self.max_windows)
+        starts = np.arange(0, rows, stride)
+        self._contexts = np.stack([series[i : i + self.context_length] for i in starts])
+        self._futures = np.stack(
+            [series[i + self.context_length : i + window] for i in starts]
+        )
+        sample = self._contexts[:: max(1, len(self._contexts) // 200)]
+        distances = np.linalg.norm(sample[:, None, :] - sample[None, :, :], axis=-1)
+        positive = distances[distances > 0]
+        self._bandwidth = float(np.quantile(positive, 0.05)) if positive.size else 1.0
+        if self._bandwidth <= 0:
+            self._bandwidth = 1.0
+        self._fitted = True
+        return self
+
+    def predict_point(self, context: np.ndarray, start_index: int = 0) -> np.ndarray:
+        self._require_fitted()
+        context = np.asarray(context, dtype=np.float64)[-self.context_length :]
+        distances = np.linalg.norm(self._contexts - context[None, :], axis=-1)
+        weights = np.exp(-0.5 * (distances / self._bandwidth) ** 2)
+        total = weights.sum()
+        if total < 1e-300:
+            # Degenerate kernel: fall back to the nearest window.
+            return self._futures[np.argmin(distances)].copy()
+        return (weights[:, None] * self._futures).sum(axis=0) / total
+
+
+class _LSTMPointNetwork(Module):
+    """LSTM encoder -> direct multi-horizon linear head."""
+
+    def __init__(self, hidden_size: int, horizon: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.lstm = LSTM(1, hidden_size, rng)
+        self.head = Linear(hidden_size, horizon, rng)
+
+    def forward(self, context: Tensor) -> Tensor:
+        hidden, _ = self.lstm(context.reshape(*context.shape, 1))
+        return self.head(hidden[:, -1, :])
+
+
+class _LSTMPointForecaster(NeuralForecaster):
+    """MSE-trained LSTM component of QB5000."""
+
+    def __init__(
+        self,
+        context_length: int,
+        horizon: int,
+        hidden_size: int = 32,
+        config: TrainingConfig | None = None,
+    ) -> None:
+        super().__init__(context_length, horizon, config)
+        self.hidden_size = hidden_size
+
+    def _build(self, rng: np.random.Generator) -> Module:
+        return _LSTMPointNetwork(self.hidden_size, self.horizon, rng)
+
+    def _loss(
+        self, context: np.ndarray, horizon: np.ndarray, start_indices: np.ndarray
+    ) -> Tensor:
+        assert self.network is not None
+        return F.mse_loss(self.network(Tensor(context)), horizon)
+
+    def predict(self, context, levels=(), start_index: int = 0):
+        raise NotImplementedError("internal point model; use predict_point")
+
+    def predict_point(self, context: np.ndarray, start_index: int = 0) -> np.ndarray:
+        self._require_fitted()
+        assert self.network is not None
+        normalised = self.scaler.transform(np.asarray(context, dtype=np.float64))[None, :]
+        with no_grad():
+            out = self.network(Tensor(normalised)).data[0]
+        return self.scaler.inverse_transform(out)
+
+
+class QB5000Forecaster(PointForecaster):
+    """The QB5000 ensemble: mean of LR, LSTM, and kernel-regression forecasts."""
+
+    def __init__(
+        self,
+        context_length: int,
+        horizon: int,
+        hidden_size: int = 32,
+        config: TrainingConfig | None = None,
+    ) -> None:
+        self.context_length = context_length
+        self.horizon = horizon
+        self.linear = LinearRegressionForecaster(context_length, horizon)
+        self.lstm = _LSTMPointForecaster(context_length, horizon, hidden_size, config)
+        self.kernel = KernelRegressionForecaster(context_length, horizon)
+
+    def fit(self, series: np.ndarray) -> "QB5000Forecaster":
+        series = np.asarray(series, dtype=np.float64)
+        self.linear.fit(series)
+        self.lstm.fit(series)
+        self.kernel.fit(series)
+        self._fitted = True
+        return self
+
+    def predict_point(self, context: np.ndarray, start_index: int = 0) -> np.ndarray:
+        self._require_fitted()
+        components = [
+            self.linear.predict_point(context, start_index),
+            self.lstm.predict_point(context, start_index),
+            self.kernel.predict_point(context, start_index),
+        ]
+        return np.mean(components, axis=0)

@@ -1,0 +1,99 @@
+"""Attention primitives used by the Temporal Fusion Transformer.
+
+Implements scaled dot-product attention and TFT's *interpretable*
+multi-head variant, in which the value projection (and the attention
+pattern's output head) is shared across heads so the averaged attention
+weights remain interpretable (Lim et al., 2019, Sec. 4.4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .layers import Linear
+from .module import Module
+from .tensor import Tensor
+
+__all__ = ["scaled_dot_product_attention", "causal_mask", "InterpretableMultiHeadAttention"]
+
+
+def causal_mask(query_len: int, key_len: int) -> np.ndarray:
+    """Additive mask forbidding attention to future positions.
+
+    Position ``i`` of the query may attend to key positions ``j`` with
+    ``j <= i + (key_len - query_len)`` — i.e. the decoder can see the whole
+    encoder plus its own past.
+    """
+    offset = key_len - query_len
+    mask = np.zeros((query_len, key_len))
+    for i in range(query_len):
+        mask[i, i + offset + 1 :] = -1e9
+    return mask
+
+
+def scaled_dot_product_attention(
+    query: Tensor,
+    key: Tensor,
+    value: Tensor,
+    mask: np.ndarray | None = None,
+) -> tuple[Tensor, Tensor]:
+    """Standard attention: softmax(QK^T / sqrt(d)) V.
+
+    Shapes: query (B, Tq, d), key (B, Tk, d), value (B, Tk, dv).
+    Returns (output, attention_weights).
+    """
+    d_k = query.shape[-1]
+    scores = (query @ key.swapaxes(-1, -2)) * (1.0 / np.sqrt(d_k))
+    if mask is not None:
+        scores = scores + Tensor(mask)
+    weights = scores.softmax(axis=-1)
+    return weights @ value, weights
+
+
+class InterpretableMultiHeadAttention(Module):
+    """Multi-head attention with a value projection shared across heads.
+
+    Each head gets its own query/key projections; all heads share one value
+    projection and their outputs are averaged before the final linear map.
+    This is the exact structure of TFT's temporal self-attention layer.
+    """
+
+    def __init__(self, d_model: int, num_heads: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        if d_model % num_heads != 0:
+            raise ValueError(f"d_model={d_model} not divisible by num_heads={num_heads}")
+        self.d_model = d_model
+        self.num_heads = num_heads
+        self.d_head = d_model // num_heads
+        self._q_projs: list[Linear] = []
+        self._k_projs: list[Linear] = []
+        for head in range(num_heads):
+            q_proj = Linear(d_model, self.d_head, rng)
+            k_proj = Linear(d_model, self.d_head, rng)
+            setattr(self, f"q{head}", q_proj)
+            setattr(self, f"k{head}", k_proj)
+            self._q_projs.append(q_proj)
+            self._k_projs.append(k_proj)
+        self.v_proj = Linear(d_model, self.d_head, rng)
+        self.out_proj = Linear(self.d_head, d_model, rng)
+
+    def forward(
+        self,
+        query: Tensor,
+        key: Tensor,
+        value: Tensor,
+        mask: np.ndarray | None = None,
+    ) -> tuple[Tensor, Tensor]:
+        """Returns (output (B, Tq, d_model), mean attention (B, Tq, Tk))."""
+        shared_value = self.v_proj(value)
+        head_outputs = []
+        head_weights = []
+        for q_proj, k_proj in zip(self._q_projs, self._k_projs):
+            out, weights = scaled_dot_product_attention(
+                q_proj(query), k_proj(key), shared_value, mask=mask
+            )
+            head_outputs.append(out)
+            head_weights.append(weights)
+        mean_output = Tensor.stack(head_outputs, axis=0).mean(axis=0)
+        mean_weights = Tensor.stack(head_weights, axis=0).mean(axis=0)
+        return self.out_proj(mean_output), mean_weights

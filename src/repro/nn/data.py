@@ -1,0 +1,151 @@
+"""Dataset/DataLoader utilities for windowed time-series training.
+
+Forecasters train on (context, horizon) windows sliced from a workload
+trace.  :class:`WindowDataset` materialises those windows lazily and
+:class:`DataLoader` shuffles and batches them with a seeded generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["WindowDataset", "DataLoader", "train_validation_split"]
+
+
+@dataclass(frozen=True)
+class Window:
+    """One training example: ``context`` feeds the model, ``horizon`` is the target.
+
+    ``start`` is the index of ``context[0]`` within its source series,
+    used to phase-align calendar features.
+    """
+
+    context: np.ndarray
+    horizon: np.ndarray
+    start: int = 0
+
+
+class WindowDataset:
+    """Sliding (context, horizon) windows over one or more series.
+
+    Parameters
+    ----------
+    series:
+        1-D workload array, or a list of such arrays (multiple traces).
+    context_length:
+        Number of past steps fed to the model (paper: 72 = 12 hours).
+    horizon:
+        Number of future steps to predict.
+    stride:
+        Step between consecutive window starts; 1 uses every window.
+    """
+
+    def __init__(
+        self,
+        series: np.ndarray | list[np.ndarray],
+        context_length: int,
+        horizon: int,
+        stride: int = 1,
+        start_offsets: list[int] | None = None,
+    ) -> None:
+        if context_length < 1 or horizon < 1 or stride < 1:
+            raise ValueError("context_length, horizon, and stride must all be >= 1")
+        if isinstance(series, np.ndarray):
+            series = [series]
+        self.context_length = context_length
+        self.horizon = horizon
+        self.stride = stride
+        self._index: list[tuple[int, int]] = []  # (series id, start)
+        self._series = [np.asarray(s, dtype=np.float64) for s in series]
+        if start_offsets is None:
+            start_offsets = [0] * len(self._series)
+        if len(start_offsets) != len(self._series):
+            raise ValueError("start_offsets must match the number of series")
+        self._offsets = list(start_offsets)
+        window = context_length + horizon
+        for sid, s in enumerate(self._series):
+            if s.ndim != 1:
+                raise ValueError("each series must be 1-D")
+            for start in range(0, len(s) - window + 1, stride):
+                self._index.append((sid, start))
+        if not self._index:
+            raise ValueError(
+                f"no windows fit: need at least {window} points, "
+                f"longest series has {max((len(s) for s in self._series), default=0)}"
+            )
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __getitem__(self, item: int) -> Window:
+        sid, start = self._index[item]
+        s = self._series[sid]
+        mid = start + self.context_length
+        return Window(
+            context=s[start:mid],
+            horizon=s[mid : mid + self.horizon],
+            start=start + self._offsets[sid],
+        )
+
+
+class DataLoader:
+    """Batches windows into (batch, time) arrays with optional shuffling."""
+
+    def __init__(
+        self,
+        dataset: WindowDataset,
+        batch_size: int,
+        shuffle: bool = True,
+        rng: np.random.Generator | None = None,
+        drop_last: bool = False,
+        yield_positions: bool = False,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self.yield_positions = yield_positions
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        order = np.arange(len(self.dataset))
+        if self.shuffle:
+            self._rng.shuffle(order)
+        for start in range(0, len(order), self.batch_size):
+            chunk = order[start : start + self.batch_size]
+            if self.drop_last and len(chunk) < self.batch_size:
+                return
+            windows = [self.dataset[i] for i in chunk]
+            contexts = np.stack([w.context for w in windows])
+            horizons = np.stack([w.horizon for w in windows])
+            if self.yield_positions:
+                yield contexts, horizons, np.array([w.start for w in windows])
+            else:
+                yield contexts, horizons
+
+
+def train_validation_split(
+    series: np.ndarray, validation_fraction: float = 0.2
+) -> tuple[np.ndarray, np.ndarray]:
+    """Chronological split — validation is the most recent fraction.
+
+    Time series must never be split randomly: that leaks future values
+    into training.
+    """
+    if not 0.0 < validation_fraction < 1.0:
+        raise ValueError("validation_fraction must be in (0, 1)")
+    cut = int(len(series) * (1.0 - validation_fraction))
+    if cut == 0 or cut == len(series):
+        raise ValueError("series too short for the requested split")
+    return series[:cut], series[cut:]

@@ -1,0 +1,137 @@
+"""First-order optimizers and learning-rate schedules.
+
+The paper trains every neural forecaster with a learning rate of 1e-3
+(Section IV-A); Adam with that default is the workhorse here.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from .module import Parameter
+
+__all__ = ["Optimizer", "SGD", "Adam", "clip_grad_norm", "StepLR", "CosineLR"]
+
+
+class Optimizer:
+    """Base optimizer holding a parameter list and a learning rate."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float) -> None:
+        self.parameters = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received no parameters")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional classical momentum."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float, momentum: float = 0.0) -> None:
+        super().__init__(parameters, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for param, velocity in zip(self.parameters, self._velocity):
+            if param.grad is None:
+                continue
+            if self.momentum > 0:
+                velocity *= self.momentum
+                velocity += param.grad
+                param.data -= self.lr * velocity
+            else:
+                param.data -= self.lr * param.grad
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2015) with bias correction."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        bias1 = 1.0 - self.beta1**self._t
+        bias2 = 1.0 - self.beta2**self._t
+        for param, m, v in zip(self.parameters, self._m, self._v):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay > 0:
+                grad = grad + self.weight_decay * param.data
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad**2
+            param.data -= self.lr * (m / bias1) / (np.sqrt(v / bias2) + self.eps)
+
+
+def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:
+    """Scale gradients so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clip norm; useful for logging training stability.
+    """
+    params = [p for p in parameters if p.grad is not None]
+    total = float(np.sqrt(sum(float((p.grad**2).sum()) for p in params)))
+    if total > max_norm and total > 0:
+        scale = max_norm / total
+        for param in params:
+            param.grad *= scale
+    return total
+
+
+class StepLR:
+    """Multiply the optimizer's lr by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.5) -> None:
+        self.optimizer = optimizer
+        self.step_size = step_size
+        self.gamma = gamma
+        self._epoch = 0
+        self._base_lr = optimizer.lr
+
+    def step(self) -> None:
+        self._epoch += 1
+        self.optimizer.lr = self._base_lr * self.gamma ** (self._epoch // self.step_size)
+
+
+class CosineLR:
+    """Cosine annealing from the base lr down to ``min_lr`` over ``total`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, total: int, min_lr: float = 1e-5) -> None:
+        self.optimizer = optimizer
+        self.total = max(total, 1)
+        self.min_lr = min_lr
+        self._epoch = 0
+        self._base_lr = optimizer.lr
+
+    def step(self) -> None:
+        self._epoch = min(self._epoch + 1, self.total)
+        cos = 0.5 * (1.0 + np.cos(np.pi * self._epoch / self.total))
+        self.optimizer.lr = self.min_lr + (self._base_lr - self.min_lr) * cos

@@ -1,0 +1,547 @@
+"""Reverse-mode automatic differentiation over numpy arrays.
+
+This module is the foundation of the neural-network substrate used by the
+probabilistic forecasters (MLP, DeepAR, TFT).  It implements a small,
+explicit tape-based autograd: every :class:`Tensor` records the operation
+that produced it and closures that propagate gradients to its parents.
+Calling :meth:`Tensor.backward` performs a topological sweep over that tape.
+
+The design goals, in order, are correctness, debuggability, and enough
+speed to train small forecasting models on workload traces.  All data is
+kept in ``float64`` — the models here are tiny, and double precision makes
+gradient checks in the test suite tight.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled"]
+
+_GRAD_ENABLED = True
+
+
+class no_grad:
+    """Context manager that disables gradient recording.
+
+    Used during inference (forecast generation, sampling) where building
+    the autograd tape would waste memory and time.
+    """
+
+    def __enter__(self) -> "no_grad":
+        global _GRAD_ENABLED
+        self._prev = _GRAD_ENABLED
+        _GRAD_ENABLED = False
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        global _GRAD_ENABLED
+        _GRAD_ENABLED = self._prev
+
+
+def is_grad_enabled() -> bool:
+    """Return whether operations currently record gradients."""
+    return _GRAD_ENABLED
+
+
+def _as_array(value: object) -> np.ndarray:
+    """Coerce scalars / lists / arrays into a float64 ndarray."""
+    if isinstance(value, np.ndarray):
+        if value.dtype != np.float64:
+            return value.astype(np.float64)
+        return value
+    return np.asarray(value, dtype=np.float64)
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape``, undoing numpy broadcasting.
+
+    When a forward op broadcast an operand of ``shape`` up to the result
+    shape, the gradient flowing back must be reduced over the broadcast
+    axes so it matches the operand again.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum over leading axes that were added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were size-1 in the original shape.
+    axes = tuple(i for i, n in enumerate(shape) if n == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A numpy array with reverse-mode autograd.
+
+    Parameters
+    ----------
+    data:
+        Array-like payload; copied to float64 if necessary.
+    requires_grad:
+        Whether gradients should be accumulated into :attr:`grad` during
+        :meth:`backward`.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "op")
+
+    def __init__(
+        self,
+        data: object,
+        requires_grad: bool = False,
+        _parents: Sequence["Tensor"] = (),
+        op: str = "",
+    ) -> None:
+        self.data = _as_array(data)
+        self.grad: np.ndarray | None = None
+        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self._backward: Callable[[np.ndarray], None] | None = None
+        self._parents: tuple[Tensor, ...] = tuple(_parents) if self.requires_grad else ()
+        self.op = op
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor({np.array2string(self.data, precision=4)}{grad_flag})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        """Return the value of a single-element tensor as a float."""
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut from the tape."""
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient."""
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # Autograd machinery
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _lift(value: object) -> "Tensor":
+        """Wrap non-tensor operands as constant tensors."""
+        return value if isinstance(value, Tensor) else Tensor(value)
+
+    def _make(
+        self,
+        data: np.ndarray,
+        parents: Sequence["Tensor"],
+        backward: Callable[[np.ndarray], None],
+        op: str,
+    ) -> "Tensor":
+        """Build a result tensor, attaching the backward closure if needed."""
+        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires, _parents=parents, op=op)
+        if requires:
+            out._backward = backward
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        """Add ``grad`` into this tensor's gradient buffer."""
+        grad = _unbroadcast(grad, self.data.shape)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad += grad
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Run reverse-mode differentiation from this tensor.
+
+        Parameters
+        ----------
+        grad:
+            Gradient of the final objective with respect to this tensor.
+            Defaults to ones, which is only meaningful for scalar outputs.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("backward() without an explicit gradient requires a scalar output")
+            grad = np.ones_like(self.data)
+        else:
+            grad = _as_array(grad)
+
+        # Topological order over the tape (iterative to avoid recursion limits).
+        order: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if parent.requires_grad and id(parent) not in visited:
+                    stack.append((parent, False))
+
+        self._accumulate(grad)
+        for node in reversed(order):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other: object) -> "Tensor":
+        other = self._lift(other)
+        out_data = self.data + other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad)
+            if other.requires_grad:
+                other._accumulate(grad)
+
+        return self._make(out_data, (self, other), backward, "add")
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(-grad)
+
+        return self._make(-self.data, (self,), backward, "neg")
+
+    def __sub__(self, other: object) -> "Tensor":
+        return self + (-self._lift(other))
+
+    def __rsub__(self, other: object) -> "Tensor":
+        return self._lift(other) + (-self)
+
+    def __mul__(self, other: object) -> "Tensor":
+        other = self._lift(other)
+        out_data = self.data * other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * other.data)
+            if other.requires_grad:
+                other._accumulate(grad * self.data)
+
+        return self._make(out_data, (self, other), backward, "mul")
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: object) -> "Tensor":
+        other = self._lift(other)
+        out_data = self.data / other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad / other.data)
+            if other.requires_grad:
+                other._accumulate(-grad * self.data / (other.data**2))
+
+        return self._make(out_data, (self, other), backward, "div")
+
+    def __rtruediv__(self, other: object) -> "Tensor":
+        return self._lift(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("Tensor.__pow__ supports scalar exponents only")
+        out_data = self.data**exponent
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * exponent * self.data ** (exponent - 1))
+
+        return self._make(out_data, (self,), backward, "pow")
+
+    def __matmul__(self, other: object) -> "Tensor":
+        other = self._lift(other)
+        out_data = self.data @ other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                if other.data.ndim == 1:
+                    self._accumulate(np.outer(grad, other.data) if self.data.ndim == 2 else grad * other.data)
+                else:
+                    self._accumulate(grad @ np.swapaxes(other.data, -1, -2))
+            if other.requires_grad:
+                if self.data.ndim == 1:
+                    other._accumulate(np.outer(self.data, grad) if other.data.ndim == 2 else grad * self.data)
+                else:
+                    other._accumulate(np.swapaxes(self.data, -1, -2) @ grad)
+
+        return self._make(out_data, (self, other), backward, "matmul")
+
+    # ------------------------------------------------------------------
+    # Elementwise nonlinearities
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * out_data)
+
+        return self._make(out_data, (self,), backward, "exp")
+
+    def log(self) -> "Tensor":
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad / self.data)
+
+        return self._make(np.log(self.data), (self,), backward, "log")
+
+    def sqrt(self) -> "Tensor":
+        out_data = np.sqrt(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * 0.5 / out_data)
+
+        return self._make(out_data, (self,), backward, "sqrt")
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * (1.0 - out_data**2))
+
+        return self._make(out_data, (self,), backward, "tanh")
+
+    def sigmoid(self) -> "Tensor":
+        # Numerically stable logistic.
+        out_data = np.where(
+            self.data >= 0,
+            1.0 / (1.0 + np.exp(-np.clip(self.data, -500, 500))),
+            np.exp(np.clip(self.data, -500, 500)) / (1.0 + np.exp(np.clip(self.data, -500, 500))),
+        )
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * out_data * (1.0 - out_data))
+
+        return self._make(out_data, (self,), backward, "sigmoid")
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * mask)
+
+        return self._make(self.data * mask, (self,), backward, "relu")
+
+    def softplus(self) -> "Tensor":
+        """log(1 + exp(x)), computed stably; maps reals to positives."""
+        out_data = np.logaddexp(0.0, self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                sig = np.where(
+                    self.data >= 0,
+                    1.0 / (1.0 + np.exp(-np.clip(self.data, -500, 500))),
+                    np.exp(np.clip(self.data, -500, 500))
+                    / (1.0 + np.exp(np.clip(self.data, -500, 500))),
+                )
+                self._accumulate(grad * sig)
+
+        return self._make(out_data, (self,), backward, "softplus")
+
+    def abs(self) -> "Tensor":
+        sign = np.sign(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * sign)
+
+        return self._make(np.abs(self.data), (self,), backward, "abs")
+
+    def clip(self, low: float | None = None, high: float | None = None) -> "Tensor":
+        """Clamp values; gradient is passed through inside the active range."""
+        out_data = np.clip(self.data, low, high)
+        mask = np.ones_like(self.data)
+        if low is not None:
+            mask = mask * (self.data >= low)
+        if high is not None:
+            mask = mask * (self.data <= high)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * mask)
+
+        return self._make(out_data, (self,), backward, "clip")
+
+    def maximum(self, other: object) -> "Tensor":
+        """Elementwise max; at ties the gradient goes to ``self``."""
+        other = self._lift(other)
+        take_self = self.data >= other.data
+        out_data = np.where(take_self, self.data, other.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * take_self)
+            if other.requires_grad:
+                other._accumulate(grad * ~take_self)
+
+        return self._make(out_data, (self, other), backward, "maximum")
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            g = grad
+            if axis is not None and not keepdims:
+                axes = (axis,) if isinstance(axis, int) else axis
+                g = np.expand_dims(g, tuple(a % self.data.ndim for a in axes))
+            self._accumulate(np.broadcast_to(g, self.data.shape))
+
+        return self._make(out_data, (self,), backward, "sum")
+
+    def mean(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = (axis,) if isinstance(axis, int) else axis
+            count = int(np.prod([self.data.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis: int | None = None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            g = grad
+            expanded = out_data
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis)
+                expanded = np.expand_dims(out_data, axis)
+            mask = self.data == expanded
+            # Split gradient evenly among tied maxima.
+            counts = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
+            self._accumulate(np.broadcast_to(g, self.data.shape) * mask / counts)
+
+        return self._make(out_data, (self,), backward, "max")
+
+    def var(self, axis: int | None = None, keepdims: bool = False) -> "Tensor":
+        """Population variance (ddof=0), differentiable."""
+        mu = self.mean(axis=axis, keepdims=True)
+        centered = self - mu
+        return (centered * centered).mean(axis=axis, keepdims=keepdims)
+
+    # ------------------------------------------------------------------
+    # Shape manipulation
+    # ------------------------------------------------------------------
+    def reshape(self, *shape: int) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out_data = self.data.reshape(shape)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad.reshape(self.data.shape))
+
+        return self._make(out_data, (self,), backward, "reshape")
+
+    def transpose(self, *axes: int) -> "Tensor":
+        order = axes if axes else tuple(reversed(range(self.data.ndim)))
+        out_data = self.data.transpose(order)
+        inverse = np.argsort(order)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad.transpose(inverse))
+
+        return self._make(out_data, (self,), backward, "transpose")
+
+    def swapaxes(self, a: int, b: int) -> "Tensor":
+        order = list(range(self.data.ndim))
+        order[a], order[b] = order[b], order[a]
+        return self.transpose(*order)
+
+    def __getitem__(self, index: object) -> "Tensor":
+        out_data = self.data[index]
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                full = np.zeros_like(self.data)
+                np.add.at(full, index, grad)
+                self._accumulate(full)
+
+        return self._make(out_data, (self,), backward, "getitem")
+
+    @staticmethod
+    def concat(tensors: Iterable["Tensor"], axis: int = 0) -> "Tensor":
+        tensors = [Tensor._lift(t) for t in tensors]
+        out_data = np.concatenate([t.data for t in tensors], axis=axis)
+        sizes = [t.data.shape[axis] for t in tensors]
+        offsets = np.cumsum([0] + sizes)
+
+        def backward(grad: np.ndarray) -> None:
+            for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+                if tensor.requires_grad:
+                    slicer: list[object] = [slice(None)] * grad.ndim
+                    slicer[axis] = slice(start, stop)
+                    tensor._accumulate(grad[tuple(slicer)])
+
+        proto = tensors[0]
+        return proto._make(out_data, tensors, backward, "concat")
+
+    @staticmethod
+    def stack(tensors: Iterable["Tensor"], axis: int = 0) -> "Tensor":
+        tensors = [Tensor._lift(t) for t in tensors]
+        out_data = np.stack([t.data for t in tensors], axis=axis)
+
+        def backward(grad: np.ndarray) -> None:
+            pieces = np.moveaxis(grad, axis, 0)
+            for tensor, piece in zip(tensors, pieces):
+                if tensor.requires_grad:
+                    tensor._accumulate(piece)
+
+        proto = tensors[0]
+        return proto._make(out_data, tensors, backward, "stack")
+
+    # ------------------------------------------------------------------
+    # Composite ops
+    # ------------------------------------------------------------------
+    def softmax(self, axis: int = -1) -> "Tensor":
+        shifted = self - Tensor(self.data.max(axis=axis, keepdims=True))
+        exp = shifted.exp()
+        return exp / exp.sum(axis=axis, keepdims=True)
+
+    def log_softmax(self, axis: int = -1) -> "Tensor":
+        shifted = self - Tensor(self.data.max(axis=axis, keepdims=True))
+        return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()

@@ -1,0 +1,30 @@
+"""Disaggregated cloud-database cluster simulator.
+
+Substitutes for the production environment behind the paper's
+experiments: an event-driven cluster where compute nodes attach to
+shared storage with seconds-scale warm-up (Figure 5), on which scaling
+plans are replayed against actual workload traces.
+"""
+
+from .cluster import DisaggregatedCluster
+from .engine import Event, EventQueue, Simulation
+from .node import ComputeNode, NodeState
+from .qos import MMcQueue, QoSReport, evaluate_qos
+from .replay import IntervalOutcome, ReplayResult, replay_plan
+from .storage import SharedStorage
+
+__all__ = [
+    "Simulation",
+    "Event",
+    "EventQueue",
+    "SharedStorage",
+    "ComputeNode",
+    "NodeState",
+    "DisaggregatedCluster",
+    "replay_plan",
+    "ReplayResult",
+    "IntervalOutcome",
+    "MMcQueue",
+    "QoSReport",
+    "evaluate_qos",
+]

@@ -1,0 +1,155 @@
+"""The disaggregated database cluster (Figure 4).
+
+Compute nodes attach to a :class:`SharedStorage` pool and begin serving
+after a seconds-scale warm-up; scale-in detaches nodes instantly (their
+in-flight work drains within the same instant at this model's
+granularity).  The cluster exposes exactly what the auto-scaling problem
+needs: how many nodes are *serving* at a given time and the node-seconds
+consumed.
+"""
+
+from __future__ import annotations
+
+from .engine import Simulation
+from .node import ComputeNode, NodeState
+from .storage import SharedStorage
+
+__all__ = ["DisaggregatedCluster"]
+
+
+class DisaggregatedCluster:
+    """A pool of compute nodes over shared storage.
+
+    Parameters
+    ----------
+    simulation:
+        The event engine driving time.
+    storage:
+        Shared storage pool (supplies warm-up durations).
+    initial_nodes:
+        Nodes serving at t=0 (pre-warmed).
+    """
+
+    def __init__(
+        self,
+        simulation: Simulation,
+        storage: SharedStorage,
+        initial_nodes: int = 1,
+    ) -> None:
+        if initial_nodes < 1:
+            raise ValueError("cluster needs at least one initial node")
+        self.simulation = simulation
+        self.storage = storage
+        self._nodes: list[ComputeNode] = []
+        self._next_id = 0
+        self.scale_out_events = 0
+        self.scale_in_events = 0
+        self.failures = 0
+        for _ in range(initial_nodes):
+            node = ComputeNode(
+                node_id=self._next_id, attached_at=simulation.now, warmup_seconds=0.0
+            )
+            node.state = NodeState.ACTIVE
+            self._nodes.append(node)
+            self._next_id += 1
+
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> list[ComputeNode]:
+        return list(self._nodes)
+
+    def serving_nodes(self) -> int:
+        """Nodes able to take queries right now."""
+        now = self.simulation.now
+        return sum(1 for node in self._nodes if node.is_serving(now))
+
+    def attached_nodes(self) -> int:
+        """Nodes attached (serving or warming) — what gets billed."""
+        return sum(1 for node in self._nodes if node.state is not NodeState.RELEASED)
+
+    # ------------------------------------------------------------------
+    def scale_to(self, target: int) -> None:
+        """Scale out/in so that ``target`` nodes are (or will be) attached.
+
+        Scale-out attaches new nodes which serve only after warm-up;
+        scale-in releases the most recently attached nodes first
+        (LIFO — the coldest caches go first).
+        """
+        if target < 1:
+            raise ValueError("target must be >= 1")
+        current = self.attached_nodes()
+        if target > current:
+            for _ in range(target - current):
+                self._attach_node()
+            self.scale_out_events += 1
+        elif target < current:
+            self._release_nodes(current - target)
+            self.scale_in_events += 1
+
+    def _attach_node(self) -> None:
+        warmup = self.storage.warmup_seconds()
+        node = ComputeNode(
+            node_id=self._next_id,
+            attached_at=self.simulation.now,
+            warmup_seconds=warmup,
+        )
+        self._next_id += 1
+        self._nodes.append(node)
+
+        def finish_warmup(n: ComputeNode = node) -> None:
+            # A node released mid-warm-up never activates.
+            if n.state is NodeState.WARMING:
+                n.activate(self.simulation.now)
+
+        self.simulation.schedule(warmup, finish_warmup, label=f"warmup-{node.node_id}")
+
+    def _release_nodes(self, count: int) -> None:
+        alive = [n for n in self._nodes if n.state is not NodeState.RELEASED]
+        if count >= len(alive):
+            raise ValueError("cannot release every node")
+        for node in sorted(alive, key=lambda n: n.attached_at, reverse=True)[:count]:
+            node.release(self.simulation.now)
+
+    # ------------------------------------------------------------------
+    # Failure injection
+    # ------------------------------------------------------------------
+    def fail_node(self, node_id: int | None = None, replace: bool = True) -> ComputeNode:
+        """Abruptly lose a node (hardware failure / preemption).
+
+        The failed node stops serving immediately.  With ``replace=True``
+        (the realistic default — the control plane notices and re-attaches)
+        a replacement starts warming right away, so the cluster serves
+        one node short until the replacement's warm-up completes.
+
+        Parameters
+        ----------
+        node_id:
+            Specific node to kill; default kills the oldest serving node
+            (the one with the warmest cache — worst case).
+
+        Returns
+        -------
+        The failed node.
+        """
+        now = self.simulation.now
+        serving = [n for n in self._nodes if n.is_serving(now)]
+        if not serving:
+            raise RuntimeError("no serving node to fail")
+        if node_id is None:
+            victim = min(serving, key=lambda n: n.attached_at)
+        else:
+            matches = [n for n in serving if n.node_id == node_id]
+            if not matches:
+                raise ValueError(f"node {node_id} is not serving")
+            victim = matches[0]
+        victim.release(now)
+        self.failures += 1
+        if replace:
+            self._attach_node()
+        return victim
+
+    # ------------------------------------------------------------------
+    def total_node_seconds(self) -> float:
+        """Billed node-seconds up to the current simulation time."""
+        now = self.simulation.now
+        return sum(node.node_seconds(now) for node in self._nodes)

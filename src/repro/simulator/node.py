@@ -1,0 +1,75 @@
+"""Compute-node lifecycle for the disaggregated cluster."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+__all__ = ["NodeState", "ComputeNode"]
+
+
+class NodeState(Enum):
+    """Lifecycle of a compute node attached to shared storage."""
+
+    WARMING = "warming"  # attached, rebuilding in-memory components
+    ACTIVE = "active"  # serving queries
+    RELEASED = "released"  # detached and returned to the pool
+
+
+@dataclass
+class ComputeNode:
+    """One compute node.
+
+    Tracks the timestamps of its lifecycle transitions so the cluster
+    can account node-seconds and warm-up overlap exactly.
+    """
+
+    node_id: int
+    attached_at: float
+    warmup_seconds: float
+    state: NodeState = NodeState.WARMING
+    released_at: float | None = field(default=None)
+
+    @property
+    def active_at(self) -> float:
+        """Instant this node finished warming and began serving."""
+        return self.attached_at + self.warmup_seconds
+
+    def activate(self, now: float) -> None:
+        if self.state is not NodeState.WARMING:
+            raise RuntimeError(f"node {self.node_id} cannot activate from {self.state}")
+        if now + 1e-9 < self.active_at:
+            raise RuntimeError(
+                f"node {self.node_id} warm-up not complete at t={now} "
+                f"(ready at {self.active_at})"
+            )
+        self.state = NodeState.ACTIVE
+
+    def release(self, now: float) -> None:
+        if self.state is NodeState.RELEASED:
+            raise RuntimeError(f"node {self.node_id} already released")
+        self.state = NodeState.RELEASED
+        self.released_at = now
+
+    def is_serving(self, now: float) -> bool:
+        """Whether the node can take queries at instant ``now``."""
+        if self.state is NodeState.RELEASED:
+            return False
+        return now + 1e-9 >= self.active_at
+
+    def node_seconds(self, until: float) -> float:
+        """Billed seconds (attach to release/``until``) — warm-up bills too."""
+        end = self.released_at if self.released_at is not None else until
+        return max(0.0, min(end, until) - self.attached_at)
+
+    def serving_seconds(self, start: float, stop: float) -> float:
+        """Seconds within [start, stop) during which this node served.
+
+        The serving window is [active_at, released_at); a node released
+        while warming never serves.
+        """
+        serve_start = self.active_at
+        serve_stop = self.released_at if self.released_at is not None else float("inf")
+        if serve_stop <= serve_start:
+            return 0.0
+        return max(0.0, min(stop, serve_stop) - max(start, serve_start))

@@ -1,0 +1,185 @@
+"""Quality-of-service estimation on top of provisioning decisions.
+
+Section V-B of the paper deliberately stops at resource thresholds and
+leaves QoS modelling ("performance modeling is a promising approach") to
+future work.  This module implements that extension: an M/M/c queueing
+model maps (aggregate workload, allocated nodes) to query-latency
+estimates, so scaling strategies can additionally be scored against a
+latency SLO — e.g. "p99 response time below 50 ms".
+
+Model
+-----
+Aggregate workload ``w`` (percent-of-one-node units, as produced by the
+trace generators) is interpreted as offered load ``a = w / 100`` Erlangs:
+a workload of 300 keeps three nodes fully busy.  Each of the ``c``
+allocated nodes serves queries at rate ``mu`` (queries/second), so the
+arrival rate is ``lambda = a * mu``.  Standard M/M/c results then give
+the Erlang-C waiting probability, waiting-time distribution and response
+times.  The exponential waiting-tail is exact for M/M/c; response-time
+quantiles use wait quantile + mean service time, a standard and slightly
+conservative approximation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.plan import ScalingPlan
+
+__all__ = ["MMcQueue", "QoSReport", "evaluate_qos"]
+
+
+@dataclass(frozen=True)
+class MMcQueue:
+    """An M/M/c queue in steady state.
+
+    Parameters
+    ----------
+    arrival_rate:
+        lambda, queries per second across the cluster.
+    service_rate:
+        mu, queries per second a single node can serve.
+    servers:
+        c, the number of allocated nodes.
+    """
+
+    arrival_rate: float
+    service_rate: float
+    servers: int
+
+    def __post_init__(self) -> None:
+        if self.arrival_rate < 0 or self.service_rate <= 0 or self.servers < 1:
+            raise ValueError("invalid queue parameters")
+
+    @property
+    def offered_load(self) -> float:
+        """a = lambda / mu, in Erlangs."""
+        return self.arrival_rate / self.service_rate
+
+    @property
+    def utilization(self) -> float:
+        """rho = a / c; >= 1 means the queue is unstable."""
+        return self.offered_load / self.servers
+
+    @property
+    def is_stable(self) -> bool:
+        return self.utilization < 1.0
+
+    def erlang_c(self) -> float:
+        """Probability an arriving query must wait (Erlang-C formula).
+
+        Computed with a numerically stable iterative scheme (no explicit
+        factorials), valid for hundreds of servers.
+        """
+        if not self.is_stable:
+            return 1.0
+        a, c = self.offered_load, self.servers
+        if a == 0.0:
+            return 0.0
+        # inverse of Erlang-B via the standard recurrence, then convert.
+        inv_b = 1.0
+        for k in range(1, c + 1):
+            inv_b = 1.0 + inv_b * k / a
+        b = 1.0 / inv_b
+        rho = self.utilization
+        return b / (1.0 - rho + rho * b)
+
+    def mean_wait(self) -> float:
+        """Expected queueing delay W_q in seconds (inf if unstable)."""
+        if not self.is_stable:
+            return math.inf
+        c, mu = self.servers, self.service_rate
+        return self.erlang_c() / (c * mu - self.arrival_rate)
+
+    def mean_response(self) -> float:
+        """Expected response time W = W_q + 1/mu."""
+        return self.mean_wait() + 1.0 / self.service_rate
+
+    def wait_quantile(self, q: float) -> float:
+        """Quantile of the waiting-time distribution.
+
+        P(W_q > t) = C * exp(-(c mu - lambda) t) with C the Erlang-C
+        probability, so the q-quantile is 0 when q <= 1 - C and
+        logarithmic otherwise.
+        """
+        if not 0.0 < q < 1.0:
+            raise ValueError("quantile must be in (0, 1)")
+        if not self.is_stable:
+            return math.inf
+        c_prob = self.erlang_c()
+        tail = 1.0 - q
+        if tail >= c_prob:
+            return 0.0
+        rate = self.servers * self.service_rate - self.arrival_rate
+        return math.log(c_prob / tail) / rate
+
+    def response_quantile(self, q: float) -> float:
+        """Approximate response-time quantile: wait quantile + mean service."""
+        wait = self.wait_quantile(q)
+        return wait + 1.0 / self.service_rate if math.isfinite(wait) else math.inf
+
+
+@dataclass
+class QoSReport:
+    """Latency outcomes of a plan replayed under a latency SLO."""
+
+    slo_seconds: float
+    mean_response: list[float] = field(default_factory=list)
+    p99_response: list[float] = field(default_factory=list)
+    unstable_intervals: int = 0
+
+    @property
+    def slo_violation_rate(self) -> float:
+        """Fraction of intervals whose p99 response exceeds the SLO."""
+        if not self.p99_response:
+            return 0.0
+        violations = sum(
+            1 for p99 in self.p99_response if not p99 <= self.slo_seconds
+        )
+        return violations / len(self.p99_response)
+
+    @property
+    def mean_p99(self) -> float:
+        """Mean p99 over stable intervals (inf-free summary)."""
+        finite = [p for p in self.p99_response if math.isfinite(p)]
+        return float(np.mean(finite)) if finite else math.inf
+
+
+def evaluate_qos(
+    plan: ScalingPlan,
+    actual_workload: np.ndarray,
+    service_rate: float = 100.0,
+    slo_seconds: float = 0.05,
+    percent_per_node: float = 100.0,
+) -> QoSReport:
+    """Score a plan's latency under the M/M/c model, interval by interval.
+
+    Parameters
+    ----------
+    service_rate:
+        mu — queries/second per node (default 100/s).
+    slo_seconds:
+        p99 response-time target.
+    percent_per_node:
+        Workload units corresponding to one fully-busy node (100 for the
+        percent-CPU traces in this repository).
+    """
+    actual_workload = np.asarray(actual_workload, dtype=np.float64)
+    if actual_workload.shape != plan.nodes.shape:
+        raise ValueError("workload and plan horizons differ")
+    report = QoSReport(slo_seconds=slo_seconds)
+    for nodes, workload in zip(plan.nodes, actual_workload):
+        offered = workload / percent_per_node
+        queue = MMcQueue(
+            arrival_rate=offered * service_rate,
+            service_rate=service_rate,
+            servers=int(nodes),
+        )
+        if not queue.is_stable:
+            report.unstable_intervals += 1
+        report.mean_response.append(queue.mean_response())
+        report.p99_response.append(queue.response_quantile(0.99))
+    return report

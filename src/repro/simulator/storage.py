@@ -1,0 +1,66 @@
+"""Shared (disaggregated) storage layer.
+
+In a storage-disaggregated database (Aurora, PolarDB Serverless, ...)
+data lives in a shared pool; a new compute node does not migrate data —
+it attaches to the pool and rebuilds its *in-memory* components (buffer
+pool, dictionary caches) from checkpoints.  The paper's Figure 5 reports
+that this warm-up "only takes a few seconds".
+
+:class:`SharedStorage` models exactly that: warm-up latency is a small
+fixed attach cost plus checkpoint size divided by rebuild bandwidth,
+with optional jitter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SharedStorage"]
+
+
+class SharedStorage:
+    """The storage pool every compute node attaches to.
+
+    Parameters
+    ----------
+    checkpoint_gb:
+        Size of the in-memory state rebuilt on attach.
+    rebuild_bandwidth_gbps:
+        Checkpoint read/replay throughput (GB/s).
+    attach_latency_s:
+        Fixed control-plane cost of registering a node with the pool.
+    jitter_fraction:
+        Uniform +/- fractional noise on each warm-up (0 disables).
+    """
+
+    def __init__(
+        self,
+        checkpoint_gb: float = 4.0,
+        rebuild_bandwidth_gbps: float = 1.2,
+        attach_latency_s: float = 0.8,
+        jitter_fraction: float = 0.1,
+        seed: int = 0,
+    ) -> None:
+        if checkpoint_gb < 0 or rebuild_bandwidth_gbps <= 0 or attach_latency_s < 0:
+            raise ValueError("invalid storage parameters")
+        if not 0.0 <= jitter_fraction < 1.0:
+            raise ValueError("jitter_fraction must be in [0, 1)")
+        self.checkpoint_gb = checkpoint_gb
+        self.rebuild_bandwidth_gbps = rebuild_bandwidth_gbps
+        self.attach_latency_s = attach_latency_s
+        self.jitter_fraction = jitter_fraction
+        self._rng = np.random.default_rng(seed)
+        self.total_attaches = 0
+
+    def expected_warmup_seconds(self) -> float:
+        """Deterministic warm-up time (no jitter) — Figure 5's quantity."""
+        return self.attach_latency_s + self.checkpoint_gb / self.rebuild_bandwidth_gbps
+
+    def warmup_seconds(self) -> float:
+        """One sampled warm-up duration (with jitter)."""
+        self.total_attaches += 1
+        base = self.expected_warmup_seconds()
+        if self.jitter_fraction == 0.0:
+            return base
+        factor = 1.0 + self._rng.uniform(-self.jitter_fraction, self.jitter_fraction)
+        return base * factor

@@ -1,0 +1,149 @@
+"""Alibaba-cluster-style workload traces.
+
+The real ``cluster-trace-v2018`` publishes per-machine resource usage
+(``machine_usage.csv``: machine id, timestamp, cpu %, mem %, ...).  The
+paper samples a subset of machines and aggregates their usage into one
+series per resource at 10-minute intervals.
+
+:func:`alibaba_like_trace` synthesises a series with that trace's
+well-documented shape: a pronounced diurnal cycle with a secondary
+business-hours harmonic, a weekly dip, moderate bursts, and a stable
+baseline around 40% CPU.  :func:`load_machine_usage_csv` ingests the real
+file format for users who have the trace.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from .dataset import DEFAULT_INTERVAL_SECONDS, Trace, aggregate
+from .synthetic import (
+    STEPS_PER_DAY,
+    STEPS_PER_WEEK,
+    BurstComponent,
+    NoiseComponent,
+    SeasonalComponent,
+    SpikeComponent,
+    SyntheticWorkload,
+    TrendComponent,
+)
+
+__all__ = ["alibaba_like_trace", "alibaba_workload_model", "load_machine_usage_csv"]
+
+
+def alibaba_workload_model(metric: str = "cpu") -> SyntheticWorkload:
+    """The component mix for an Alibaba-like series.
+
+    Values are *aggregate* demand over the sampled machine subset, in
+    units of percent-of-one-node (the paper aggregates usage across the
+    sample, then sizes compute nodes against a per-node threshold theta,
+    so plans span tens of nodes).  CPU is the paper's scaling metric;
+    memory and disk variants are provided because the dataset includes
+    them.
+    """
+    if metric == "cpu":
+        return SyntheticWorkload(
+            base_level=2000.0,
+            floor=50.0,
+            components=[
+                SeasonalComponent(period=STEPS_PER_DAY, harmonics={1: 600.0, 2: 200.0}),
+                SeasonalComponent(period=STEPS_PER_WEEK, harmonics={1: 250.0}, phase=0.7),
+                TrendComponent(walk_std=4.0),
+                BurstComponent(
+                    rate_per_step=0.012, magnitude=450.0, decay=0.85,
+                    rate_modulation_period=STEPS_PER_DAY,
+                    rate_modulation_strength=0.95,
+                ),
+                SpikeComponent(
+                    rate_per_step=0.005, magnitude=750.0,
+                    rate_modulation_period=STEPS_PER_DAY,
+                    rate_modulation_strength=0.95,
+                ),
+                NoiseComponent(
+                    std=80.0, volatility_period=STEPS_PER_DAY, volatility_strength=0.6
+                ),
+            ],
+        )
+    if metric == "memory":
+        return SyntheticWorkload(
+            base_level=3000.0,
+            floor=250.0,
+            components=[
+                SeasonalComponent(period=STEPS_PER_DAY, harmonics={1: 300.0}),
+                TrendComponent(walk_std=2.5),
+                NoiseComponent(std=50.0),
+            ],
+        )
+    if metric == "disk":
+        return SyntheticWorkload(
+            base_level=1500.0,
+            floor=0.0,
+            components=[
+                SeasonalComponent(period=STEPS_PER_DAY, harmonics={1: 200.0, 3: 75.0}),
+                BurstComponent(rate_per_step=0.02, magnitude=300.0),
+                NoiseComponent(std=100.0),
+            ],
+        )
+    raise ValueError(f"unknown metric {metric!r}; expected cpu, memory, or disk")
+
+
+def alibaba_like_trace(
+    num_steps: int = 4 * STEPS_PER_WEEK,
+    seed: int = 0,
+    metric: str = "cpu",
+) -> Trace:
+    """Generate an Alibaba-like utilization trace.
+
+    Parameters
+    ----------
+    num_steps:
+        Length in 10-minute steps (default: four weeks, enough for the
+        paper's 72-step context/horizon experiments with a test split).
+    seed:
+        Generator seed; the same seed reproduces the trace exactly.
+    metric:
+        ``"cpu"`` (default, the paper's scaling metric), ``"memory"``,
+        or ``"disk"``.
+    """
+    series = alibaba_workload_model(metric).generate(num_steps, seed=seed)
+    return Trace(name=f"alibaba-{metric}", values=series, metric=metric)
+
+
+def load_machine_usage_csv(
+    path: str | Path,
+    machine_ids: set[str] | None = None,
+    interval_seconds: int = DEFAULT_INTERVAL_SECONDS,
+) -> Trace:
+    """Load the real Alibaba ``machine_usage.csv`` format.
+
+    Columns (no header): machine_id, time_stamp, cpu_util_percent,
+    mem_util_percent, mem_gps, mkpi, net_in, net_out, disk_io_percent.
+    CPU utilization is averaged over the sampled machines, then
+    aggregated to ``interval_seconds`` bins — the paper's construction.
+
+    Parameters
+    ----------
+    machine_ids:
+        Optional subset of machines to keep ("sampling a subset of
+        machines"); None keeps all.
+    """
+    timestamps: list[float] = []
+    values: list[float] = []
+    with open(path, newline="") as handle:
+        for row in csv.reader(handle):
+            if len(row) < 3:
+                continue
+            machine, stamp, cpu = row[0], row[1], row[2]
+            if machine_ids is not None and machine not in machine_ids:
+                continue
+            if not cpu:
+                continue
+            timestamps.append(float(stamp))
+            values.append(float(cpu))
+    if not values:
+        raise ValueError(f"no usable records found in {path}")
+    series = aggregate(np.asarray(timestamps), np.asarray(values), interval_seconds)
+    return Trace(name="alibaba-cpu", values=series, interval_seconds=interval_seconds)

@@ -1,0 +1,150 @@
+"""Anomaly injection for stress-testing auto-scaling strategies.
+
+The paper motivates robustness with "workload variations, outliers, and
+unexpected events".  These utilities inject controlled versions of the
+classic incident shapes into a trace so a strategy's behaviour under
+each can be measured in isolation:
+
+* :func:`inject_level_shift` — a tenant migration / launch: the base
+  load steps up (or down) permanently from a given instant;
+* :func:`inject_flash_crowd` — a marketing event: load ramps up sharply,
+  plateaus, and decays back;
+* :func:`inject_outage_dip` — an upstream outage: traffic collapses for
+  a window, then returns (often with a retry surge);
+* :func:`inject_noise_burst` — a stretch of elevated variance without a
+  level change (what the uncertainty-aware policy should detect).
+
+All functions are pure: they return a new :class:`Trace`, never mutate
+the input, and take explicit magnitudes so experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .dataset import Trace
+
+__all__ = [
+    "inject_level_shift",
+    "inject_flash_crowd",
+    "inject_outage_dip",
+    "inject_noise_burst",
+]
+
+
+def _check_window(trace: Trace, start: int, duration: int | None = None) -> None:
+    if not 0 <= start < len(trace):
+        raise ValueError(f"start {start} outside trace of length {len(trace)}")
+    if duration is not None:
+        if duration < 1:
+            raise ValueError("duration must be >= 1")
+        if start + duration > len(trace):
+            raise ValueError(
+                f"window [{start}, {start + duration}) exceeds trace length "
+                f"{len(trace)}"
+            )
+
+
+def inject_level_shift(trace: Trace, start: int, magnitude: float) -> Trace:
+    """Permanent additive step of ``magnitude`` from ``start`` onward.
+
+    Negative magnitudes model capacity being freed; the result is floored
+    at zero.
+    """
+    _check_window(trace, start)
+    values = trace.values.copy()
+    values[start:] = np.maximum(values[start:] + magnitude, 0.0)
+    return Trace(
+        f"{trace.name}+shift", values, trace.interval_seconds, trace.metric
+    )
+
+
+def inject_flash_crowd(
+    trace: Trace,
+    start: int,
+    peak_magnitude: float,
+    ramp_steps: int = 6,
+    hold_steps: int = 12,
+    decay_steps: int = 18,
+) -> Trace:
+    """Ramp-plateau-decay surge (a flash crowd / campaign spike).
+
+    The surge rises linearly over ``ramp_steps``, holds at
+    ``peak_magnitude`` for ``hold_steps``, and decays exponentially to
+    ~zero over ``decay_steps``.
+    """
+    if peak_magnitude <= 0:
+        raise ValueError("peak_magnitude must be positive")
+    duration = ramp_steps + hold_steps + decay_steps
+    _check_window(trace, start, duration)
+    surge = np.concatenate(
+        [
+            np.linspace(0.0, peak_magnitude, max(ramp_steps, 1), endpoint=False),
+            np.full(hold_steps, peak_magnitude),
+            peak_magnitude * np.exp(-3.0 * np.arange(decay_steps) / max(decay_steps, 1)),
+        ]
+    )
+    values = trace.values.copy()
+    values[start : start + len(surge)] += surge
+    return Trace(
+        f"{trace.name}+flashcrowd", values, trace.interval_seconds, trace.metric
+    )
+
+
+def inject_outage_dip(
+    trace: Trace,
+    start: int,
+    duration: int,
+    residual_fraction: float = 0.1,
+    retry_surge_fraction: float = 0.5,
+    surge_steps: int = 3,
+) -> Trace:
+    """Traffic collapse followed by an optional retry surge.
+
+    During the outage the workload drops to ``residual_fraction`` of its
+    original value; on recovery, ``retry_surge_fraction`` of the dropped
+    load returns on top of normal traffic for ``surge_steps`` intervals
+    (clients retrying).
+    """
+    if not 0.0 <= residual_fraction <= 1.0:
+        raise ValueError("residual_fraction must be in [0, 1]")
+    if retry_surge_fraction < 0:
+        raise ValueError("retry_surge_fraction must be >= 0")
+    _check_window(trace, start, duration)
+    values = trace.values.copy()
+    dropped = values[start : start + duration] * (1.0 - residual_fraction)
+    values[start : start + duration] -= dropped
+    if retry_surge_fraction > 0 and surge_steps > 0:
+        surge_start = start + duration
+        surge_stop = min(surge_start + surge_steps, len(values))
+        if surge_stop > surge_start:
+            surge_total = dropped.sum() * retry_surge_fraction
+            values[surge_start:surge_stop] += surge_total / (surge_stop - surge_start)
+    return Trace(
+        f"{trace.name}+outage", values, trace.interval_seconds, trace.metric
+    )
+
+
+def inject_noise_burst(
+    trace: Trace,
+    start: int,
+    duration: int,
+    extra_std: float,
+    seed: int = 0,
+) -> Trace:
+    """A window of elevated variance with unchanged mean.
+
+    The canonical case for the uncertainty-aware policy: nothing about
+    the level changes, but forecast confidence should drop.
+    """
+    if extra_std <= 0:
+        raise ValueError("extra_std must be positive")
+    _check_window(trace, start, duration)
+    rng = np.random.default_rng(seed)
+    values = trace.values.copy()
+    values[start : start + duration] = np.maximum(
+        values[start : start + duration] + rng.normal(0.0, extra_std, duration), 0.0
+    )
+    return Trace(
+        f"{trace.name}+noiseburst", values, trace.interval_seconds, trace.metric
+    )

@@ -1,0 +1,179 @@
+"""Trace containers: aggregation, splitting, and normalization.
+
+A :class:`Trace` is the unit the rest of the library consumes — a named,
+regularly-sampled utilization series with its sampling interval.  The
+paper's pipeline is: raw cluster records -> aggregate to 10-minute bins
+-> chronological train/test split -> (internally normalised) forecaster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Trace", "StandardScaler", "aggregate", "DEFAULT_INTERVAL_SECONDS"]
+
+DEFAULT_INTERVAL_SECONDS = 600  # the paper's 10-minute aggregation
+
+
+@dataclass
+class Trace:
+    """A regularly-sampled workload series.
+
+    Attributes
+    ----------
+    name:
+        Identifier, e.g. ``"alibaba-cpu"``.
+    values:
+        Utilization values per interval.
+    interval_seconds:
+        Sampling period (600 s in the paper).
+    metric:
+        What the values measure (``"cpu"``, ``"memory"``, ``"disk"``).
+    """
+
+    name: str
+    values: np.ndarray
+    interval_seconds: int = DEFAULT_INTERVAL_SECONDS
+    metric: str = "cpu"
+
+    def __post_init__(self) -> None:
+        self.values = np.asarray(self.values, dtype=np.float64)
+        if self.values.ndim != 1:
+            raise ValueError("trace values must be 1-D")
+        if len(self.values) == 0:
+            raise ValueError("trace must not be empty")
+        if self.interval_seconds <= 0:
+            raise ValueError("interval_seconds must be positive")
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    @property
+    def duration_hours(self) -> float:
+        return len(self.values) * self.interval_seconds / 3600.0
+
+    def split(self, test_fraction: float = 0.2) -> tuple["Trace", "Trace"]:
+        """Chronological train/test split; test is the most recent part."""
+        if not 0.0 < test_fraction < 1.0:
+            raise ValueError("test_fraction must be in (0, 1)")
+        cut = int(len(self.values) * (1.0 - test_fraction))
+        if cut == 0 or cut == len(self.values):
+            raise ValueError("trace too short for the requested split")
+        train = Trace(f"{self.name}-train", self.values[:cut], self.interval_seconds, self.metric)
+        test = Trace(f"{self.name}-test", self.values[cut:], self.interval_seconds, self.metric)
+        return train, test
+
+    def slice(self, start: int, stop: int) -> "Trace":
+        """Sub-trace over [start, stop)."""
+        return Trace(self.name, self.values[start:stop], self.interval_seconds, self.metric)
+
+    def summary(self) -> dict[str, float]:
+        """Descriptive statistics used in trace validation tests."""
+        v = self.values
+        return {
+            "mean": float(v.mean()),
+            "std": float(v.std()),
+            "min": float(v.min()),
+            "max": float(v.max()),
+            "p50": float(np.quantile(v, 0.5)),
+            "p95": float(np.quantile(v, 0.95)),
+            "p99": float(np.quantile(v, 0.99)),
+        }
+
+
+def aggregate(
+    timestamps: np.ndarray,
+    values: np.ndarray,
+    interval_seconds: int = DEFAULT_INTERVAL_SECONDS,
+    reducer: str = "mean",
+) -> np.ndarray:
+    """Bin raw (timestamp, value) records into regular intervals.
+
+    This is the step the paper applies to raw cluster-trace records
+    ("we aggregate the data at 10-minute intervals").  Bins with no
+    records are filled by carrying the previous bin forward.
+
+    Parameters
+    ----------
+    timestamps:
+        Record times in seconds (any origin).
+    values:
+        Record values, same length as ``timestamps``.
+    interval_seconds:
+        Bin width.
+    reducer:
+        ``"mean"``, ``"max"``, or ``"sum"`` within each bin.
+    """
+    timestamps = np.asarray(timestamps, dtype=np.float64)
+    values = np.asarray(values, dtype=np.float64)
+    if timestamps.shape != values.shape:
+        raise ValueError("timestamps and values must have the same shape")
+    if len(timestamps) == 0:
+        raise ValueError("cannot aggregate empty records")
+    if reducer not in ("mean", "max", "sum"):
+        raise ValueError(f"unknown reducer {reducer!r}")
+
+    origin = timestamps.min()
+    bins = ((timestamps - origin) // interval_seconds).astype(np.int64)
+    num_bins = int(bins.max()) + 1
+    out = np.full(num_bins, np.nan)
+    order = np.argsort(bins, kind="stable")
+    sorted_bins = bins[order]
+    sorted_values = values[order]
+    boundaries = np.flatnonzero(np.diff(sorted_bins)) + 1
+    groups = np.split(sorted_values, boundaries)
+    unique_bins = sorted_bins[np.concatenate(([0], boundaries))] if len(sorted_bins) else []
+    reduce_fn = {"mean": np.mean, "max": np.max, "sum": np.sum}[reducer]
+    for bin_id, group in zip(unique_bins, groups):
+        out[bin_id] = reduce_fn(group)
+
+    # Forward-fill empty bins; back-fill a leading gap if any.
+    for i in range(1, num_bins):
+        if np.isnan(out[i]):
+            out[i] = out[i - 1]
+    if np.isnan(out[0]):
+        first_valid = out[~np.isnan(out)]
+        out[0] = first_valid[0] if len(first_valid) else 0.0
+        for i in range(1, num_bins):
+            if np.isnan(out[i]):
+                out[i] = out[i - 1]
+    return out
+
+
+@dataclass
+class StandardScaler:
+    """Z-score normalizer fitted on training data only.
+
+    Neural forecasters train on normalised series; forecasts are mapped
+    back to utilization units before the scaling optimizer sees them.
+    """
+
+    mean_: float = 0.0
+    std_: float = 1.0
+    fitted: bool = field(default=False, repr=False)
+
+    def fit(self, values: np.ndarray) -> "StandardScaler":
+        values = np.asarray(values, dtype=np.float64)
+        self.mean_ = float(values.mean())
+        self.std_ = float(values.std())
+        if self.std_ < 1e-12:
+            self.std_ = 1.0  # constant series: avoid dividing by ~0
+        self.fitted = True
+        return self
+
+    def transform(self, values: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        return (np.asarray(values, dtype=np.float64) - self.mean_) / self.std_
+
+    def inverse_transform(self, values: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        return np.asarray(values, dtype=np.float64) * self.std_ + self.mean_
+
+    def fit_transform(self, values: np.ndarray) -> np.ndarray:
+        return self.fit(values).transform(values)
+
+    def _require_fitted(self) -> None:
+        if not self.fitted:
+            raise RuntimeError("scaler used before fit()")

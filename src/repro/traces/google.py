@@ -1,0 +1,123 @@
+"""Google-cluster-style workload traces.
+
+The 2011 Google cluster trace publishes per-task usage records; the
+paper samples a subset of tasks and aggregates CPU/memory usage at
+10-minute intervals.  Relative to the Alibaba trace, the Google series is
+markedly harder to forecast — Table I shows roughly an order of magnitude
+worse wQL for every model — because task churn produces regime switches,
+weaker weekly structure, and heavier bursts.  :func:`google_like_trace`
+reproduces exactly those properties.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from .dataset import DEFAULT_INTERVAL_SECONDS, Trace, aggregate
+from .synthetic import (
+    STEPS_PER_DAY,
+    BurstComponent,
+    NoiseComponent,
+    RegimeSwitchComponent,
+    SeasonalComponent,
+    SpikeComponent,
+    SyntheticWorkload,
+    TrendComponent,
+)
+
+__all__ = ["google_like_trace", "google_workload_model", "load_task_usage_csv"]
+
+
+def google_workload_model(metric: str = "cpu") -> SyntheticWorkload:
+    """Component mix for a Google-like series: noisier, regime-switching.
+
+    As with the Alibaba model, values are aggregate demand over the
+    sampled task subset in percent-of-one-node units.
+    """
+    if metric == "cpu":
+        return SyntheticWorkload(
+            base_level=1750.0,
+            floor=25.0,
+            components=[
+                SeasonalComponent(period=STEPS_PER_DAY, harmonics={1: 300.0}),
+                RegimeSwitchComponent(
+                    switch_probability=0.006, level_high=700.0,
+                    rate_modulation_period=STEPS_PER_DAY,
+                    rate_modulation_strength=0.9,
+                ),
+                TrendComponent(walk_std=7.5),
+                BurstComponent(
+                    rate_per_step=0.035, magnitude=600.0, decay=0.8,
+                    rate_modulation_period=STEPS_PER_DAY,
+                    rate_modulation_strength=0.9,
+                ),
+                SpikeComponent(
+                    rate_per_step=0.014, magnitude=1100.0,
+                    rate_modulation_period=STEPS_PER_DAY,
+                    rate_modulation_strength=0.9,
+                ),
+                NoiseComponent(
+                    std=175.0,
+                    volatility_period=STEPS_PER_DAY,
+                    volatility_strength=0.8,
+                ),
+            ],
+        )
+    if metric == "memory":
+        return SyntheticWorkload(
+            base_level=2500.0,
+            floor=100.0,
+            components=[
+                SeasonalComponent(period=STEPS_PER_DAY, harmonics={1: 150.0}),
+                RegimeSwitchComponent(switch_probability=0.003, level_high=400.0),
+                NoiseComponent(std=100.0),
+            ],
+        )
+    raise ValueError(f"unknown metric {metric!r}; expected cpu or memory")
+
+
+def google_like_trace(
+    num_steps: int = 4 * 7 * STEPS_PER_DAY,
+    seed: int = 0,
+    metric: str = "cpu",
+) -> Trace:
+    """Generate a Google-like utilization trace (see module docstring)."""
+    series = google_workload_model(metric).generate(num_steps, seed=seed)
+    return Trace(name=f"google-{metric}", values=series, metric=metric)
+
+
+def load_task_usage_csv(
+    path: str | Path,
+    task_ids: set[str] | None = None,
+    interval_seconds: int = DEFAULT_INTERVAL_SECONDS,
+) -> Trace:
+    """Load the real Google ``task_usage`` CSV format.
+
+    Relevant columns of the 2011 trace: start_time (microseconds, col 0),
+    end_time (col 1), job_id (col 2), task_index (col 3), machine_id
+    (col 4), mean CPU usage rate (col 5).  Task usage is *summed* across
+    the sampled tasks per bin (aggregate demand), matching the paper's
+    "sampling a subset of tasks and aggregating the resource usage".
+    """
+    timestamps: list[float] = []
+    values: list[float] = []
+    with open(path, newline="") as handle:
+        for row in csv.reader(handle):
+            if len(row) < 6:
+                continue
+            start_us, job_id, task_index, cpu = row[0], row[2], row[3], row[5]
+            if not cpu:
+                continue
+            if task_ids is not None and f"{job_id}:{task_index}" not in task_ids:
+                continue
+            timestamps.append(float(start_us) / 1e6)
+            values.append(float(cpu))
+    if not values:
+        raise ValueError(f"no usable records found in {path}")
+    series = aggregate(
+        np.asarray(timestamps), np.asarray(values), interval_seconds, reducer="sum"
+    )
+    return Trace(name="google-cpu", values=series, interval_seconds=interval_seconds)

@@ -1,0 +1,6 @@
+"""Hyperparameter search (the paper's Optuna step, offline)."""
+
+from .grid import GridResult, grid_search
+from .study import MedianPruner, Study, Trial, TrialPruned
+
+__all__ = ["Study", "Trial", "TrialPruned", "MedianPruner", "grid_search", "GridResult"]

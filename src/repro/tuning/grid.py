@@ -1,0 +1,45 @@
+"""Exhaustive grid search, for small discrete spaces.
+
+Used by the Fig. 11/12 experiments to sweep (tau1, tau2) combinations
+and uncertainty thresholds deterministically.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = ["grid_search", "GridResult"]
+
+
+@dataclass(frozen=True)
+class GridResult:
+    """One grid point and its objective value."""
+
+    params: dict[str, object]
+    value: float
+
+
+def grid_search(
+    objective: Callable[[dict[str, object]], float],
+    space: dict[str, list],
+    direction: str = "minimize",
+) -> tuple[GridResult, list[GridResult]]:
+    """Evaluate every combination in ``space``.
+
+    Returns (best, all_results).  ``space`` maps parameter name to the
+    list of values to try; combinations are the Cartesian product in
+    insertion order, so results are deterministic.
+    """
+    if direction not in ("minimize", "maximize"):
+        raise ValueError(f"unknown direction {direction!r}")
+    if not space:
+        raise ValueError("space must not be empty")
+    names = list(space)
+    results = []
+    for combo in itertools.product(*(space[name] for name in names)):
+        params = dict(zip(names, combo))
+        results.append(GridResult(params=params, value=float(objective(params))))
+    key = (lambda r: r.value) if direction == "minimize" else (lambda r: -r.value)
+    return min(results, key=key), results

@@ -1,0 +1,163 @@
+"""A small hyperparameter-optimization framework (Optuna substitute).
+
+The paper tunes each forecaster's hyperparameters once with Optuna and
+freezes them across horizons (Section IV-A2).  This module provides the
+same workflow offline: define a search space per trial via the
+``trial.suggest_*`` API, run an objective under a budget, keep the best.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["Trial", "TrialPruned", "Study"]
+
+
+class TrialPruned(Exception):
+    """Raised inside an objective to abandon an unpromising trial."""
+
+
+@dataclass
+class Trial:
+    """One parameter sample; records every suggestion it hands out."""
+
+    number: int
+    _rng: np.random.Generator
+    params: dict[str, object] = field(default_factory=dict)
+    intermediate: list[float] = field(default_factory=list)
+    _pruner: "MedianPruner | None" = None
+
+    def suggest_float(
+        self, name: str, low: float, high: float, log: bool = False
+    ) -> float:
+        """Sample a float uniformly (or log-uniformly) from [low, high]."""
+        if low >= high:
+            raise ValueError(f"low must be < high for {name}")
+        if log:
+            if low <= 0:
+                raise ValueError(f"log scale requires positive bounds for {name}")
+            value = float(math.exp(self._rng.uniform(math.log(low), math.log(high))))
+        else:
+            value = float(self._rng.uniform(low, high))
+        self.params[name] = value
+        return value
+
+    def suggest_int(self, name: str, low: int, high: int) -> int:
+        """Sample an integer uniformly from [low, high] inclusive."""
+        if low > high:
+            raise ValueError(f"low must be <= high for {name}")
+        value = int(self._rng.integers(low, high + 1))
+        self.params[name] = value
+        return value
+
+    def suggest_categorical(self, name: str, choices: list) -> object:
+        """Sample one of ``choices`` uniformly."""
+        if not choices:
+            raise ValueError(f"choices must be non-empty for {name}")
+        value = choices[int(self._rng.integers(len(choices)))]
+        self.params[name] = value
+        return value
+
+    def report(self, value: float, step: int) -> None:
+        """Report an intermediate objective value (enables pruning)."""
+        self.intermediate.append(float(value))
+        if self._pruner is not None and self._pruner.should_prune(self):
+            raise TrialPruned(f"trial {self.number} pruned at step {step}")
+
+
+class MedianPruner:
+    """Prune a trial whose intermediate value is worse than the median of
+    completed trials at the same step (after ``warmup_trials``)."""
+
+    def __init__(self, warmup_trials: int = 4) -> None:
+        self.warmup_trials = warmup_trials
+        self._histories: list[list[float]] = []
+
+    def register(self, history: list[float]) -> None:
+        self._histories.append(list(history))
+
+    def should_prune(self, trial: Trial) -> bool:
+        step = len(trial.intermediate) - 1
+        peers = [h[step] for h in self._histories if len(h) > step]
+        if len(peers) < self.warmup_trials:
+            return False
+        return trial.intermediate[step] > float(np.median(peers))
+
+
+@dataclass
+class StudyResult:
+    number: int
+    params: dict[str, object]
+    value: float
+    pruned: bool = False
+
+
+class Study:
+    """Random-search study minimising an objective.
+
+    Parameters
+    ----------
+    direction:
+        ``"minimize"`` (default) or ``"maximize"``.
+    pruner:
+        Optional :class:`MedianPruner`; objectives opt in by calling
+        ``trial.report``.
+    """
+
+    def __init__(
+        self,
+        direction: str = "minimize",
+        seed: int = 0,
+        pruner: MedianPruner | None = None,
+    ) -> None:
+        if direction not in ("minimize", "maximize"):
+            raise ValueError(f"unknown direction {direction!r}")
+        self.direction = direction
+        self.pruner = pruner
+        self._rng = np.random.default_rng(seed)
+        self.trials: list[StudyResult] = []
+
+    def optimize(self, objective: Callable[[Trial], float], n_trials: int) -> None:
+        """Run ``n_trials`` objective evaluations."""
+        if n_trials < 1:
+            raise ValueError("n_trials must be >= 1")
+        for _ in range(n_trials):
+            trial = Trial(
+                number=len(self.trials),
+                _rng=np.random.default_rng(self._rng.integers(2**63)),
+                _pruner=self.pruner,
+            )
+            try:
+                value = float(objective(trial))
+            except TrialPruned:
+                self.trials.append(
+                    StudyResult(trial.number, trial.params, float("inf"), pruned=True)
+                )
+                continue
+            if self.pruner is not None:
+                self.pruner.register(trial.intermediate)
+            self.trials.append(StudyResult(trial.number, trial.params, value))
+
+    @property
+    def completed_trials(self) -> list[StudyResult]:
+        return [t for t in self.trials if not t.pruned]
+
+    @property
+    def best_trial(self) -> StudyResult:
+        completed = self.completed_trials
+        if not completed:
+            raise RuntimeError("no completed trials")
+        key = (lambda t: t.value) if self.direction == "minimize" else (lambda t: -t.value)
+        return min(completed, key=key)
+
+    @property
+    def best_params(self) -> dict[str, object]:
+        return self.best_trial.params
+
+    @property
+    def best_value(self) -> float:
+        return self.best_trial.value

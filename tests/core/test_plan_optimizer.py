@@ -1,0 +1,197 @@
+"""Tests for scaling plans, provisioning reports, and the solvers."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ScalingPlan,
+    evaluate_plan,
+    required_nodes,
+    solve_closed_form,
+    solve_lp,
+    solve_with_ramp_limits,
+)
+
+
+class TestRequiredNodes:
+    def test_exact_division(self):
+        np.testing.assert_array_equal(required_nodes(np.array([120.0]), 60.0), [2])
+
+    def test_ceiling(self):
+        np.testing.assert_array_equal(required_nodes(np.array([121.0]), 60.0), [3])
+
+    def test_minimum_one_node(self):
+        np.testing.assert_array_equal(required_nodes(np.array([0.0]), 60.0), [1])
+
+    def test_per_step_thresholds(self):
+        out = required_nodes(np.array([100.0, 100.0]), np.array([50.0, 100.0]))
+        np.testing.assert_array_equal(out, [2, 1])
+
+    def test_constraint_satisfied(self):
+        rng = np.random.default_rng(0)
+        w = rng.uniform(0, 5000, size=200)
+        c = required_nodes(w, 60.0)
+        assert np.all(w / c <= 60.0 + 1e-9)
+
+    def test_minimality(self):
+        rng = np.random.default_rng(1)
+        w = rng.uniform(100, 5000, size=200)
+        c = required_nodes(w, 60.0)
+        # One fewer node must violate wherever c > 1.
+        mask = c > 1
+        assert np.all(w[mask] / (c[mask] - 1) > 60.0)
+
+    def test_rejects_nonpositive_threshold(self):
+        with pytest.raises(ValueError):
+            required_nodes(np.array([1.0]), 0.0)
+
+    def test_rejects_negative_workload(self):
+        with pytest.raises(ValueError):
+            required_nodes(np.array([-1.0]), 60.0)
+
+
+class TestScalingPlan:
+    def test_total_nodes(self):
+        plan = ScalingPlan(nodes=np.array([2, 3, 4]), threshold=60.0)
+        assert plan.total_nodes == 9
+        assert plan.horizon == 3
+
+    def test_rejects_zero_nodes(self):
+        with pytest.raises(ValueError):
+            ScalingPlan(nodes=np.array([0, 1]), threshold=60.0)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            ScalingPlan(nodes=np.ones((2, 2), dtype=int), threshold=60.0)
+
+
+class TestEvaluatePlan:
+    def test_perfect_plan(self):
+        w = np.array([100.0, 200.0, 300.0])
+        plan = solve_closed_form(w, 60.0)
+        report = evaluate_plan(plan, w)
+        assert report.under_provisioning_rate == 0.0
+        assert report.over_provisioning_rate == 0.0
+        assert report.exact_rate == 1.0
+
+    def test_underestimate_produces_under_provisioning(self):
+        forecast = np.array([100.0, 100.0])
+        actual = np.array([500.0, 100.0])
+        report = evaluate_plan(solve_closed_form(forecast, 60.0), actual)
+        assert report.under_provisioning_rate == 0.5
+        assert report.violation_steps == 1
+        assert report.mean_violation_magnitude > 0
+
+    def test_overestimate_produces_over_provisioning(self):
+        forecast = np.array([500.0, 100.0])
+        actual = np.array([100.0, 100.0])
+        report = evaluate_plan(solve_closed_form(forecast, 60.0), actual)
+        assert report.over_provisioning_rate == 0.5
+        assert report.mean_excess_nodes > 0
+
+    def test_shape_mismatch_raises(self):
+        plan = ScalingPlan(nodes=np.array([1, 1]), threshold=60.0)
+        with pytest.raises(ValueError):
+            evaluate_plan(plan, np.ones(3))
+
+    def test_minimum_nodes_reported(self):
+        actual = np.array([120.0, 240.0])
+        plan = ScalingPlan(nodes=np.array([10, 10]), threshold=60.0)
+        assert evaluate_plan(plan, actual).minimum_nodes == 2 + 4
+
+
+class TestSolvers:
+    def test_closed_form_satisfies_constraint(self):
+        rng = np.random.default_rng(2)
+        w = rng.uniform(0, 4000, size=100)
+        plan = solve_closed_form(w, 60.0)
+        assert np.all(w / plan.nodes <= 60.0 + 1e-9)
+
+    def test_lp_matches_closed_form(self):
+        """The ablation claim: both solvers find the same optimum."""
+        rng = np.random.default_rng(3)
+        for _ in range(5):
+            w = rng.uniform(0, 4000, size=72)
+            closed = solve_closed_form(w, 60.0)
+            lp = solve_lp(w, 60.0)
+            np.testing.assert_array_equal(closed.nodes, lp.nodes)
+
+    def test_lp_per_step_thresholds(self):
+        w = np.array([100.0, 100.0])
+        theta = np.array([50.0, 10.0])
+        np.testing.assert_array_equal(solve_lp(w, theta).nodes, [2, 10])
+
+    def test_strategy_label_propagates(self):
+        assert solve_closed_form(np.ones(2), 1.0, strategy="x").strategy == "x"
+
+
+class TestRampLimits:
+    def test_unconstrained_when_limits_loose(self):
+        w = np.array([100.0, 3000.0, 100.0])
+        plan = solve_with_ramp_limits(w, 60.0, max_scale_out=100, max_scale_in=100)
+        np.testing.assert_array_equal(plan.nodes, solve_closed_form(w, 60.0).nodes)
+
+    def test_backward_pass_preprovisions_for_spikes(self):
+        # demand: [1, 1, 10]; scale-out limit 2/step forces early ramping
+        w = np.array([50.0, 50.0, 600.0])
+        plan = solve_with_ramp_limits(w, 60.0, max_scale_out=2, max_scale_in=2)
+        np.testing.assert_array_equal(plan.nodes, [6, 8, 10])
+
+    def test_forward_pass_limits_scale_in(self):
+        w = np.array([600.0, 50.0, 50.0])
+        plan = solve_with_ramp_limits(w, 60.0, max_scale_out=5, max_scale_in=3)
+        np.testing.assert_array_equal(plan.nodes, [10, 7, 4])
+
+    def test_ramp_constraints_hold(self):
+        rng = np.random.default_rng(4)
+        w = rng.uniform(0, 4000, size=200)
+        plan = solve_with_ramp_limits(w, 60.0, max_scale_out=5, max_scale_in=5)
+        deltas = np.diff(plan.nodes)
+        assert deltas.max() <= 5
+        assert deltas.min() >= -5
+
+    def test_demand_always_met(self):
+        rng = np.random.default_rng(5)
+        w = rng.uniform(0, 4000, size=200)
+        plan = solve_with_ramp_limits(w, 60.0, max_scale_out=5, max_scale_in=5)
+        assert np.all(w / plan.nodes <= 60.0 + 1e-9)
+
+    def test_never_cheaper_than_unconstrained(self):
+        rng = np.random.default_rng(6)
+        w = rng.uniform(0, 4000, size=100)
+        constrained = solve_with_ramp_limits(w, 60.0, max_scale_out=2, max_scale_in=2)
+        unconstrained = solve_closed_form(w, 60.0)
+        assert constrained.total_nodes >= unconstrained.total_nodes
+
+    def test_pointwise_minimality(self):
+        """Decreasing any step by one must violate demand or a ramp bound."""
+        rng = np.random.default_rng(7)
+        w = rng.uniform(0, 4000, size=80)
+        out_limit, in_limit = 3, 2
+        plan = solve_with_ramp_limits(w, 60.0, out_limit, in_limit)
+        demand = solve_closed_form(w, 60.0).nodes
+        c = plan.nodes
+        for t in range(len(c)):
+            lowered = c[t] - 1
+            violates_demand = lowered < demand[t]
+            violates_out = t + 1 < len(c) and c[t + 1] - lowered > out_limit
+            violates_in = t > 0 and c[t - 1] - lowered > in_limit
+            assert violates_demand or violates_out or violates_in, f"step {t} not tight"
+
+    def test_initial_anchor_scale_in_limit(self):
+        w = np.array([50.0, 50.0])
+        plan = solve_with_ramp_limits(
+            w, 60.0, max_scale_out=5, max_scale_in=2, initial_nodes=10
+        )
+        np.testing.assert_array_equal(plan.nodes, [8, 6])
+
+    def test_unreachable_demand_raises(self):
+        w = np.array([6000.0])
+        with pytest.raises(ValueError):
+            solve_with_ramp_limits(
+                w, 60.0, max_scale_out=2, max_scale_in=2, initial_nodes=1
+            )
+
+    def test_rejects_zero_limits(self):
+        with pytest.raises(ValueError):
+            solve_with_ramp_limits(np.ones(2), 1.0, max_scale_out=0, max_scale_in=1)

@@ -1,0 +1,122 @@
+"""Tests for the closed-loop autoscaling runtime."""
+
+import numpy as np
+import pytest
+
+from repro.core import AutoscalingRuntime, ReactiveAvgScaler, ScalingPlan
+from repro.core.plan import required_nodes
+
+
+class OraclePlanner:
+    """Plans exactly the workload it will be asked to serve (test double)."""
+
+    name = "oracle"
+
+    def __init__(self, series, horizon, threshold):
+        self.series = np.asarray(series, dtype=float)
+        self.horizon = horizon
+        self.threshold = threshold
+        self.calls = []
+
+    def plan(self, context, start_index=0):
+        self.calls.append(start_index)
+        future = self.series[start_index + len(context) :][: self.horizon]
+        return ScalingPlan(
+            nodes=required_nodes(future, self.threshold),
+            threshold=self.threshold,
+            strategy="oracle",
+        )
+
+
+def make_runtime(series, context=6, horizon=4, replan=None, threshold=60.0):
+    planner = OraclePlanner(series, horizon, threshold)
+    runtime = AutoscalingRuntime(
+        planner=planner,
+        context_length=context,
+        horizon=horizon,
+        threshold=threshold,
+        replan_every=replan,
+    )
+    return runtime, planner
+
+
+class TestColdStart:
+    def test_first_interval_single_node(self):
+        runtime, _ = make_runtime(np.full(20, 100.0))
+        assert runtime.target_nodes() == 1
+
+    def test_fallback_reacts_before_context_fills(self):
+        series = np.full(20, 600.0)
+        runtime, planner = make_runtime(series)
+        allocations = []
+        for value in series[:5]:
+            allocations.append(runtime.target_nodes())
+            runtime.observe(value)
+        # After the first observation the fallback sees 600 -> 10 nodes.
+        assert allocations[0] == 1
+        assert allocations[1] == 10
+        assert planner.calls == []  # predictive planning not yet possible
+
+
+class TestPredictivePhase:
+    def test_replans_on_schedule(self):
+        series = np.full(30, 300.0)
+        runtime, planner = make_runtime(series, context=6, horizon=4)
+        runtime.run(series)
+        # First plan at t=6, then every 4 steps: 6, 10, 14, ...
+        assert planner.calls[0] == 0  # start_index of the context window
+        diffs = np.diff([c for c in planner.calls])
+        assert np.all(diffs == 4)
+
+    def test_receding_horizon_mode(self):
+        series = np.full(30, 300.0)
+        runtime, planner = make_runtime(series, context=6, horizon=4, replan=1)
+        runtime.run(series)
+        diffs = np.diff([c for c in planner.calls])
+        assert np.all(diffs == 1)
+
+    def test_oracle_runtime_never_underprovisions_after_warmup(self):
+        rng = np.random.default_rng(0)
+        series = rng.uniform(100, 2000, size=60)
+        runtime, _ = make_runtime(series, context=6, horizon=4)
+        allocations = runtime.run(series)
+        needed = required_nodes(series, 60.0)
+        # After the context fills (first 6 steps + first plan boundary),
+        # the oracle-backed runtime is exact.
+        assert np.array_equal(allocations[6:], needed[6:])
+
+    def test_decisions_logged(self):
+        series = np.full(30, 300.0)
+        runtime, _ = make_runtime(series)
+        runtime.run(series)
+        assert runtime.decisions
+        assert all(d.source == "predictive" for d in runtime.decisions)
+        times = [d.time_index for d in runtime.decisions]
+        assert times == sorted(times)
+
+
+class TestValidation:
+    def test_rejects_negative_workload(self):
+        runtime, _ = make_runtime(np.ones(20))
+        with pytest.raises(ValueError):
+            runtime.observe(-1.0)
+
+    def test_rejects_bad_replan_cadence(self):
+        with pytest.raises(ValueError):
+            make_runtime(np.ones(20), replan=9)  # > horizon
+
+    def test_rejects_bad_lengths(self):
+        with pytest.raises(ValueError):
+            AutoscalingRuntime(
+                planner=None, context_length=0, horizon=4, threshold=60.0
+            )
+
+    def test_custom_fallback_used(self):
+        series = np.full(20, 600.0)
+        planner = OraclePlanner(series, 4, 60.0)
+        runtime = AutoscalingRuntime(
+            planner=planner, context_length=10, horizon=4, threshold=60.0,
+            fallback=ReactiveAvgScaler(window=3),
+        )
+        runtime.observe(600.0)
+        assert runtime.target_nodes() == 10

@@ -1,0 +1,111 @@
+"""Tests for the output distributions."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.distributions import Empirical, Gaussian, StudentT
+
+
+class TestGaussian:
+    def test_mean_std(self):
+        d = Gaussian(np.array([1.0, 2.0]), np.array([0.5, 1.5]))
+        np.testing.assert_array_equal(d.mean(), [1.0, 2.0])
+        np.testing.assert_array_equal(d.std(), [0.5, 1.5])
+
+    def test_quantile_matches_scipy(self):
+        d = Gaussian(np.array([3.0]), np.array([2.0]))
+        assert d.quantile(0.9)[0] == pytest.approx(stats.norm.ppf(0.9, 3.0, 2.0))
+
+    def test_median_is_mean(self):
+        d = Gaussian(np.array([5.0]), np.array([1.0]))
+        assert d.quantile(0.5)[0] == pytest.approx(5.0)
+
+    def test_sampling_moments(self):
+        d = Gaussian(np.array([2.0]), np.array([3.0]))
+        samples = d.sample(20000, np.random.default_rng(0))
+        assert samples.shape == (20000, 1)
+        assert samples.mean() == pytest.approx(2.0, abs=0.1)
+        assert samples.std() == pytest.approx(3.0, abs=0.1)
+
+    def test_log_prob(self):
+        d = Gaussian(np.array([0.0]), np.array([1.0]))
+        assert d.log_prob(np.array([0.0]))[0] == pytest.approx(stats.norm.logpdf(0.0))
+
+    def test_rejects_nonpositive_sigma(self):
+        with pytest.raises(ValueError):
+            Gaussian(np.array([0.0]), np.array([0.0]))
+
+    def test_quantiles_stacks_levels(self):
+        d = Gaussian(np.zeros(3), np.ones(3))
+        out = d.quantiles([0.1, 0.5, 0.9])
+        assert out.shape == (3, 3)
+        assert np.all(np.diff(out, axis=0) > 0)
+
+
+class TestStudentT:
+    def test_quantile_matches_scipy(self):
+        d = StudentT(np.array([1.0]), np.array([2.0]), 5.0)
+        assert d.quantile(0.8)[0] == pytest.approx(stats.t.ppf(0.8, 5, 1.0, 2.0))
+
+    def test_heavier_tails_than_gaussian(self):
+        t_dist = StudentT(np.array([0.0]), np.array([1.0]), 3.0)
+        g_dist = Gaussian(np.array([0.0]), np.array([1.0]))
+        assert t_dist.quantile(0.99)[0] > g_dist.quantile(0.99)[0]
+
+    def test_std_finite_df(self):
+        d = StudentT(np.array([0.0]), np.array([2.0]), 4.0)
+        assert d.std()[0] == pytest.approx(2.0 * np.sqrt(4.0 / 2.0))
+
+    def test_std_fallback_low_df(self):
+        d = StudentT(np.array([0.0]), np.array([2.0]), 1.5)
+        assert d.std()[0] == pytest.approx(2.0)  # falls back to scale
+
+    def test_sampling_location(self):
+        d = StudentT(np.array([10.0]), np.array([1.0]), 8.0)
+        samples = d.sample(20000, np.random.default_rng(1))
+        assert np.median(samples) == pytest.approx(10.0, abs=0.1)
+
+    def test_log_prob_matches_scipy(self):
+        d = StudentT(np.array([1.0]), np.array([0.5]), 6.0)
+        assert d.log_prob(np.array([2.0]))[0] == pytest.approx(
+            stats.t.logpdf(2.0, 6.0, 1.0, 0.5)
+        )
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            StudentT(np.array([0.0]), np.array([-1.0]), 3.0)
+        with pytest.raises(ValueError):
+            StudentT(np.array([0.0]), np.array([1.0]), 0.0)
+
+
+class TestEmpirical:
+    def test_quantile_interpolates_samples(self):
+        d = Empirical(np.arange(101.0)[:, None])
+        assert d.quantile(0.5)[0] == pytest.approx(50.0)
+        assert d.quantile(0.9)[0] == pytest.approx(90.0)
+
+    def test_mean_std(self):
+        samples = np.random.default_rng(2).normal(5.0, 2.0, size=(50000, 1))
+        d = Empirical(samples)
+        assert d.mean()[0] == pytest.approx(5.0, abs=0.05)
+        assert d.std()[0] == pytest.approx(2.0, abs=0.05)
+
+    def test_batched_quantiles(self):
+        samples = np.stack([np.arange(11.0), np.arange(11.0) * 2], axis=1)
+        d = Empirical(samples)
+        np.testing.assert_allclose(d.quantile(0.5), [5.0, 10.0])
+
+    def test_resampling(self):
+        d = Empirical(np.array([[1.0], [2.0], [3.0]]))
+        out = d.sample(100, np.random.default_rng(3))
+        assert set(np.unique(out)) <= {1.0, 2.0, 3.0}
+
+    def test_log_prob_peaks_at_mode(self):
+        samples = np.random.default_rng(4).normal(0.0, 1.0, size=(5000, 1))
+        d = Empirical(samples)
+        assert d.log_prob(np.array([0.0]))[0] > d.log_prob(np.array([3.0]))[0]
+
+    def test_requires_two_samples(self):
+        with pytest.raises(ValueError):
+            Empirical(np.array([[1.0]]))

@@ -1,0 +1,28 @@
+"""Shared fixtures for forecaster tests: a small seasonal series and a
+tiny training budget so each test runs in a couple of seconds."""
+
+import numpy as np
+import pytest
+
+from repro.forecast import TrainingConfig
+
+SEASON = 48  # a short synthetic "day" for fast tests
+
+
+@pytest.fixture(scope="session")
+def seasonal_series():
+    """Sinusoid + noise, ~20 cycles — learnable in a few epochs."""
+    rng = np.random.default_rng(0)
+    t = np.arange(SEASON * 20)
+    return (
+        100.0
+        + 30.0 * np.sin(2 * np.pi * t / SEASON)
+        + rng.normal(0.0, 3.0, size=len(t))
+    )
+
+
+@pytest.fixture()
+def tiny_config():
+    return TrainingConfig(
+        epochs=3, batch_size=32, window_stride=6, patience=0, seed=0
+    )

@@ -1,0 +1,125 @@
+"""Tests for quantile-forecast ensembling."""
+
+import numpy as np
+import pytest
+
+from repro.forecast import (
+    EnsembleForecaster,
+    MLPForecaster,
+    QuantileForecast,
+    SeasonalNaiveForecaster,
+    TrainingConfig,
+    combine_quantile_forecasts,
+)
+
+from .conftest import SEASON
+
+
+def fan(center: float, width: float, horizon: int = 4) -> QuantileForecast:
+    levels = np.array([0.1, 0.5, 0.9])
+    values = np.stack(
+        [
+            np.full(horizon, center - width),
+            np.full(horizon, center),
+            np.full(horizon, center + width),
+        ]
+    )
+    return QuantileForecast(levels=levels, values=values, mean=np.full(horizon, center))
+
+
+class TestCombine:
+    def test_equal_weight_average(self):
+        combined = combine_quantile_forecasts(
+            [fan(100.0, 10.0), fan(200.0, 30.0)], levels=(0.1, 0.5, 0.9)
+        )
+        np.testing.assert_allclose(combined.at(0.5), 150.0)
+        np.testing.assert_allclose(combined.at(0.9), (110.0 + 230.0) / 2)
+
+    def test_weights_respected(self):
+        combined = combine_quantile_forecasts(
+            [fan(100.0, 10.0), fan(200.0, 10.0)],
+            levels=(0.5,),
+            weights=[3.0, 1.0],
+        )
+        np.testing.assert_allclose(combined.at(0.5), 125.0)
+
+    def test_mean_combined_when_available(self):
+        combined = combine_quantile_forecasts(
+            [fan(100.0, 10.0), fan(300.0, 10.0)], levels=(0.5,)
+        )
+        np.testing.assert_allclose(combined.mean, 200.0)
+
+    def test_monotone_result(self):
+        rng = np.random.default_rng(0)
+        members = [
+            fan(float(rng.uniform(50, 150)), float(rng.uniform(1, 40)))
+            for _ in range(5)
+        ]
+        combined = combine_quantile_forecasts(members, levels=(0.1, 0.5, 0.9))
+        assert np.all(np.diff(combined.values, axis=0) >= 0)
+
+    def test_mismatched_horizons_rejected(self):
+        with pytest.raises(ValueError):
+            combine_quantile_forecasts(
+                [fan(1.0, 1.0, horizon=4), fan(1.0, 1.0, horizon=5)], levels=(0.5,)
+            )
+
+    def test_bad_weights_rejected(self):
+        members = [fan(1.0, 1.0), fan(2.0, 1.0)]
+        with pytest.raises(ValueError):
+            combine_quantile_forecasts(members, (0.5,), weights=[1.0])
+        with pytest.raises(ValueError):
+            combine_quantile_forecasts(members, (0.5,), weights=[-1.0, 2.0])
+        with pytest.raises(ValueError):
+            combine_quantile_forecasts([], (0.5,))
+
+
+class TestEnsembleForecaster:
+    def test_fit_predict_cycle(self, seasonal_series, tiny_config):
+        ensemble = EnsembleForecaster(
+            [
+                SeasonalNaiveForecaster(horizon=16, season=SEASON),
+                MLPForecaster(32, 16, hidden_size=16, config=tiny_config),
+            ]
+        ).fit(seasonal_series)
+        # Context long enough for the seasonal member; the MLP member's
+        # slice is handled by the ensemble.
+        fc = ensemble.predict(seasonal_series[-SEASON:], levels=(0.1, 0.5, 0.9))
+        assert fc.horizon == 16
+        assert np.all(fc.at(0.9) >= fc.at(0.1))
+
+    def test_skill_weighting_prefers_better_member(self, seasonal_series, tiny_config):
+        class Broken(SeasonalNaiveForecaster):
+            def predict(self, context, levels=(0.5,), start_index=0):
+                fc = super().predict(context, levels=levels, start_index=start_index)
+                fc.values = fc.values + 500.0  # massively biased
+                return fc
+
+        good = SeasonalNaiveForecaster(horizon=16, season=SEASON)
+        bad = Broken(horizon=16, season=SEASON)
+        ensemble = EnsembleForecaster(
+            [good, bad], tune_on_validation=True, validation_fraction=0.2
+        ).fit(seasonal_series)
+        assert ensemble.weights[0] > ensemble.weights[1]
+
+    def test_mismatched_member_horizons_rejected(self, seasonal_series):
+        ensemble = EnsembleForecaster(
+            [
+                SeasonalNaiveForecaster(horizon=8, season=SEASON),
+                SeasonalNaiveForecaster(horizon=16, season=SEASON),
+            ],
+            tune_on_validation=True,
+        )
+        with pytest.raises(ValueError):
+            ensemble.fit(seasonal_series)
+
+    def test_requires_members(self):
+        with pytest.raises(ValueError):
+            EnsembleForecaster([])
+
+    def test_predict_before_fit_rejected(self):
+        ensemble = EnsembleForecaster(
+            [SeasonalNaiveForecaster(horizon=8, season=SEASON)]
+        )
+        with pytest.raises(RuntimeError):
+            ensemble.predict(np.ones(SEASON))

@@ -1,0 +1,65 @@
+"""Tests for multi-series training (Eq. 2 sums the loss over n series)."""
+
+import numpy as np
+import pytest
+
+from repro.forecast import MLPForecaster, TrainingConfig
+from repro.nn import WindowDataset
+
+CTX, HOR = 24, 8
+
+
+@pytest.fixture()
+def two_series():
+    rng = np.random.default_rng(1)
+    t = np.arange(48 * 10)
+    base = 100.0 + 30.0 * np.sin(2 * np.pi * t / 48)
+    return [
+        base + rng.normal(0, 3, len(t)),
+        base * 1.5 + rng.normal(0, 3, len(t)),
+    ]
+
+
+class TestMultiSeriesFit:
+    def test_fit_accepts_list(self, two_series):
+        config = TrainingConfig(epochs=2, window_stride=8, patience=0)
+        model = MLPForecaster(CTX, HOR, hidden_size=16, config=config).fit(two_series)
+        fc = model.predict(two_series[0][-CTX:])
+        assert fc.horizon == HOR
+
+    def test_scaler_fitted_on_all_series(self, two_series):
+        config = TrainingConfig(epochs=1, window_stride=8, patience=0)
+        model = MLPForecaster(CTX, HOR, hidden_size=16, config=config).fit(two_series)
+        expected_mean = np.concatenate(two_series).mean()
+        assert model.scaler.mean_ == pytest.approx(expected_mean)
+
+    def test_validation_runs_per_series(self, two_series):
+        config = TrainingConfig(
+            epochs=3, window_stride=4, patience=2, validation_fraction=0.3
+        )
+        model = MLPForecaster(CTX, HOR, hidden_size=16, config=config).fit(two_series)
+        assert any("val_loss" in h for h in model.history)
+
+    def test_short_member_rejected(self, two_series):
+        config = TrainingConfig(epochs=1, patience=0)
+        with pytest.raises(ValueError):
+            MLPForecaster(CTX, HOR, config=config).fit(
+                [two_series[0], np.ones(CTX + HOR)]
+            )
+
+
+class TestWindowOffsets:
+    def test_offsets_shift_start(self):
+        ds = WindowDataset(
+            [np.arange(10.0)], context_length=3, horizon=2, start_offsets=[100]
+        )
+        assert ds[0].start == 100
+
+    def test_offsets_length_checked(self):
+        with pytest.raises(ValueError):
+            WindowDataset(
+                [np.arange(10.0), np.arange(10.0)],
+                context_length=3,
+                horizon=2,
+                start_offsets=[0],
+            )

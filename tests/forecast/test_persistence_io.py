@@ -1,0 +1,69 @@
+"""Tests for forecaster save/load."""
+
+import numpy as np
+import pytest
+
+from repro.forecast import MLPForecaster, TFTForecaster, TrainingConfig
+
+from .conftest import SEASON
+
+CTX, HOR = 32, 8
+
+
+@pytest.fixture()
+def config():
+    return TrainingConfig(epochs=2, batch_size=32, window_stride=8, patience=0, seed=3)
+
+
+class TestSaveLoad:
+    def test_mlp_roundtrip(self, seasonal_series, config, tmp_path):
+        original = MLPForecaster(CTX, HOR, hidden_size=16, config=config).fit(
+            seasonal_series
+        )
+        original.save(tmp_path / "mlp.npz")
+        restored = MLPForecaster(CTX, HOR, hidden_size=16, config=config).load(
+            tmp_path / "mlp.npz"
+        )
+        context = seasonal_series[-CTX:]
+        a = original.predict(context, levels=(0.5, 0.9))
+        b = restored.predict(context, levels=(0.5, 0.9))
+        np.testing.assert_allclose(a.values, b.values, rtol=1e-12)
+
+    def test_tft_roundtrip(self, seasonal_series, config, tmp_path):
+        levels = (0.1, 0.5, 0.9)
+        original = TFTForecaster(
+            CTX, HOR, quantile_levels=levels, d_model=8, num_heads=2, config=config
+        ).fit(seasonal_series)
+        original.save(tmp_path / "tft.npz")
+        restored = TFTForecaster(
+            CTX, HOR, quantile_levels=levels, d_model=8, num_heads=2, config=config
+        ).load(tmp_path / "tft.npz")
+        context = seasonal_series[-CTX:]
+        np.testing.assert_allclose(
+            original.predict(context).values, restored.predict(context).values,
+            rtol=1e-12,
+        )
+
+    def test_load_restores_scaler(self, seasonal_series, config, tmp_path):
+        original = MLPForecaster(CTX, HOR, hidden_size=16, config=config).fit(
+            seasonal_series
+        )
+        original.save(tmp_path / "m.npz")
+        restored = MLPForecaster(CTX, HOR, hidden_size=16, config=config).load(
+            tmp_path / "m.npz"
+        )
+        assert restored.scaler.mean_ == pytest.approx(original.scaler.mean_)
+        assert restored.scaler.std_ == pytest.approx(original.scaler.std_)
+
+    def test_wrong_architecture_rejected(self, seasonal_series, config, tmp_path):
+        MLPForecaster(CTX, HOR, hidden_size=16, config=config).fit(
+            seasonal_series
+        ).save(tmp_path / "m.npz")
+        with pytest.raises((KeyError, ValueError)):
+            MLPForecaster(CTX, HOR, hidden_size=32, config=config).load(
+                tmp_path / "m.npz"
+            )
+
+    def test_save_before_fit_rejected(self, config, tmp_path):
+        with pytest.raises(RuntimeError):
+            MLPForecaster(CTX, HOR, config=config).save(tmp_path / "m.npz")

@@ -1,0 +1,143 @@
+"""Property-based tests on the core scaling invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core import (
+    FixedQuantilePolicy,
+    required_nodes,
+    solve_closed_form,
+    solve_lp,
+    solve_with_ramp_limits,
+    quantile_uncertainty,
+)
+from repro.forecast import QuantileForecast
+
+workloads = arrays(
+    dtype=np.float64,
+    shape=st.integers(1, 40),
+    elements=st.floats(0.0, 5000.0, allow_nan=False),
+)
+
+thresholds = st.floats(1.0, 200.0, allow_nan=False)
+
+
+class TestRequiredNodesProperties:
+    @given(workloads, thresholds)
+    def test_constraint_always_satisfied(self, w, theta):
+        c = required_nodes(w, theta)
+        assert np.all(w / c <= theta * (1 + 1e-9))
+
+    @given(workloads, thresholds)
+    def test_minimality(self, w, theta):
+        c = required_nodes(w, theta)
+        mask = c > 1
+        if mask.any():
+            assert np.all(w[mask] / (c[mask] - 1) > theta * (1 - 1e-9))
+
+    @given(workloads, thresholds)
+    def test_monotone_in_workload(self, w, theta):
+        c_low = required_nodes(w, theta)
+        c_high = required_nodes(w * 1.5 + 1.0, theta)
+        assert np.all(c_high >= c_low)
+
+    @given(workloads, thresholds)
+    def test_antitone_in_threshold(self, w, theta):
+        assert np.all(required_nodes(w, theta) >= required_nodes(w, theta * 2))
+
+
+class TestSolverProperties:
+    @settings(max_examples=25)
+    @given(workloads, thresholds)
+    def test_lp_equals_closed_form(self, w, theta):
+        np.testing.assert_array_equal(
+            solve_lp(w, theta).nodes, solve_closed_form(w, theta).nodes
+        )
+
+    @settings(max_examples=25)
+    @given(workloads, thresholds, st.integers(1, 10), st.integers(1, 10))
+    def test_ramped_feasible_and_bounded(self, w, theta, out_lim, in_lim):
+        plan = solve_with_ramp_limits(w, theta, out_lim, in_lim)
+        assert np.all(w / plan.nodes <= theta * (1 + 1e-9))
+        if len(plan.nodes) > 1:
+            deltas = np.diff(plan.nodes)
+            assert deltas.max() <= out_lim
+            assert deltas.min() >= -in_lim
+
+    @settings(max_examples=25)
+    @given(workloads, thresholds, st.integers(1, 10), st.integers(1, 10))
+    def test_ramped_dominates_unconstrained(self, w, theta, out_lim, in_lim):
+        ramped = solve_with_ramp_limits(w, theta, out_lim, in_lim)
+        free = solve_closed_form(w, theta)
+        assert np.all(ramped.nodes >= free.nodes)
+
+
+quantile_fans = st.builds(
+    lambda base, spreads: QuantileForecast(
+        levels=np.array([0.1, 0.5, 0.9]),
+        values=np.sort(
+            base[None, :] + np.cumsum(np.abs(spreads), axis=0) - np.abs(spreads[0]),
+            axis=0,
+        ),
+    ),
+    arrays(np.float64, st.just(6), elements=st.floats(10, 1000)),
+    arrays(np.float64, st.just((3, 6)), elements=st.floats(0, 50)),
+)
+
+
+class TestForecastProperties:
+    @given(quantile_fans)
+    def test_uncertainty_non_negative(self, fc):
+        assert np.all(quantile_uncertainty(fc) >= -1e-9)
+
+    @given(quantile_fans)
+    def test_at_within_grid_bounds(self, fc):
+        mid = fc.at(0.7)
+        assert np.all(mid >= fc.values[0] - 1e-9)
+        assert np.all(mid <= fc.values[-1] + 1e-9)
+
+    @given(quantile_fans, st.floats(0.11, 0.89))
+    def test_interpolation_monotone_in_tau(self, fc, tau):
+        assert np.all(fc.at(tau + 0.01) >= fc.at(tau) - 1e-9)
+
+    @given(quantile_fans)
+    def test_higher_policy_never_allocates_less(self, fc):
+        low = solve_closed_form(
+            np.maximum(FixedQuantilePolicy(0.5).bound_workload(fc), 0.0), 60.0
+        )
+        high = solve_closed_form(
+            np.maximum(FixedQuantilePolicy(0.9).bound_workload(fc), 0.0), 60.0
+        )
+        assert np.all(high.nodes >= low.nodes)
+
+
+class TestMetricProperties:
+    @given(
+        arrays(np.float64, st.just(20), elements=st.floats(1.0, 1000.0)),
+        arrays(np.float64, st.just(20), elements=st.floats(1.0, 1000.0)),
+        st.floats(0.05, 0.95),
+    )
+    def test_quantile_loss_non_negative(self, y, pred, tau):
+        from repro.evaluation import quantile_loss
+
+        assert quantile_loss(y, pred, tau) >= 0.0
+
+    @given(
+        arrays(np.float64, st.just(20), elements=st.floats(1.0, 1000.0)),
+        st.floats(0.05, 0.95),
+    )
+    def test_quantile_loss_zero_iff_exact(self, y, tau):
+        from repro.evaluation import quantile_loss
+
+        assert quantile_loss(y, y, tau) == 0.0
+
+    @given(
+        arrays(np.float64, st.just(20), elements=st.floats(1.0, 1000.0)),
+        arrays(np.float64, st.just(20), elements=st.floats(1.0, 1000.0)),
+    )
+    def test_coverage_in_unit_interval(self, y, pred):
+        from repro.evaluation import coverage
+
+        assert 0.0 <= coverage(y, pred) <= 1.0

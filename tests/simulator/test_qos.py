@@ -1,0 +1,107 @@
+"""Tests for the M/M/c QoS model (Section V-B extension)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import ScalingPlan
+from repro.simulator import MMcQueue, evaluate_qos
+
+
+class TestMMcQueue:
+    def test_mm1_mean_wait_known_formula(self):
+        """M/M/1: W_q = rho / (mu - lambda)."""
+        queue = MMcQueue(arrival_rate=8.0, service_rate=10.0, servers=1)
+        rho = 0.8
+        expected = rho / (10.0 - 8.0)
+        assert queue.mean_wait() == pytest.approx(expected, rel=1e-9)
+
+    def test_erlang_c_mm1_is_rho(self):
+        queue = MMcQueue(arrival_rate=6.0, service_rate=10.0, servers=1)
+        assert queue.erlang_c() == pytest.approx(0.6, rel=1e-12)
+
+    def test_erlang_c_decreases_with_servers(self):
+        probs = [
+            MMcQueue(arrival_rate=80.0, service_rate=10.0, servers=c).erlang_c()
+            for c in (9, 12, 16, 24)
+        ]
+        assert probs == sorted(probs, reverse=True)
+
+    def test_erlang_c_stable_for_many_servers(self):
+        queue = MMcQueue(arrival_rate=3000.0, service_rate=10.0, servers=320)
+        assert 0.0 <= queue.erlang_c() <= 1.0
+        assert math.isfinite(queue.mean_wait())
+
+    def test_unstable_queue_infinite_wait(self):
+        queue = MMcQueue(arrival_rate=25.0, service_rate=10.0, servers=2)
+        assert not queue.is_stable
+        assert queue.mean_wait() == math.inf
+        assert queue.response_quantile(0.99) == math.inf
+
+    def test_wait_quantile_zero_below_wait_probability(self):
+        queue = MMcQueue(arrival_rate=2.0, service_rate=10.0, servers=4)
+        # Erlang-C is tiny; the median wait is exactly zero.
+        assert queue.wait_quantile(0.5) == 0.0
+
+    def test_wait_quantile_monotone(self):
+        queue = MMcQueue(arrival_rate=35.0, service_rate=10.0, servers=4)
+        q90 = queue.wait_quantile(0.90)
+        q99 = queue.wait_quantile(0.99)
+        assert q99 > q90 >= 0.0
+
+    def test_wait_tail_consistency(self):
+        """P(W_q > wait_quantile(q)) == 1 - q in the exponential-tail regime."""
+        queue = MMcQueue(arrival_rate=37.0, service_rate=10.0, servers=4)
+        q = 0.99
+        t = queue.wait_quantile(q)
+        rate = 4 * 10.0 - 37.0
+        prob = queue.erlang_c() * math.exp(-rate * t)
+        assert prob == pytest.approx(1.0 - q, rel=1e-9)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            MMcQueue(arrival_rate=-1.0, service_rate=10.0, servers=1)
+        with pytest.raises(ValueError):
+            MMcQueue(arrival_rate=1.0, service_rate=10.0, servers=0)
+        with pytest.raises(ValueError):
+            MMcQueue(arrival_rate=1.0, service_rate=10.0, servers=2).wait_quantile(1.0)
+
+
+class TestEvaluateQoS:
+    def test_generous_allocation_meets_slo(self):
+        workload = np.full(10, 200.0)  # 2 Erlangs
+        plan = ScalingPlan(nodes=np.full(10, 8, dtype=int), threshold=60.0)
+        report = evaluate_qos(plan, workload, service_rate=100.0, slo_seconds=0.05)
+        assert report.slo_violation_rate == 0.0
+        assert report.unstable_intervals == 0
+
+    def test_starved_allocation_violates(self):
+        workload = np.full(10, 500.0)  # 5 Erlangs on 4 nodes: unstable
+        plan = ScalingPlan(nodes=np.full(10, 4, dtype=int), threshold=60.0)
+        report = evaluate_qos(plan, workload, service_rate=100.0, slo_seconds=0.05)
+        assert report.unstable_intervals == 10
+        assert report.slo_violation_rate == 1.0
+
+    def test_more_nodes_lower_latency(self):
+        workload = np.full(5, 450.0)
+        tight = ScalingPlan(nodes=np.full(5, 5, dtype=int), threshold=60.0)
+        roomy = ScalingPlan(nodes=np.full(5, 9, dtype=int), threshold=60.0)
+        tight_qos = evaluate_qos(tight, workload)
+        roomy_qos = evaluate_qos(roomy, workload)
+        assert roomy_qos.mean_p99 < tight_qos.mean_p99
+
+    def test_shape_mismatch_rejected(self):
+        plan = ScalingPlan(nodes=np.ones(3, dtype=int), threshold=60.0)
+        with pytest.raises(ValueError):
+            evaluate_qos(plan, np.ones(4))
+
+    def test_threshold_sixty_implies_stability(self):
+        """Allocating at theta=60% always keeps rho <= 0.6 < 1."""
+        rng = np.random.default_rng(0)
+        workload = rng.uniform(50, 4000, size=50)
+        from repro.core import solve_closed_form
+
+        plan = solve_closed_form(workload, 60.0)
+        report = evaluate_qos(plan, workload)
+        assert report.unstable_intervals == 0

@@ -1,0 +1,102 @@
+"""Tests for the public API surface and the command-line interface."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.cli import build_parser, main
+
+
+class TestPublicAPI:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            if name == "__version__":
+                continue
+            assert hasattr(repro, name), f"missing export {name}"
+
+    def test_docstring_quickstart_classes_exist(self):
+        assert callable(repro.alibaba_like_trace)
+        assert callable(repro.TFTForecaster)
+        assert callable(repro.RobustPredictiveAutoscaler)
+
+
+class TestCLI:
+    def test_parser_subcommands(self):
+        parser = build_parser()
+        args = parser.parse_args(["evaluate", "--trace", "google", "--quantile", "0.8"])
+        assert args.trace == "google"
+        assert args.quantile == 0.8
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_evaluate_naive_runs(self, capsys):
+        code = main(
+            [
+                "evaluate", "--trace", "alibaba", "--days", "6", "--model", "naive",
+                "--context", "144", "--horizon", "36", "--quantile", "0.9",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "under-provisioning" in out
+        assert "fixed-0.9" in out
+
+    def test_evaluate_adaptive_naive_runs(self, capsys):
+        code = main(
+            [
+                "evaluate", "--trace", "alibaba", "--days", "6", "--model", "naive",
+                "--context", "144", "--horizon", "36", "--adaptive",
+                "--quantile-low", "0.6", "--quantile", "0.9",
+            ]
+        )
+        assert code == 0
+        assert "adaptive-0.6/0.9" in capsys.readouterr().out
+
+    def test_forecast_arima_runs(self, capsys):
+        code = main(
+            [
+                "forecast", "--trace", "google", "--days", "6", "--model", "arima",
+                "--context", "144", "--horizon", "12",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "q0.9" in out
+        # 12 forecast rows
+        assert sum(1 for line in out.splitlines() if line.strip()[:2].strip().isdigit()) >= 12
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["forecast", "--model", "prophet"])
+
+    def test_simulate_naive_runs(self, capsys):
+        code = main(
+            [
+                "simulate", "--trace", "alibaba", "--days", "5", "--model", "naive",
+                "--context", "144", "--horizon", "36", "--quantile", "0.9",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "intervals simulated" in out
+        assert "node-hours consumed" in out
+
+    def test_simulate_replan_cadence_flag(self, capsys):
+        code = main(
+            [
+                "simulate", "--trace", "alibaba", "--days", "5", "--model", "naive",
+                "--context", "144", "--horizon", "36", "--replan-every", "12",
+            ]
+        )
+        assert code == 0
+        # More decisions with a shorter cadence than the default.
+        decisions = int(
+            [l for l in capsys.readouterr().out.splitlines() if "decisions" in l][0]
+            .split(":")[1]
+        )
+        assert decisions >= 2

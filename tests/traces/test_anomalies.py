@@ -1,0 +1,103 @@
+"""Tests for anomaly injection."""
+
+import numpy as np
+import pytest
+
+from repro.traces import (
+    Trace,
+    inject_flash_crowd,
+    inject_level_shift,
+    inject_noise_burst,
+    inject_outage_dip,
+)
+
+
+@pytest.fixture()
+def flat_trace():
+    return Trace("flat", np.full(100, 1000.0))
+
+
+class TestLevelShift:
+    def test_step_applied_from_start(self, flat_trace):
+        shifted = inject_level_shift(flat_trace, start=40, magnitude=500.0)
+        np.testing.assert_array_equal(shifted.values[:40], 1000.0)
+        np.testing.assert_array_equal(shifted.values[40:], 1500.0)
+
+    def test_negative_shift_floored(self, flat_trace):
+        shifted = inject_level_shift(flat_trace, start=0, magnitude=-2000.0)
+        np.testing.assert_array_equal(shifted.values, 0.0)
+
+    def test_original_untouched(self, flat_trace):
+        inject_level_shift(flat_trace, start=10, magnitude=100.0)
+        np.testing.assert_array_equal(flat_trace.values, 1000.0)
+
+    def test_out_of_range_start(self, flat_trace):
+        with pytest.raises(ValueError):
+            inject_level_shift(flat_trace, start=100, magnitude=1.0)
+
+
+class TestFlashCrowd:
+    def test_shape(self, flat_trace):
+        surged = inject_flash_crowd(
+            flat_trace, start=10, peak_magnitude=600.0,
+            ramp_steps=5, hold_steps=10, decay_steps=10,
+        )
+        assert surged.values[:10].max() == 1000.0
+        # plateau reaches the peak
+        np.testing.assert_allclose(surged.values[15:25], 1600.0)
+        # decays back toward baseline
+        assert surged.values[34] < 1100.0
+        # and ends clean
+        np.testing.assert_array_equal(surged.values[40:], 1000.0)
+
+    def test_rejects_overflowing_window(self, flat_trace):
+        with pytest.raises(ValueError):
+            inject_flash_crowd(flat_trace, start=90, peak_magnitude=100.0)
+
+    def test_rejects_nonpositive_peak(self, flat_trace):
+        with pytest.raises(ValueError):
+            inject_flash_crowd(flat_trace, start=0, peak_magnitude=0.0)
+
+
+class TestOutage:
+    def test_dip_and_recovery(self, flat_trace):
+        out = inject_outage_dip(
+            flat_trace, start=20, duration=10,
+            residual_fraction=0.1, retry_surge_fraction=0.0,
+        )
+        np.testing.assert_allclose(out.values[20:30], 100.0)
+        np.testing.assert_array_equal(out.values[30:], 1000.0)
+
+    def test_retry_surge_conserves_fraction(self, flat_trace):
+        out = inject_outage_dip(
+            flat_trace, start=20, duration=10,
+            residual_fraction=0.0, retry_surge_fraction=0.5, surge_steps=5,
+        )
+        dropped = 1000.0 * 10
+        surge = out.values[30:35] - 1000.0
+        assert surge.sum() == pytest.approx(dropped * 0.5)
+
+    def test_rejects_bad_fractions(self, flat_trace):
+        with pytest.raises(ValueError):
+            inject_outage_dip(flat_trace, 0, 5, residual_fraction=1.5)
+        with pytest.raises(ValueError):
+            inject_outage_dip(flat_trace, 0, 5, retry_surge_fraction=-0.1)
+
+
+class TestNoiseBurst:
+    def test_variance_raised_mean_kept(self, flat_trace):
+        big = Trace("flat", np.full(5000, 1000.0))
+        noisy = inject_noise_burst(big, start=1000, duration=3000, extra_std=50.0)
+        window = noisy.values[1000:4000]
+        assert window.std() == pytest.approx(50.0, rel=0.1)
+        assert window.mean() == pytest.approx(1000.0, rel=0.01)
+        np.testing.assert_array_equal(noisy.values[:1000], 1000.0)
+
+    def test_reproducible(self, flat_trace):
+        a = inject_noise_burst(flat_trace, 10, 20, 30.0, seed=5)
+        b = inject_noise_burst(flat_trace, 10, 20, 30.0, seed=5)
+        np.testing.assert_array_equal(a.values, b.values)
+
+    def test_rejects_bad_std(self, flat_trace):
+        with pytest.raises(ValueError):
+            inject_noise_burst(flat_trace, 0, 10, extra_std=0.0)

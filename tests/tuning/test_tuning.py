@@ -1,0 +1,138 @@
+"""Tests for the hyperparameter-search substrate."""
+
+import numpy as np
+import pytest
+
+from repro.tuning import MedianPruner, Study, Trial, TrialPruned, grid_search
+
+
+class TestTrialSuggestions:
+    def make_trial(self, seed=0):
+        return Trial(number=0, _rng=np.random.default_rng(seed))
+
+    def test_float_in_bounds(self):
+        trial = self.make_trial()
+        for _ in range(50):
+            assert 1.0 <= trial.suggest_float("x", 1.0, 2.0) <= 2.0
+
+    def test_log_float_spans_decades(self):
+        trial = self.make_trial()
+        values = [trial.suggest_float("lr", 1e-5, 1e-1, log=True) for _ in range(300)]
+        assert min(values) < 1e-4
+        assert max(values) > 1e-2
+
+    def test_int_inclusive_bounds(self):
+        trial = self.make_trial()
+        values = {trial.suggest_int("n", 1, 3) for _ in range(100)}
+        assert values == {1, 2, 3}
+
+    def test_categorical(self):
+        trial = self.make_trial()
+        values = {trial.suggest_categorical("act", ["relu", "tanh"]) for _ in range(50)}
+        assert values == {"relu", "tanh"}
+
+    def test_params_recorded(self):
+        trial = self.make_trial()
+        trial.suggest_int("n", 1, 5)
+        trial.suggest_float("x", 0.0, 1.0)
+        assert set(trial.params) == {"n", "x"}
+
+    def test_rejects_bad_bounds(self):
+        trial = self.make_trial()
+        with pytest.raises(ValueError):
+            trial.suggest_float("x", 2.0, 1.0)
+        with pytest.raises(ValueError):
+            trial.suggest_float("x", -1.0, 1.0, log=True)
+        with pytest.raises(ValueError):
+            trial.suggest_categorical("c", [])
+
+
+class TestStudy:
+    def test_finds_quadratic_minimum(self):
+        study = Study(seed=0)
+        study.optimize(lambda t: (t.suggest_float("x", -10, 10) - 3.0) ** 2, n_trials=200)
+        assert study.best_params["x"] == pytest.approx(3.0, abs=0.5)
+        assert study.best_value < 0.25
+
+    def test_maximize_direction(self):
+        study = Study(direction="maximize", seed=1)
+        study.optimize(lambda t: -((t.suggest_float("x", -5, 5) - 1.0) ** 2), n_trials=200)
+        assert study.best_params["x"] == pytest.approx(1.0, abs=0.5)
+
+    def test_deterministic_given_seed(self):
+        def objective(t):
+            return t.suggest_float("x", 0, 1)
+
+        a = Study(seed=7)
+        a.optimize(objective, 20)
+        b = Study(seed=7)
+        b.optimize(objective, 20)
+        assert a.best_value == b.best_value
+
+    def test_no_trials_raises(self):
+        with pytest.raises(RuntimeError):
+            Study().best_trial
+        with pytest.raises(ValueError):
+            Study().optimize(lambda t: 0.0, n_trials=0)
+
+    def test_pruned_trials_excluded_from_best(self):
+        pruner = MedianPruner(warmup_trials=1)
+        study = Study(seed=2, pruner=pruner)
+
+        def objective(trial):
+            x = trial.suggest_float("x", 0.0, 1.0)
+            trial.report(x, step=0)  # bad trials pruned against the median
+            return x
+
+        study.optimize(objective, 30)
+        assert any(t.pruned for t in study.trials)
+        assert study.best_trial.pruned is False
+
+    def test_rejects_unknown_direction(self):
+        with pytest.raises(ValueError):
+            Study(direction="sideways")
+
+
+class TestMedianPruner:
+    def test_no_pruning_during_warmup(self):
+        pruner = MedianPruner(warmup_trials=3)
+        trial = Trial(number=0, _rng=np.random.default_rng(0), _pruner=pruner)
+        trial.report(100.0, step=0)  # no peers yet
+        assert trial.intermediate == [100.0]
+
+    def test_prunes_worse_than_median(self):
+        pruner = MedianPruner(warmup_trials=2)
+        pruner.register([1.0])
+        pruner.register([2.0])
+        trial = Trial(number=2, _rng=np.random.default_rng(0), _pruner=pruner)
+        with pytest.raises(TrialPruned):
+            trial.report(10.0, step=0)
+
+
+class TestGridSearch:
+    def test_exhaustive(self):
+        best, results = grid_search(
+            lambda p: (p["x"] - 2) ** 2 + p["y"],
+            {"x": [0, 1, 2, 3], "y": [0.0, 0.5]},
+        )
+        assert best.params == {"x": 2, "y": 0.0}
+        assert len(results) == 8
+
+    def test_maximize(self):
+        best, _ = grid_search(
+            lambda p: p["x"], {"x": [1, 5, 3]}, direction="maximize"
+        )
+        assert best.params["x"] == 5
+
+    def test_deterministic_order(self):
+        _, results = grid_search(lambda p: 0.0, {"a": [1, 2], "b": [3, 4]})
+        combos = [tuple(r.params.values()) for r in results]
+        assert combos == [(1, 3), (1, 4), (2, 3), (2, 4)]
+
+    def test_rejects_empty_space(self):
+        with pytest.raises(ValueError):
+            grid_search(lambda p: 0.0, {})
+
+    def test_rejects_bad_direction(self):
+        with pytest.raises(ValueError):
+            grid_search(lambda p: 0.0, {"x": [1]}, direction="up")
