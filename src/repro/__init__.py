@@ -20,9 +20,11 @@ Quick start::
     plan = scaler.plan(train.values[-72:], start_index=len(train) - 72)
 """
 
+from . import obs
 from .core import (
     AutoscalingRuntime,
     FixedQuantilePolicy,
+    Planner,
     PointForecastScaler,
     ProvisioningReport,
     QuantilePolicy,
@@ -87,7 +89,10 @@ __all__ = [
     "TFTPointForecaster",
     "PaddedPointForecaster",
     "SeasonalNaiveForecaster",
+    # observability
+    "obs",
     # core
+    "Planner",
     "ScalingPlan",
     "ProvisioningReport",
     "required_nodes",

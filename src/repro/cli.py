@@ -13,6 +13,11 @@ Compare every strategy the paper evaluates (small budget)::
 Show a quantile forecast::
 
     repro-autoscale forecast --trace alibaba --model tft
+
+Capture telemetry from any run and summarise it afterwards::
+
+    repro-autoscale evaluate --trace alibaba --days 5 --telemetry out.jsonl
+    repro-autoscale report out.jsonl
 """
 
 from __future__ import annotations
@@ -79,6 +84,19 @@ def cmd_forecast(args: argparse.Namespace) -> int:
 
 
 def cmd_evaluate(args: argparse.Namespace) -> int:
+    """Closed-loop evaluation of one robust scaling strategy.
+
+    The planner is driven by an :class:`AutoscalingRuntime` over the test
+    split (reactive fallback until a full context exists, then committed
+    predictive plans), and the resulting allocation series is replayed on
+    the simulated cluster so QoS violations include warm-up effects.
+    With ``--telemetry`` the whole run streams spans and counters to a
+    JSONL file that ``repro-autoscale report`` can summarise.
+    """
+    from .core import AutoscalingRuntime
+    from .core.plan import ScalingPlan, evaluate_plan
+    from .simulator import replay_plan
+
     train, test = _load_trace(args)
     forecaster = _build_forecaster(args.model, args.context, args.horizon, args.epochs, args.seed)
     forecaster.fit(train.values)
@@ -89,15 +107,47 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     else:
         policy = FixedQuantilePolicy(args.quantile)
     scaler = RobustPredictiveAutoscaler(forecaster, args.threshold, policy)
-    ev = evaluate_strategy(
-        scaler, test.values, args.context, args.horizon, args.threshold,
-        series_start_index=len(train.values),
+    runtime = AutoscalingRuntime(
+        planner=scaler,
+        context_length=args.context,
+        horizon=args.horizon,
+        threshold=args.threshold,
+        start_index=len(train.values),
     )
+    allocations = runtime.run(test.values)
+    committed = ScalingPlan(
+        nodes=allocations, threshold=args.threshold, strategy=scaler.name
+    )
+    report = evaluate_plan(committed, test.values)
+    replay = replay_plan(committed, test.values)
+    fallback_intervals = min(args.context, len(test.values))
+    violations = sum(o.violated for o in replay.outcomes)
     print(f"strategy            : {scaler.name}")
-    print(f"under-provisioning  : {ev.report.under_provisioning_rate:.4f}")
-    print(f"over-provisioning   : {ev.report.over_provisioning_rate:.4f}")
-    print(f"total node-steps    : {ev.report.total_nodes}")
-    print(f"minimum node-steps  : {ev.report.minimum_nodes}")
+    print(f"under-provisioning  : {report.under_provisioning_rate:.4f}")
+    print(f"over-provisioning   : {report.over_provisioning_rate:.4f}")
+    print(f"total node-steps    : {report.total_nodes}")
+    print(f"minimum node-steps  : {report.minimum_nodes}")
+    print(f"planning decisions  : {len(runtime.decisions)}")
+    print(f"fallback intervals  : {fallback_intervals}")
+    print(f"QoS violations      : {violations} "
+          f"({replay.violation_rate:.1%}, {replay.warmup_limited_violations} warm-up limited)")
+    print(f"node-hours consumed : {replay.total_node_seconds / 3600:.0f}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Summarise a telemetry file produced with ``--telemetry``."""
+    from .obs import format_summary, read_jsonl, summarize_records
+
+    try:
+        records = read_jsonl(args.path)
+    except OSError as error:
+        print(f"cannot read telemetry file: {error}", file=sys.stderr)
+        return 2
+    if not records:
+        print(f"no telemetry records in {args.path}", file=sys.stderr)
+        return 1
+    print(format_summary(summarize_records(records)))
     return 0
 
 
@@ -192,6 +242,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--horizon", type=int, default=72, help="forecast steps")
         p.add_argument("--epochs", type=int, default=10)
         p.add_argument("--threshold", type=float, default=60.0, help="per-node workload threshold")
+        p.add_argument("--telemetry", metavar="PATH", default=None,
+                       help="stream telemetry events (spans, counters, gauges, "
+                            "histograms) to PATH as JSON lines")
 
     p_forecast = sub.add_parser("forecast", help="print a quantile forecast vs actuals")
     common(p_forecast)
@@ -227,12 +280,36 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--checkpoint-gb", type=float, default=4.0,
                        help="in-memory state rebuilt on scale-out")
     p_sim.set_defaults(func=cmd_simulate)
+
+    p_report = sub.add_parser(
+        "report", help="summarise a telemetry file written with --telemetry"
+    )
+    p_report.add_argument("path", help="JSON-lines telemetry file")
+    p_report.set_defaults(func=cmd_report)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    telemetry = getattr(args, "telemetry", None)
+    if telemetry is None:
+        return args.func(args)
+
+    from .obs import JsonlSink, MetricsRegistry, using_registry
+
+    registry = MetricsRegistry()
+    try:
+        sink = JsonlSink(telemetry)
+    except OSError as error:
+        print(f"cannot open telemetry file: {error}", file=sys.stderr)
+        return 2
+    registry.add_sink(sink)
+    try:
+        with using_registry(registry):
+            return args.func(args)
+    finally:
+        sink.close()
+        print(f"telemetry: {sink.records_written} events -> {telemetry}", file=sys.stderr)
 
 
 if __name__ == "__main__":

@@ -16,7 +16,8 @@ from .autoscaler import RobustPredictiveAutoscaler
 from .evaluation import RollingEvaluation, decision_points, evaluate_strategy
 from .manager import RobustAutoScalingManager
 from .optimizer import solve_closed_form, solve_lp, solve_with_ramp_limits
-from .plan import ProvisioningReport, ScalingPlan, evaluate_plan, required_nodes
+from .evaluation import PlanningStrategy
+from .plan import Planner, ProvisioningReport, ScalingPlan, evaluate_plan, required_nodes
 from .policies import (
     FixedQuantilePolicy,
     QuantilePolicy,
@@ -33,6 +34,8 @@ from .uncertainty import (
 )
 
 __all__ = [
+    "Planner",
+    "PlanningStrategy",
     "ScalingPlan",
     "ProvisioningReport",
     "required_nodes",

@@ -10,6 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..forecast.base import Forecaster, QuantileForecast
+from ..obs import get_registry
 from .manager import RobustAutoScalingManager
 from .plan import ScalingPlan
 from .policies import QuantilePolicy
@@ -31,10 +32,13 @@ class RobustPredictiveAutoscaler:
         Quantile-selection policy (fixed / uncertainty-aware adaptive /
         staircase); defaults to fixed 0.9.
     quantile_levels:
-        Grid requested from the forecaster at planning time.  Must cover
-        every level the policy can select.
+        Grid requested from the forecaster at planning time; ``None``
+        (the default) requests the forecaster's own
+        :attr:`~repro.forecast.base.Forecaster.default_levels`.  Must
+        cover every level the policy can select.
     max_scale_out, max_scale_in:
-        Optional per-step ramp limits (thrashing control).
+        Optional per-step ramp limits (thrashing control).  Each side
+        is independent — set either, both, or neither.
     """
 
     def __init__(
@@ -69,12 +73,14 @@ class RobustPredictiveAutoscaler:
         return self
 
     def forecast(self, context: np.ndarray, start_index: int = 0) -> QuantileForecast:
-        """The quantile forecast underlying the next plan."""
-        if self.quantile_levels is not None:
-            return self.forecaster.predict(
-                context, levels=self.quantile_levels, start_index=start_index
-            )
-        return self.forecaster.predict(context, start_index=start_index)
+        """The quantile forecast underlying the next plan.
+
+        ``levels=None`` is part of the uniform forecaster contract: the
+        model serves its own default grid, so no branching is needed.
+        """
+        return self.forecaster.predict(
+            context, levels=self.quantile_levels, start_index=start_index
+        )
 
     def plan(
         self,
@@ -83,5 +89,8 @@ class RobustPredictiveAutoscaler:
         current_nodes: int | None = None,
     ) -> ScalingPlan:
         """One decision cycle: forecast the horizon, solve for nodes."""
-        forecast = self.forecast(context, start_index)
-        return self.manager.plan(forecast, current_nodes=current_nodes)
+        metrics = get_registry()
+        with metrics.span("forecast", model=type(self.forecaster).__name__):
+            forecast = self.forecast(context, start_index)
+        with metrics.span("solve", policy=self.manager.policy.name):
+            return self.manager.plan(forecast, current_nodes=current_nodes)

@@ -12,23 +12,19 @@ step by step.  All strategies are compared on the same concatenated
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Protocol
+from typing import Callable
 
 import numpy as np
 
-from .plan import ProvisioningReport, ScalingPlan, evaluate_plan
+from ..obs import get_registry
+from .plan import Planner, ProvisioningReport, ScalingPlan, evaluate_plan
 from .reactive import ReactiveScaler
 
 __all__ = ["PlanningStrategy", "RollingEvaluation", "evaluate_strategy", "decision_points"]
 
-
-class PlanningStrategy(Protocol):
-    """Anything that plans a horizon from a context window."""
-
-    def plan(self, context: np.ndarray, start_index: int = 0) -> ScalingPlan: ...
-
-    @property
-    def name(self) -> str: ...
+#: Backwards-compatible alias — the protocol now lives in
+#: :mod:`repro.core.plan` as :class:`~repro.core.plan.Planner`.
+PlanningStrategy = Planner
 
 
 @dataclass
@@ -70,7 +66,7 @@ def decision_points(
 
 
 def evaluate_strategy(
-    strategy: PlanningStrategy | ReactiveScaler,
+    strategy: Planner | ReactiveScaler,
     values: np.ndarray,
     context_length: int,
     horizon: int,
@@ -101,25 +97,63 @@ def evaluate_strategy(
     """
     values = np.asarray(values, dtype=np.float64)
     points = decision_points(len(values), context_length, horizon, stride)
+    metrics = get_registry()
 
     if isinstance(strategy, ReactiveScaler):
-        span_start, span_end = points[0], points[-1] + horizon
-        replay_plan = strategy.replay(values[: span_end], threshold)
-        nodes = replay_plan.nodes[span_start:span_end]
-        actual = values[span_start:span_end]
-        combined = ScalingPlan(nodes=nodes, threshold=threshold, strategy=strategy.name)
-        window_reports = [
-            evaluate_plan(
-                ScalingPlan(
-                    nodes=nodes[p - span_start : p - span_start + horizon],
-                    threshold=threshold,
-                    strategy=strategy.name,
-                ),
-                values[p : p + horizon],
+        with metrics.span("evaluate", strategy=strategy.name):
+            span_start, span_end = points[0], points[-1] + horizon
+            replay_plan = strategy.replay(values[: span_end], threshold)
+            nodes = replay_plan.nodes[span_start:span_end]
+            actual = values[span_start:span_end]
+            combined = ScalingPlan(nodes=nodes, threshold=threshold, strategy=strategy.name)
+            window_reports = [
+                evaluate_plan(
+                    ScalingPlan(
+                        nodes=nodes[p - span_start : p - span_start + horizon],
+                        threshold=threshold,
+                        strategy=strategy.name,
+                    ),
+                    values[p : p + horizon],
+                )
+                for p in points
+            ]
+            result = RollingEvaluation(
+                strategy=strategy.name,
+                nodes=nodes,
+                actual=actual,
+                threshold=threshold,
+                report=evaluate_plan(combined, actual),
+                window_reports=window_reports,
             )
-            for p in points
-        ]
-        return RollingEvaluation(
+        _count_evaluation(metrics, result, len(points))
+        return result
+
+    all_nodes: list[np.ndarray] = []
+    all_actual: list[np.ndarray] = []
+    window_reports = []
+    with metrics.span("evaluate", strategy=strategy.name):
+        for point in points:
+            context = values[point - context_length : point]
+            actual_window = values[point : point + horizon]
+            with metrics.span("plan"):
+                plan = strategy.plan(
+                    context, start_index=series_start_index + point - context_length
+                )
+            if plan.horizon != horizon:
+                raise ValueError(
+                    f"strategy {strategy.name} planned {plan.horizon} steps, "
+                    f"expected {horizon}"
+                )
+            if on_window is not None:
+                on_window(point, plan, actual_window)
+            all_nodes.append(plan.nodes)
+            all_actual.append(actual_window)
+            window_reports.append(evaluate_plan(plan, actual_window))
+
+        nodes = np.concatenate(all_nodes)
+        actual = np.concatenate(all_actual)
+        combined = ScalingPlan(nodes=nodes, threshold=threshold, strategy=strategy.name)
+        result = RollingEvaluation(
             strategy=strategy.name,
             nodes=nodes,
             actual=actual,
@@ -127,35 +161,16 @@ def evaluate_strategy(
             report=evaluate_plan(combined, actual),
             window_reports=window_reports,
         )
+    _count_evaluation(metrics, result, len(points))
+    return result
 
-    all_nodes: list[np.ndarray] = []
-    all_actual: list[np.ndarray] = []
-    window_reports = []
-    for point in points:
-        context = values[point - context_length : point]
-        actual_window = values[point : point + horizon]
-        plan = strategy.plan(
-            context, start_index=series_start_index + point - context_length
-        )
-        if plan.horizon != horizon:
-            raise ValueError(
-                f"strategy {strategy.name} planned {plan.horizon} steps, "
-                f"expected {horizon}"
-            )
-        if on_window is not None:
-            on_window(point, plan, actual_window)
-        all_nodes.append(plan.nodes)
-        all_actual.append(actual_window)
-        window_reports.append(evaluate_plan(plan, actual_window))
 
-    nodes = np.concatenate(all_nodes)
-    actual = np.concatenate(all_actual)
-    combined = ScalingPlan(nodes=nodes, threshold=threshold, strategy=strategy.name)
-    return RollingEvaluation(
-        strategy=strategy.name,
-        nodes=nodes,
-        actual=actual,
-        threshold=threshold,
-        report=evaluate_plan(combined, actual),
-        window_reports=window_reports,
+def _count_evaluation(metrics, result: RollingEvaluation, windows: int) -> None:
+    """Per-strategy cost/violation counters for a finished evaluation."""
+    labels = {"strategy": result.strategy}
+    metrics.counter("evaluation.windows", **labels).inc(windows)
+    metrics.counter("evaluation.steps", **labels).inc(len(result.nodes))
+    metrics.counter("evaluation.violation_steps", **labels).inc(
+        result.report.violation_steps
     )
+    metrics.counter("evaluation.node_steps", **labels).inc(result.report.total_nodes)

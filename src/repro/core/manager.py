@@ -31,7 +31,9 @@ class RobustAutoScalingManager:
         at the 0.9 quantile (the paper's running example).
     max_scale_out, max_scale_in:
         Optional ramp limits per step (Section V-A thrashing control).
-        ``None`` disables the corresponding constraint.
+        ``None`` disables the corresponding constraint; each side is
+        independent, so e.g. capping only ``max_scale_in`` (thrashing
+        control on release while scale-out stays unbounded) is valid.
     """
 
     def __init__(
@@ -44,8 +46,6 @@ class RobustAutoScalingManager:
         threshold_arr = np.asarray(threshold, dtype=np.float64)
         if np.any(threshold_arr <= 0):
             raise ValueError("threshold must be strictly positive")
-        if (max_scale_out is None) != (max_scale_in is None):
-            raise ValueError("set both ramp limits or neither")
         self.threshold = threshold
         self.policy = policy if policy is not None else FixedQuantilePolicy(0.9)
         self.max_scale_out = max_scale_out
@@ -70,7 +70,7 @@ class RobustAutoScalingManager:
             # Quantile forecasts can dip below zero on normalised models;
             # workload is physically non-negative.
             bound = np.maximum(bound, 0.0)
-        if self.max_scale_out is not None and self.max_scale_in is not None:
+        if self.max_scale_out is not None or self.max_scale_in is not None:
             plan = solve_with_ramp_limits(
                 bound,
                 self.threshold,

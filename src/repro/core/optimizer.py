@@ -71,14 +71,17 @@ def solve_lp(
 def solve_with_ramp_limits(
     workload: np.ndarray,
     threshold: float | np.ndarray,
-    max_scale_out: int,
-    max_scale_in: int,
+    max_scale_out: int | None = None,
+    max_scale_in: int | None = None,
     initial_nodes: int | None = None,
     strategy: str = "robust-ramped",
 ) -> ScalingPlan:
     """Thrashing-controlled variant (Section V-A).
 
-    Adds ramp constraints to Definition 6:
+    Adds ramp constraints to Definition 6, each side independently
+    optional (``None`` leaves that direction unbounded — a legitimate
+    configuration, e.g. capping scale-in for thrashing control while
+    letting scale-out react freely):
 
     * ``c_t - c_{t-1} <= max_scale_out`` (limited node additions/step),
     * ``c_{t-1} - c_t <= max_scale_in`` (limited removals/step),
@@ -90,7 +93,8 @@ def solve_with_ramp_limits(
     (a step cannot drop below the previous step's level minus the
     scale-in limit).  The result is the pointwise least feasible
     allocation, which is optimal because the objective is a sum of
-    increasing per-step costs.
+    increasing per-step costs.  With both limits ``None`` the passes
+    are no-ops and the result equals :func:`solve_closed_form`.
 
     Raises
     ------
@@ -98,25 +102,29 @@ def solve_with_ramp_limits(
         If ``initial_nodes`` makes the first step's demand unreachable
         (the workload genuinely cannot be served under the ramp limit).
     """
-    if max_scale_out < 1 or max_scale_in < 1:
-        raise ValueError("ramp limits must be >= 1 node per step")
+    for side, limit in (("max_scale_out", max_scale_out), ("max_scale_in", max_scale_in)):
+        if limit is not None and limit < 1:
+            raise ValueError(f"{side} must be >= 1 node per step (or None)")
     demand = required_nodes(workload, threshold).astype(np.int64)
     horizon = len(demand)
     nodes = demand.copy()
 
     # Backward: ensure step t can ramp up to meet step t+1's floor.
-    for t in range(horizon - 2, -1, -1):
-        nodes[t] = max(nodes[t], nodes[t + 1] - max_scale_out)
+    if max_scale_out is not None:
+        for t in range(horizon - 2, -1, -1):
+            nodes[t] = max(nodes[t], nodes[t + 1] - max_scale_out)
     # Forward: honour the scale-in limit (can't shed more than allowed).
     if initial_nodes is not None:
-        if nodes[0] > initial_nodes + max_scale_out:
+        if max_scale_out is not None and nodes[0] > initial_nodes + max_scale_out:
             raise ValueError(
                 f"demand of {nodes[0]} nodes at step 0 unreachable from "
                 f"{initial_nodes} under max_scale_out={max_scale_out}"
             )
-        nodes[0] = max(nodes[0], initial_nodes - max_scale_in)
-    for t in range(1, horizon):
-        nodes[t] = max(nodes[t], nodes[t - 1] - max_scale_in)
+        if max_scale_in is not None:
+            nodes[0] = max(nodes[0], initial_nodes - max_scale_in)
+    if max_scale_in is not None:
+        for t in range(1, horizon):
+            nodes[t] = max(nodes[t], nodes[t - 1] - max_scale_in)
 
     plan = ScalingPlan(nodes=nodes, threshold=threshold, strategy=strategy)
     plan.metadata["max_scale_out"] = max_scale_out

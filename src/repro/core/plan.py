@@ -15,10 +15,17 @@ metrics (Section IV-C):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
 
 import numpy as np
 
-__all__ = ["ScalingPlan", "ProvisioningReport", "required_nodes", "evaluate_plan"]
+__all__ = [
+    "Planner",
+    "ScalingPlan",
+    "ProvisioningReport",
+    "required_nodes",
+    "evaluate_plan",
+]
 
 
 def required_nodes(workload: np.ndarray, threshold: float | np.ndarray) -> np.ndarray:
@@ -76,6 +83,33 @@ class ScalingPlan:
     def total_nodes(self) -> int:
         """The objective of Definition 3/4: total node-steps allocated."""
         return int(self.nodes.sum())
+
+
+@runtime_checkable
+class Planner(Protocol):
+    """The planning contract every auto-scaling strategy satisfies.
+
+    A planner maps a context window of observed workloads to a
+    :class:`ScalingPlan` for the steps that follow it.  The contract is
+    structural (:class:`typing.Protocol`): conforming classes —
+    :class:`~repro.core.autoscaler.RobustPredictiveAutoscaler`,
+    :class:`~repro.core.predictive.PointForecastScaler`, the reactive
+    scalers, ensembles — need not inherit from anything.
+
+    ``start_index`` is the absolute index of ``context[0]`` in the
+    original trace; planners whose forecasters use calendar features
+    need it for phase alignment and all others must accept (and may
+    ignore) it.
+    """
+
+    @property
+    def name(self) -> str:
+        """Human-readable strategy label (stamped onto plans/reports)."""
+        ...
+
+    def plan(self, context: np.ndarray, start_index: int = 0) -> ScalingPlan:
+        """Commit node allocations for the horizon following ``context``."""
+        ...
 
 
 @dataclass(frozen=True)

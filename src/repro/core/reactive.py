@@ -21,16 +21,60 @@ __all__ = ["ReactiveScaler", "ReactiveMaxScaler", "ReactiveAvgScaler"]
 
 
 class ReactiveScaler:
-    """Base: replay a workload series, allocating from a trailing window."""
+    """Base: replay a workload series, allocating from a trailing window.
 
-    def __init__(self, window: int = 6) -> None:
+    Besides step-by-step :meth:`replay` (the paper's protocol), reactive
+    scalers also satisfy the :class:`~repro.core.plan.Planner` contract
+    via :meth:`plan` when constructed with ``threshold`` (and usually
+    ``horizon``), so they slot into any harness typed against planners
+    — a reactive plan simply holds the trailing-window estimate flat
+    for the whole horizon, which is exactly the lag Figure 9 exposes.
+    """
+
+    def __init__(
+        self,
+        window: int = 6,
+        *,
+        threshold: float | None = None,
+        horizon: int = 1,
+    ) -> None:
         if window < 1:
             raise ValueError("window must be >= 1")
+        if horizon < 1:
+            raise ValueError("horizon must be >= 1")
+        if threshold is not None and threshold <= 0:
+            raise ValueError("threshold must be strictly positive")
         self.window = window
+        self.threshold = threshold
+        self.horizon = horizon
 
     def window_statistic(self, recent: np.ndarray) -> float:
         """The demand estimate extracted from the trailing window."""
         raise NotImplementedError
+
+    def plan(self, context: np.ndarray, start_index: int = 0) -> ScalingPlan:
+        """Commit a flat ``horizon``-step plan from the trailing window.
+
+        Requires ``threshold`` to have been set at construction; the
+        estimate comes from the last ``window`` values of ``context``
+        (``start_index`` is accepted for protocol conformance and
+        ignored — reactive scaling is calendar-blind).
+        """
+        if self.threshold is None:
+            raise ValueError(
+                f"{self.name} needs threshold= at construction to plan(); "
+                "replay() takes the threshold per call instead"
+            )
+        context = np.asarray(context, dtype=np.float64)
+        if context.size == 0:
+            raise ValueError("plan() needs at least one observed workload")
+        estimate = max(self.window_statistic(context[-self.window :]), 0.0)
+        nodes = np.full(
+            self.horizon,
+            required_nodes(np.array([estimate]), self.threshold)[0],
+            dtype=np.int64,
+        )
+        return ScalingPlan(nodes=nodes, threshold=self.threshold, strategy=self.name)
 
     def replay(self, workload: np.ndarray, threshold: float) -> ScalingPlan:
         """Allocate nodes for each step of ``workload`` reactively.
@@ -70,8 +114,15 @@ class ReactiveAvgScaler(ReactiveScaler):
     with the default 6-step window the newest observation dominates).
     """
 
-    def __init__(self, window: int = 6, half_life: float = 6.0) -> None:
-        super().__init__(window)
+    def __init__(
+        self,
+        window: int = 6,
+        half_life: float = 6.0,
+        *,
+        threshold: float | None = None,
+        horizon: int = 1,
+    ) -> None:
+        super().__init__(window, threshold=threshold, horizon=horizon)
         if half_life <= 0:
             raise ValueError("half_life must be positive")
         self.half_life = half_life

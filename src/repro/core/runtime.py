@@ -9,7 +9,10 @@ wire to a real cluster's scaling API.
 
 It also supports an optional reactive fallback for the cold-start phase
 (before enough history exists to form a context window) and records
-every decision for audit.
+every decision for audit.  The loop is instrumented through
+:mod:`repro.obs`: planning latency (span ``runtime/plan``), decision and
+fallback counters, and a ``runtime.nodes_requested`` gauge all flow to
+the ambient metrics registry.
 """
 
 from __future__ import annotations
@@ -19,8 +22,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from .evaluation import PlanningStrategy
-from .plan import ScalingPlan, required_nodes
+from ..obs import get_registry
+from .plan import Planner, ScalingPlan, required_nodes
 from .reactive import ReactiveScaler
 
 __all__ = ["Decision", "AutoscalingRuntime"]
@@ -42,8 +45,10 @@ class AutoscalingRuntime:
     Parameters
     ----------
     planner:
-        Any object with ``plan(context, start_index) -> ScalingPlan``
-        (e.g. :class:`~repro.core.autoscaler.RobustPredictiveAutoscaler`).
+        Any :class:`~repro.core.plan.Planner`
+        (e.g. :class:`~repro.core.autoscaler.RobustPredictiveAutoscaler`,
+        a :class:`~repro.core.predictive.PointForecastScaler`, or a
+        reactive scaler constructed with ``threshold``/``horizon``).
     context_length:
         History needed before predictive planning can start.
     horizon:
@@ -60,7 +65,7 @@ class AutoscalingRuntime:
         Per-node workload threshold for the fallback's allocations.
     """
 
-    planner: PlanningStrategy
+    planner: Planner
     context_length: int
     horizon: int
     threshold: float
@@ -99,6 +104,7 @@ class AutoscalingRuntime:
         self._history.append(float(workload))
         self._time += 1
         self._plan_position += 1
+        get_registry().counter("runtime.observations").inc()
 
     def target_nodes(self) -> int:
         """Node target for the upcoming interval (plans lazily)."""
@@ -106,8 +112,13 @@ class AutoscalingRuntime:
             self._replan()
         if self._current_plan is not None:
             position = min(self._plan_position, self._current_plan.horizon - 1)
-            return int(self._current_plan.nodes[position])
-        return self._fallback_target()
+            target = int(self._current_plan.nodes[position])
+        else:
+            metrics = get_registry()
+            metrics.counter("runtime.fallback_activations").inc()
+            target = self._fallback_target()
+        get_registry().gauge("runtime.nodes_requested").set(target)
+        return target
 
     def _needs_replan(self) -> bool:
         if len(self._history) < self.context_length:
@@ -121,14 +132,17 @@ class AutoscalingRuntime:
 
     def _replan(self) -> None:
         context = np.asarray(self._history, dtype=np.float64)
-        plan = self.planner.plan(
-            context, start_index=self._time - self.context_length
-        )
+        metrics = get_registry()
+        with metrics.span("runtime/plan"):
+            plan = self.planner.plan(
+                context, start_index=self._time - self.context_length
+            )
         self._current_plan = plan
         self._plan_position = 0
         self.decisions.append(
             Decision(time_index=self._time, plan=plan, source="predictive")
         )
+        metrics.counter("runtime.decisions", source="predictive").inc()
 
     def _fallback_target(self) -> int:
         if not self._history:

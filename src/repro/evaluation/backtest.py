@@ -109,16 +109,22 @@ def backtest(
         calendar features phase-aligned when ``values`` is a split.
     """
     from ..core.evaluation import decision_points
+    from ..obs import get_registry
 
     values = np.asarray(values, dtype=np.float64)
     points = decision_points(len(values), context_length, horizon, stride)
     result = BacktestResult(levels=tuple(sorted(levels)), points=points)
-    for point in points:
-        forecast = forecaster.predict(
-            values[point - context_length : point],
-            levels=result.levels,
-            start_index=series_start_index + point - context_length,
-        )
-        result.forecasts.append(forecast)
-        result.actuals.append(values[point : point + horizon])
+    metrics = get_registry()
+    model = type(forecaster).__name__
+    with metrics.span("backtest", model=model):
+        for point in points:
+            with metrics.span("predict"):
+                forecast = forecaster.predict(
+                    values[point - context_length : point],
+                    levels=result.levels,
+                    start_index=series_start_index + point - context_length,
+                )
+            metrics.counter("backtest.windows", model=model).inc()
+            result.forecasts.append(forecast)
+            result.actuals.append(values[point : point + horizon])
     return result

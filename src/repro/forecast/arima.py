@@ -15,7 +15,7 @@ from __future__ import annotations
 import numpy as np
 from scipy import stats
 
-from .base import DEFAULT_QUANTILE_LEVELS, Forecaster, QuantileForecast
+from .base import Forecaster, QuantileForecast
 
 __all__ = ["ARIMAForecaster"]
 
@@ -131,9 +131,15 @@ class ARIMAForecaster(Forecaster):
     def predict(
         self,
         context: np.ndarray,
-        levels: tuple[float, ...] = DEFAULT_QUANTILE_LEVELS,
+        levels: tuple[float, ...] | None = None,
         start_index: int = 0,
     ) -> QuantileForecast:
+        """ARMA recursion + Gaussian psi-weight fan.
+
+        ``levels=None`` serves :attr:`default_levels`; any level in
+        (0, 1) is exact (parametric).  ``start_index`` is ignored —
+        ARIMA carries no calendar features.
+        """
         self._require_fitted()
         context = np.asarray(context, dtype=np.float64)
         if len(context) < self.d + max(self.p, self.q) + self.long_ar_order:
@@ -158,7 +164,7 @@ class ARIMAForecaster(Forecaster):
         forecasts = np.asarray(forecasts)
 
         point, spread = self._undifference(context, forecasts)
-        levels = tuple(sorted(levels))
+        levels = self._resolve_levels(levels)
         quantiles = np.stack([point + stats.norm.ppf(tau) * spread for tau in levels])
         return QuantileForecast(levels=np.array(levels), values=quantiles, mean=point)
 

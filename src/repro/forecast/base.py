@@ -124,6 +124,11 @@ class Forecaster(ABC):
     #: set by fit(); guards predict()
     _fitted: bool = False
 
+    #: grid served when ``predict(levels=None)``; parametric models keep
+    #: the paper's Section IV-C grid, grid-trained models (TFT, quantile
+    #: regression) override this with their trained grid.
+    default_levels: tuple[float, ...] = DEFAULT_QUANTILE_LEVELS
+
     @abstractmethod
     def fit(self, series: np.ndarray) -> "Forecaster":
         """Train on a historical workload series (1-D array)."""
@@ -132,7 +137,7 @@ class Forecaster(ABC):
     def predict(
         self,
         context: np.ndarray,
-        levels: tuple[float, ...] = DEFAULT_QUANTILE_LEVELS,
+        levels: tuple[float, ...] | None = None,
         start_index: int = 0,
     ) -> QuantileForecast:
         """Forecast the ``horizon`` steps following ``context``.
@@ -142,12 +147,27 @@ class Forecaster(ABC):
         context:
             The most recent ``context_length`` workload values.
         levels:
-            Quantile levels to report.  Grid-based models may require
-            these to be inside their trained grid.
+            Quantile levels to report; ``None`` (accepted by every
+            forecaster) serves the model's :attr:`default_levels`.
+            Grid-based models may require explicit levels to be inside
+            their trained grid.
         start_index:
             Absolute time index of ``context[0]`` in the original trace;
             used to phase-align calendar features (time of day / week).
+            Forecasters without calendar features accept and ignore it —
+            their docstrings say so explicitly.
         """
+
+    def _resolve_levels(
+        self, levels: "tuple[float, ...] | None"
+    ) -> tuple[float, ...]:
+        """Uniform ``levels=None`` handling: sorted explicit levels or
+        the model's :attr:`default_levels`."""
+        if levels is None:
+            return tuple(self.default_levels)
+        if len(levels) == 0:
+            raise ValueError("levels must be non-empty or None")
+        return tuple(sorted(levels))
 
     def _require_fitted(self) -> None:
         if not self._fitted:

@@ -23,7 +23,7 @@ import numpy as np
 from ..distributions import Empirical
 from ..nn import LSTM, Linear, Module, Tensor, no_grad
 from ..nn import functional as F
-from .base import DEFAULT_QUANTILE_LEVELS, QuantileForecast
+from .base import QuantileForecast
 from .features import NUM_CALENDAR_FEATURES, calendar_features
 from .neural import NeuralForecaster, TrainingConfig
 
@@ -111,11 +111,18 @@ class DeepARForecaster(NeuralForecaster):
     def predict(
         self,
         context: np.ndarray,
-        levels: tuple[float, ...] = DEFAULT_QUANTILE_LEVELS,
+        levels: tuple[float, ...] | None = None,
         start_index: int = 0,
     ) -> QuantileForecast:
+        """Empirical quantiles of the sampled trajectories.
+
+        ``levels=None`` serves :attr:`default_levels`; any level in
+        (0, 1) is served from the sample cloud.  ``start_index`` is
+        *used*: DeepAR conditions on calendar features, so pass the
+        context's absolute trace position for phase alignment.
+        """
         distribution = self.sample_paths(context, start_index)
-        levels = tuple(sorted(levels))
+        levels = self._resolve_levels(levels)
         values = distribution.quantiles(list(levels))
         mean = distribution.mean()
         return QuantileForecast(levels=np.array(levels), values=values, mean=mean)

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .base import DEFAULT_QUANTILE_LEVELS, Forecaster, QuantileForecast
+from .base import Forecaster, QuantileForecast
 
 __all__ = ["EnsembleForecaster", "combine_quantile_forecasts"]
 
@@ -157,11 +157,19 @@ class EnsembleForecaster(Forecaster):
     def predict(
         self,
         context: np.ndarray,
-        levels: tuple[float, ...] = DEFAULT_QUANTILE_LEVELS,
+        levels: tuple[float, ...] | None = None,
         start_index: int = 0,
     ) -> QuantileForecast:
+        """Weighted member combination on a common grid.
+
+        ``levels=None`` serves the ensemble's :attr:`default_levels`
+        (members are always queried with explicit levels so their grids
+        agree).  ``start_index`` is forwarded to every member, advanced
+        per-member when contexts are trimmed.
+        """
         self._require_fitted()
         context = np.asarray(context, dtype=np.float64)
+        levels = self._resolve_levels(levels)
         forecasts = [
             self._member_predict(member, context, levels, start_index)
             for member in self.members

@@ -15,7 +15,7 @@ import numpy as np
 from ..distributions import Gaussian
 from ..nn import Linear, Module, Tensor, no_grad
 from ..nn import functional as F
-from .base import DEFAULT_QUANTILE_LEVELS, QuantileForecast
+from .base import QuantileForecast
 from .neural import NeuralForecaster, TrainingConfig
 
 __all__ = ["MLPForecaster"]
@@ -71,9 +71,15 @@ class MLPForecaster(NeuralForecaster):
     def predict(
         self,
         context: np.ndarray,
-        levels: tuple[float, ...] = DEFAULT_QUANTILE_LEVELS,
+        levels: tuple[float, ...] | None = None,
         start_index: int = 0,
     ) -> QuantileForecast:
+        """Gaussian-head quantiles.
+
+        ``levels=None`` serves :attr:`default_levels`; any level in
+        (0, 1) is exact (parametric).  ``start_index`` is ignored — the
+        MLP consumes only the raw context window, no calendar features.
+        """
         self._require_fitted()
         assert self.network is not None
         context = np.asarray(context, dtype=np.float64)
@@ -89,7 +95,7 @@ class MLPForecaster(NeuralForecaster):
         mean = self.scaler.inverse_transform(mu.data[0])
         std = sigma.data[0] * self.scaler.std_
         distribution = Gaussian(mean, std)
-        levels = tuple(sorted(levels))
+        levels = self._resolve_levels(levels)
         values = distribution.quantiles(list(levels))
         return QuantileForecast(levels=np.array(levels), values=values, mean=mean)
 

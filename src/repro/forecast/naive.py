@@ -10,7 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..traces.synthetic import STEPS_PER_DAY
-from .base import DEFAULT_QUANTILE_LEVELS, Forecaster, QuantileForecast
+from .base import Forecaster, QuantileForecast
 
 __all__ = ["SeasonalNaiveForecaster", "PersistenceForecaster"]
 
@@ -45,9 +45,15 @@ class SeasonalNaiveForecaster(Forecaster):
     def predict(
         self,
         context: np.ndarray,
-        levels: tuple[float, ...] = DEFAULT_QUANTILE_LEVELS,
+        levels: tuple[float, ...] | None = None,
         start_index: int = 0,
     ) -> QuantileForecast:
+        """Seasonal repeat + residual quantiles.
+
+        ``levels=None`` serves :attr:`default_levels` (the paper's
+        grid); ``start_index`` is ignored — alignment comes from the
+        context tail, not calendar features.
+        """
         self._require_fitted()
         context = np.asarray(context, dtype=np.float64)
         if len(context) < self.season:
@@ -57,7 +63,7 @@ class SeasonalNaiveForecaster(Forecaster):
         base = np.array(
             [context[len(context) - self.season + (h % self.season)] for h in range(self.horizon)]
         )
-        levels = tuple(sorted(levels))
+        levels = self._resolve_levels(levels)
         offsets = np.quantile(self._residuals, levels)
         values = base[None, :] + offsets[:, None]
         return QuantileForecast(levels=np.array(levels), values=values, mean=base)
@@ -86,14 +92,20 @@ class PersistenceForecaster(Forecaster):
     def predict(
         self,
         context: np.ndarray,
-        levels: tuple[float, ...] = DEFAULT_QUANTILE_LEVELS,
+        levels: tuple[float, ...] | None = None,
         start_index: int = 0,
     ) -> QuantileForecast:
+        """Random-walk fan around the last value.
+
+        ``levels=None`` serves :attr:`default_levels`; any level in
+        (0, 1) is exact (parametric).  ``start_index`` is ignored —
+        persistence has no calendar features.
+        """
         self._require_fitted()
         from scipy import stats
 
         last = float(np.asarray(context)[-1])
-        levels = tuple(sorted(levels))
+        levels = self._resolve_levels(levels)
         steps = np.arange(1, self.horizon + 1)
         spread = self._diff_std * np.sqrt(steps)
         values = np.stack([last + stats.norm.ppf(tau) * spread for tau in levels])

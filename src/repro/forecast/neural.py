@@ -14,8 +14,11 @@ from pathlib import Path
 
 import numpy as np
 
+import time
+
 from ..nn import Adam, DataLoader, Module, Tensor, WindowDataset, clip_grad_norm
 from ..nn.serialization import load_state, save_state
+from ..obs import get_registry
 from ..traces.dataset import StandardScaler
 from .base import Forecaster
 
@@ -125,35 +128,50 @@ class NeuralForecaster(Forecaster):
         )
         optimizer = Adam(self.network.parameters(), lr=self.config.learning_rate)
 
+        metrics = get_registry()
+        model = type(self).__name__
         best_val = np.inf
         best_state: dict[str, np.ndarray] | None = None
         bad_epochs = 0
         self.history = []
-        for epoch in range(self.config.epochs):
-            self.network.train()
-            total_loss = 0.0
-            batches = 0
-            for contexts, horizons, starts in loader:
-                optimizer.zero_grad()
-                loss = self._loss(contexts, horizons, starts)
-                loss.backward()
-                clip_grad_norm(self.network.parameters(), self.config.grad_clip)
-                optimizer.step()
-                total_loss += loss.item()
-                batches += 1
-            record = {"epoch": epoch, "train_loss": total_loss / max(batches, 1)}
+        with metrics.span("forecast/fit", model=model):
+            for epoch in range(self.config.epochs):
+                epoch_start = time.perf_counter()
+                self.network.train()
+                total_loss = 0.0
+                batches = 0
+                for contexts, horizons, starts in loader:
+                    optimizer.zero_grad()
+                    loss = self._loss(contexts, horizons, starts)
+                    loss.backward()
+                    clip_grad_norm(self.network.parameters(), self.config.grad_clip)
+                    optimizer.step()
+                    total_loss += loss.item()
+                    batches += 1
+                record = {"epoch": epoch, "train_loss": total_loss / max(batches, 1)}
 
-            if use_validation:
-                record["val_loss"] = self._validation_loss(val_parts, val_offsets)
-                if record["val_loss"] < best_val - 1e-9:
-                    best_val = record["val_loss"]
-                    best_state = self.network.state_dict()
-                    bad_epochs = 0
-                else:
-                    bad_epochs += 1
-            self.history.append(record)
-            if use_validation and bad_epochs >= self.config.patience:
-                break
+                if use_validation:
+                    record["val_loss"] = self._validation_loss(val_parts, val_offsets)
+                    if record["val_loss"] < best_val - 1e-9:
+                        best_val = record["val_loss"]
+                        best_state = self.network.state_dict()
+                        bad_epochs = 0
+                    else:
+                        bad_epochs += 1
+                self.history.append(record)
+                metrics.counter("forecast.epochs", model=model).inc()
+                metrics.gauge("forecast.train_loss", model=model).set(
+                    record["train_loss"]
+                )
+                if "val_loss" in record:
+                    metrics.gauge("forecast.val_loss", model=model).set(
+                        record["val_loss"]
+                    )
+                metrics.histogram("forecast.epoch_seconds", model=model).observe(
+                    time.perf_counter() - epoch_start
+                )
+                if use_validation and bad_epochs >= self.config.patience:
+                    break
 
         if best_state is not None:
             self.network.load_state_dict(best_state)

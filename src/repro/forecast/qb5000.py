@@ -147,7 +147,7 @@ class _LSTMPointForecaster(NeuralForecaster):
         assert self.network is not None
         return F.mse_loss(self.network(Tensor(context)), horizon)
 
-    def predict(self, context, levels=(), start_index: int = 0):
+    def predict(self, context, levels=None, start_index: int = 0):
         raise NotImplementedError("internal point model; use predict_point")
 
     def predict_point(self, context: np.ndarray, start_index: int = 0) -> np.ndarray:

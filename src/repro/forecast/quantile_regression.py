@@ -101,6 +101,7 @@ class QuantileRegressionForecaster(_GridHeadMixin, NeuralForecaster):
     ) -> None:
         super().__init__(context_length, horizon, config)
         self.quantile_levels = self._check_levels(quantile_levels)
+        self.default_levels = self.quantile_levels
 
     def _build(self, rng: np.random.Generator) -> Module:
         return _LinearGridNetwork(
@@ -165,6 +166,7 @@ class MLPQuantileForecaster(_GridHeadMixin, NeuralForecaster):
     ) -> None:
         super().__init__(context_length, horizon, config)
         self.quantile_levels = self._check_levels(quantile_levels)
+        self.default_levels = self.quantile_levels
         self.hidden_size = hidden_size
 
     def _build(self, rng: np.random.Generator) -> Module:

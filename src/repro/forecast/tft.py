@@ -117,6 +117,7 @@ class TFTForecaster(NeuralForecaster):
         if len(set(levels)) != len(levels):
             raise ValueError("duplicate quantile levels")
         self.quantile_levels = levels
+        self.default_levels = levels  # predict(levels=None) -> trained grid
         self.d_model = d_model
         self.num_heads = num_heads
         # Per-window standardization (each window scaled by its own

@@ -1,0 +1,66 @@
+"""Observability for the autoscaling loop (zero-dependency telemetry).
+
+The paper's pitch — robust planning cuts under-provisioning at modest
+cost — is only demonstrable if the loop's behaviour is visible.  This
+package provides the monitoring substrate RobustScaler/OptScaler-style
+production autoscalers rely on, scaled down to a library:
+
+* :class:`MetricsRegistry` with :class:`Counter` / :class:`Gauge` /
+  :class:`Histogram` metrics and nested wall-clock ``span()`` timers;
+* pluggable sinks (:class:`InMemorySink`, :class:`JsonlSink`,
+  :class:`TableSink`);
+* stream summarization for ``repro-autoscale report``.
+
+Instrumented modules (``core.runtime``, ``simulator``, ``forecast``,
+``core.evaluation``) write to the ambient registry from
+:func:`get_registry`; attach a sink (or install a fresh registry with
+:func:`using_registry`) to collect, e.g.::
+
+    from repro import obs
+
+    registry = obs.MetricsRegistry()
+    registry.add_sink(obs.JsonlSink("run.jsonl"))
+    with obs.using_registry(registry):
+        runtime.run(workload)
+    print(obs.format_summary(obs.summarize_records(
+        obs.read_jsonl("run.jsonl"))))
+"""
+
+from .registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+    using_registry,
+)
+from .report import (
+    DistributionSummary,
+    SpanSummary,
+    TelemetrySummary,
+    format_summary,
+    read_jsonl,
+    summarize_records,
+)
+from .sinks import InMemorySink, JsonlSink, Sink, TableSink
+
+__all__ = [
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "get_registry",
+    "set_registry",
+    "using_registry",
+    "Sink",
+    "InMemorySink",
+    "JsonlSink",
+    "TableSink",
+    "TelemetrySummary",
+    "SpanSummary",
+    "DistributionSummary",
+    "summarize_records",
+    "read_jsonl",
+    "format_summary",
+]

@@ -1,0 +1,319 @@
+"""Metric primitives and the registry that owns them.
+
+Zero-dependency (numpy only) process-local telemetry.  Three metric
+kinds cover everything the autoscaling loop needs to expose:
+
+* :class:`Counter` — monotonically increasing totals (decisions made,
+  QoS violations, scale events);
+* :class:`Gauge` — last-written values (nodes currently requested,
+  per-epoch training loss);
+* :class:`Histogram` — value distributions via a fixed-size reservoir
+  sample (plan latencies, warm-up durations), with exact count / sum /
+  min / max and approximate quantiles.
+
+A :class:`MetricsRegistry` interns metrics by ``(name, labels)``,
+aggregates in memory, and optionally streams every update to attached
+sinks (see :mod:`repro.obs.sinks`) as plain-dict events — the format
+:mod:`repro.obs.report` summarizes.
+
+Instrumented library code never requires a registry argument: it reads
+the process-wide *ambient* registry via :func:`get_registry`, which
+callers replace with :func:`set_registry` or scope with
+:func:`using_registry`.  The default ambient registry has no sinks, so
+instrumentation costs a dict lookup and a float add when telemetry is
+not being collected.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterator
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .sinks import Sink
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+    "using_registry",
+]
+
+LabelDict = dict[str, str]
+
+
+def _label_key(labels: LabelDict) -> tuple[tuple[str, str], ...]:
+    return tuple(sorted(labels.items()))
+
+
+def format_metric_key(name: str, labels: LabelDict) -> str:
+    """Canonical flat key, e.g. ``evaluation.windows{strategy=TFT-0.9}``."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+    return f"{name}{{{inner}}}"
+
+
+class _Metric:
+    """Shared identity plumbing for all metric kinds."""
+
+    kind = ""
+
+    def __init__(self, registry: "MetricsRegistry", name: str, labels: LabelDict):
+        self._registry = registry
+        self.name = name
+        self.labels = dict(labels)
+
+    @property
+    def key(self) -> str:
+        return format_metric_key(self.name, self.labels)
+
+    def _emit(self, **payload) -> None:
+        self._registry._emit(
+            {"kind": self.kind, "name": self.name, "labels": self.labels, **payload}
+        )
+
+
+class Counter(_Metric):
+    """Monotonically increasing total."""
+
+    kind = "counter"
+
+    def __init__(self, registry: "MetricsRegistry", name: str, labels: LabelDict):
+        super().__init__(registry, name, labels)
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge for deltas")
+        self.value += amount
+        self._emit(delta=float(amount), value=self.value)
+
+
+class Gauge(_Metric):
+    """Last-written value (plus convenience add/sub)."""
+
+    kind = "gauge"
+
+    def __init__(self, registry: "MetricsRegistry", name: str, labels: LabelDict):
+        super().__init__(registry, name, labels)
+        self.value: float | None = None
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+        self._emit(value=self.value)
+
+    def add(self, amount: float) -> None:
+        self.set((self.value or 0.0) + amount)
+
+
+class Histogram(_Metric):
+    """Distribution sketch: exact moments + reservoir-sampled quantiles.
+
+    The reservoir (Vitter's Algorithm R, deterministic per-histogram
+    seed) keeps a uniform sample of all observed values in a fixed
+    numpy buffer, so quantile queries stay O(reservoir) regardless of
+    how many observations flowed through.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        registry: "MetricsRegistry",
+        name: str,
+        labels: LabelDict,
+        reservoir_size: int = 1024,
+    ):
+        super().__init__(registry, name, labels)
+        if reservoir_size < 1:
+            raise ValueError("reservoir_size must be >= 1")
+        self.count = 0
+        self.sum = 0.0
+        self.min = np.inf
+        self.max = -np.inf
+        self._reservoir = np.empty(reservoir_size, dtype=np.float64)
+        self._rng = np.random.default_rng(abs(hash(self.key)) % (2**32))
+
+    def observe(self, value: float) -> None:
+        self._record(float(value))
+        self._emit(value=float(value))
+
+    def _record(self, value: float) -> None:
+        """Update moments and reservoir without emitting an event."""
+        self.count += 1
+        self.sum += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+        size = len(self._reservoir)
+        if self.count <= size:
+            self._reservoir[self.count - 1] = value
+        else:
+            slot = int(self._rng.integers(0, self.count))
+            if slot < size:
+                self._reservoir[slot] = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float | np.ndarray) -> float | np.ndarray:
+        """Approximate quantile(s) from the reservoir sample."""
+        if self.count == 0:
+            raise ValueError(f"histogram {self.key!r} has no observations")
+        sample = self._reservoir[: min(self.count, len(self._reservoir))]
+        result = np.quantile(sample, q)
+        return float(result) if np.ndim(result) == 0 else result
+
+    def summary(self) -> dict[str, float]:
+        if self.count == 0:
+            return {"count": 0, "sum": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.quantile(0.5),
+            "p90": self.quantile(0.9),
+            "p99": self.quantile(0.99),
+        }
+
+
+class MetricsRegistry:
+    """Owns metrics, interns them by (name, labels), fans out events.
+
+    Parameters
+    ----------
+    sinks:
+        Optional initial sinks; every metric update and completed span
+        is emitted to each as a plain dict.
+    time_source:
+        Wall-clock for event timestamps (patchable in tests).
+    """
+
+    def __init__(self, sinks: "list[Sink] | None" = None, time_source=time.time):
+        self._metrics: dict[tuple, _Metric] = {}
+        self._sinks: list[Sink] = list(sinks) if sinks else []
+        self._time = time_source
+        self._span_stack: list[str] = []
+
+    # -- metric accessors ------------------------------------------------
+    def _intern(self, cls, name: str, labels: LabelDict, **kwargs) -> _Metric:
+        key = (cls.kind, name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls(self, name, labels, **kwargs)
+            self._metrics[key] = metric
+        return metric
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        return self._intern(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        return self._intern(Gauge, name, labels)
+
+    def histogram(
+        self, name: str, reservoir_size: int = 1024, **labels: str
+    ) -> Histogram:
+        return self._intern(Histogram, name, labels, reservoir_size=reservoir_size)
+
+    # -- spans -----------------------------------------------------------
+    @contextmanager
+    def span(self, name: str, **labels: str) -> Iterator[None]:
+        """Time a block of work as a nested wall-clock span.
+
+        Nested ``span()`` calls build slash-joined paths
+        (``plan/forecast`` inside ``plan``); each completed span records
+        its duration into a histogram keyed by the full path and emits a
+        ``span`` event to the sinks.
+        """
+        self._span_stack.append(name)
+        path = "/".join(self._span_stack)
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            duration = time.perf_counter() - start
+            self._span_stack.pop()
+            histogram = self._intern(Histogram, f"span/{path}", labels)
+            # Record without the generic histogram event; spans carry
+            # their own richer record.
+            histogram._record(duration)
+            self._emit(
+                {
+                    "kind": "span",
+                    "name": path,
+                    "labels": dict(labels),
+                    "duration_s": duration,
+                    "depth": len(self._span_stack),
+                }
+            )
+
+    # -- sinks and snapshots ---------------------------------------------
+    def add_sink(self, sink: "Sink") -> None:
+        self._sinks.append(sink)
+
+    def remove_sink(self, sink: "Sink") -> None:
+        self._sinks.remove(sink)
+
+    def _emit(self, record: dict) -> None:
+        if not self._sinks:
+            return
+        record.setdefault("ts", self._time())
+        for sink in self._sinks:
+            sink.emit(record)
+
+    def snapshot(self) -> dict[str, dict]:
+        """Aggregate state as plain dicts, keyed by flat metric key.
+
+        ``spans`` carries the duration histograms recorded by
+        :meth:`span` (name is the full slash path, without the
+        ``span/`` prefix used internally to avoid collisions).
+        """
+        out: dict[str, dict] = {"counters": {}, "gauges": {}, "histograms": {}, "spans": {}}
+        for metric in self._metrics.values():
+            if isinstance(metric, Counter):
+                out["counters"][metric.key] = metric.value
+            elif isinstance(metric, Gauge):
+                out["gauges"][metric.key] = metric.value
+            elif isinstance(metric, Histogram):
+                if metric.name.startswith("span/"):
+                    key = format_metric_key(metric.name[len("span/") :], metric.labels)
+                    out["spans"][key] = metric.summary()
+                else:
+                    out["histograms"][metric.key] = metric.summary()
+        return out
+
+
+# -- ambient registry ----------------------------------------------------
+_ambient = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide registry instrumented code writes to."""
+    return _ambient
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Install ``registry`` as ambient; returns the previous one."""
+    global _ambient
+    previous = _ambient
+    _ambient = registry
+    return previous
+
+
+@contextmanager
+def using_registry(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Scope the ambient registry to a ``with`` block (test-friendly)."""
+    previous = set_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_registry(previous)

@@ -1,0 +1,171 @@
+"""Summarize telemetry event streams (the ``report`` CLI's engine).
+
+Consumes the flat event records produced by
+:class:`~repro.obs.registry.MetricsRegistry` — from a JSON-lines file,
+an :class:`~repro.obs.sinks.InMemorySink`, or any iterable of dicts —
+and reduces them to the aggregate view a human wants after a run:
+per-phase span timings, counter totals, last gauge values, and
+histogram statistics.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+import numpy as np
+
+from .registry import format_metric_key
+
+__all__ = [
+    "SpanSummary",
+    "DistributionSummary",
+    "TelemetrySummary",
+    "summarize_records",
+    "read_jsonl",
+    "format_summary",
+]
+
+
+@dataclass
+class SpanSummary:
+    """Aggregate wall-clock time spent in one span path."""
+
+    count: int = 0
+    total_s: float = 0.0
+    max_s: float = 0.0
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.count if self.count else 0.0
+
+    def add(self, duration: float) -> None:
+        self.count += 1
+        self.total_s += duration
+        self.max_s = max(self.max_s, duration)
+
+
+@dataclass
+class DistributionSummary:
+    """Aggregate of one histogram's observations."""
+
+    values: list[float] = field(default_factory=list)
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.values)) if self.values else 0.0
+
+    def quantile(self, q: float) -> float:
+        return float(np.quantile(self.values, q)) if self.values else 0.0
+
+    @property
+    def max(self) -> float:
+        return float(np.max(self.values)) if self.values else 0.0
+
+
+@dataclass
+class TelemetrySummary:
+    """Everything a telemetry stream said, aggregated."""
+
+    counters: dict[str, float] = field(default_factory=dict)
+    gauges: dict[str, float] = field(default_factory=dict)
+    histograms: dict[str, DistributionSummary] = field(default_factory=dict)
+    spans: dict[str, SpanSummary] = field(default_factory=dict)
+    records: int = 0
+
+    def counter_total(self, name: str) -> float:
+        """Sum of a counter across all label sets (e.g. all strategies)."""
+        return sum(
+            value
+            for key, value in self.counters.items()
+            if key == name or key.startswith(name + "{")
+        )
+
+
+def summarize_records(records: Iterable[dict]) -> TelemetrySummary:
+    """Reduce an event stream to a :class:`TelemetrySummary`."""
+    summary = TelemetrySummary()
+    for record in records:
+        summary.records += 1
+        kind = record.get("kind")
+        name = record.get("name", "")
+        key = format_metric_key(name, record.get("labels") or {})
+        if kind == "counter":
+            # Events carry the running total; the last one wins.
+            summary.counters[key] = float(record.get("value", 0.0))
+        elif kind == "gauge":
+            summary.gauges[key] = float(record.get("value", 0.0))
+        elif kind == "histogram":
+            summary.histograms.setdefault(key, DistributionSummary()).values.append(
+                float(record.get("value", 0.0))
+            )
+        elif kind == "span":
+            summary.spans.setdefault(key, SpanSummary()).add(
+                float(record.get("duration_s", 0.0))
+            )
+    return summary
+
+
+def read_jsonl(path: str | Path) -> list[dict]:
+    """Load a telemetry JSON-lines file, skipping malformed lines."""
+    records = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(record, dict):
+                records.append(record)
+    return records
+
+
+def format_summary(summary: TelemetrySummary) -> str:
+    """Render the aggregate view as an aligned plain-text table."""
+    lines: list[str] = [f"telemetry summary ({summary.records} records)"]
+
+    if summary.spans:
+        lines.append("")
+        lines.append("phase timings (spans)")
+        lines.append(f"  {'span':<40} {'count':>7} {'total s':>10} {'mean s':>10} {'max s':>10}")
+        for key in sorted(summary.spans):
+            s = summary.spans[key]
+            lines.append(
+                f"  {key:<40} {s.count:>7} {s.total_s:>10.4f} {s.mean_s:>10.4f} {s.max_s:>10.4f}"
+            )
+
+    if summary.counters:
+        lines.append("")
+        lines.append("counters")
+        width = max(len(k) for k in summary.counters)
+        for key in sorted(summary.counters):
+            lines.append(f"  {key:<{width}} {summary.counters[key]:>12g}")
+
+    if summary.gauges:
+        lines.append("")
+        lines.append("gauges (last value)")
+        width = max(len(k) for k in summary.gauges)
+        for key in sorted(summary.gauges):
+            lines.append(f"  {key:<{width}} {summary.gauges[key]:>12g}")
+
+    if summary.histograms:
+        lines.append("")
+        lines.append("histograms")
+        lines.append(f"  {'metric':<40} {'count':>7} {'mean':>10} {'p50':>10} {'p90':>10} {'max':>10}")
+        for key in sorted(summary.histograms):
+            h = summary.histograms[key]
+            lines.append(
+                f"  {key:<40} {h.count:>7} {h.mean:>10.4f} "
+                f"{h.quantile(0.5):>10.4f} {h.quantile(0.9):>10.4f} {h.max:>10.4f}"
+            )
+
+    return "\n".join(lines)

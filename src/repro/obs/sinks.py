@@ -1,0 +1,112 @@
+"""Telemetry sinks: where metric events go.
+
+A sink receives every metric update and completed span from a
+:class:`~repro.obs.registry.MetricsRegistry` as a plain dict.  Three
+implementations:
+
+* :class:`InMemorySink` — buffers records for programmatic inspection
+  (tests, notebooks);
+* :class:`JsonlSink` — appends one JSON object per line to a file, the
+  interchange format ``repro-autoscale report`` consumes;
+* :class:`TableSink` — aggregates records and writes a human-readable
+  summary table to a stream on :meth:`close`.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import IO, Protocol, runtime_checkable
+
+__all__ = ["Sink", "InMemorySink", "JsonlSink", "TableSink"]
+
+
+@runtime_checkable
+class Sink(Protocol):
+    """Structural contract for telemetry consumers."""
+
+    def emit(self, record: dict) -> None: ...
+
+    def close(self) -> None: ...
+
+
+class InMemorySink:
+    """Keep every record in a list."""
+
+    def __init__(self) -> None:
+        self.records: list[dict] = []
+
+    def emit(self, record: dict) -> None:
+        # Copy: the registry reuses label dicts across events.
+        self.records.append(dict(record))
+
+    def close(self) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+class JsonlSink:
+    """Write one JSON object per line; also usable as a context manager."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._file: IO[str] | None = self.path.open("w", encoding="utf-8")
+        self.records_written = 0
+
+    def emit(self, record: dict) -> None:
+        if self._file is None:
+            raise ValueError(f"JsonlSink({self.path}) already closed")
+        self._file.write(json.dumps(record, default=_jsonable) + "\n")
+        self.records_written += 1
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _jsonable(value):
+    """Fallback encoder for numpy scalars/arrays in metadata."""
+    if hasattr(value, "item"):
+        try:
+            return value.item()
+        except (ValueError, TypeError):
+            pass
+    if hasattr(value, "tolist"):
+        return value.tolist()
+    return str(value)
+
+
+class TableSink:
+    """Aggregate records, print a readable summary when closed.
+
+    Useful as a CLI-side "live" sink: attach it alongside a
+    :class:`JsonlSink` and the run ends with a telemetry table on
+    stderr without a separate ``report`` invocation.
+    """
+
+    def __init__(self, stream: IO[str] | None = None) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self._records: list[dict] = []
+        self._closed = False
+
+    def emit(self, record: dict) -> None:
+        self._records.append(dict(record))
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        from .report import format_summary, summarize_records
+
+        if self._records:
+            self.stream.write(format_summary(summarize_records(self._records)) + "\n")

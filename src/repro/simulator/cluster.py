@@ -10,6 +10,7 @@ consumed.
 
 from __future__ import annotations
 
+from ..obs import get_registry
 from .engine import Simulation
 from .node import ComputeNode, NodeState
 from .storage import SharedStorage
@@ -82,9 +83,11 @@ class DisaggregatedCluster:
             for _ in range(target - current):
                 self._attach_node()
             self.scale_out_events += 1
+            get_registry().counter("simulator.scale_events", direction="out").inc()
         elif target < current:
             self._release_nodes(current - target)
             self.scale_in_events += 1
+            get_registry().counter("simulator.scale_events", direction="in").inc()
 
     def _attach_node(self) -> None:
         warmup = self.storage.warmup_seconds()
@@ -96,10 +99,15 @@ class DisaggregatedCluster:
         self._next_id += 1
         self._nodes.append(node)
 
+        metrics = get_registry()
+        metrics.counter("simulator.node_attaches").inc()
+        metrics.histogram("simulator.warmup_seconds").observe(warmup)
+
         def finish_warmup(n: ComputeNode = node) -> None:
             # A node released mid-warm-up never activates.
             if n.state is NodeState.WARMING:
                 n.activate(self.simulation.now)
+                get_registry().counter("simulator.warmup_completions").inc()
 
         self.simulation.schedule(warmup, finish_warmup, label=f"warmup-{node.node_id}")
 
@@ -144,6 +152,7 @@ class DisaggregatedCluster:
             victim = matches[0]
         victim.release(now)
         self.failures += 1
+        get_registry().counter("simulator.node_failures").inc()
         if replace:
             self._attach_node()
         return victim

@@ -83,8 +83,14 @@ class Simulation:
 
         Stopping advances the clock to ``until`` even if the queue still
         holds later events, so interleaved ``run(until=...)`` calls
-        behave like a paused simulation.
+        behave like a paused simulation.  Processed events are counted
+        into the ambient metrics registry, grouped by the prefix of
+        their :attr:`Event.label` (the part before the first ``-``), so
+        a telemetry stream shows e.g. how many ``warmup`` events fired.
         """
+        from ..obs import get_registry
+
+        metrics = get_registry()
         while self._queue:
             event = self._queue.pop()
             if until is not None and event.time > until:
@@ -94,5 +100,7 @@ class Simulation:
             self.now = event.time
             event.action()
             self.processed_events += 1
+            prefix = event.label.split("-", 1)[0] if event.label else "unlabeled"
+            metrics.counter("simulator.events", label=prefix).inc()
         if until is not None and self.now < until:
             self.now = until

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..core.plan import ScalingPlan
+from ..obs import get_registry
 from .cluster import DisaggregatedCluster
 from .engine import Simulation
 from .storage import SharedStorage
@@ -103,6 +104,7 @@ def replay_plan(
         np.asarray(plan.threshold, dtype=np.float64), actual_workload.shape
     )
 
+    metrics = get_registry()
     result = ReplayResult()
     for index, (target, workload) in enumerate(zip(plan.nodes, actual_workload)):
         interval_start = simulation.now
@@ -121,6 +123,11 @@ def replay_plan(
         warmup_limited = violated and (
             workload / max(int(target), 1) <= threshold[index] + 1e-12
         )
+        metrics.counter("simulator.intervals").inc()
+        if violated:
+            metrics.counter("simulator.qos_violations").inc()
+            if warmup_limited:
+                metrics.counter("simulator.warmup_limited_violations").inc()
         result.outcomes.append(
             IntervalOutcome(
                 index=index,

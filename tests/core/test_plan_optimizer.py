@@ -195,3 +195,35 @@ class TestRampLimits:
     def test_rejects_zero_limits(self):
         with pytest.raises(ValueError):
             solve_with_ramp_limits(np.ones(2), 1.0, max_scale_out=0, max_scale_in=1)
+
+    def test_only_scale_out_limit(self):
+        # Scale-in is unconstrained: drop from 10 to 1 in one step, but
+        # the spike still forces early ramp-up at 2/step.
+        w = np.array([50.0, 50.0, 600.0, 50.0])
+        plan = solve_with_ramp_limits(w, 60.0, max_scale_out=2)
+        np.testing.assert_array_equal(plan.nodes, [6, 8, 10, 1])
+
+    def test_only_scale_in_limit(self):
+        # Scale-out is unconstrained: jump to 10 in one step, but the
+        # descent is capped at 3/step.
+        w = np.array([600.0, 50.0, 50.0, 50.0])
+        plan = solve_with_ramp_limits(w, 60.0, max_scale_in=3)
+        np.testing.assert_array_equal(plan.nodes, [10, 7, 4, 1])
+
+    def test_only_scale_in_limit_with_initial_anchor(self):
+        w = np.array([50.0, 50.0])
+        plan = solve_with_ramp_limits(w, 60.0, max_scale_in=2, initial_nodes=10)
+        np.testing.assert_array_equal(plan.nodes, [8, 6])
+
+    def test_no_limits_degrades_to_closed_form(self):
+        rng = np.random.default_rng(8)
+        w = rng.uniform(0, 4000, size=50)
+        plan = solve_with_ramp_limits(w, 60.0)
+        np.testing.assert_array_equal(plan.nodes, solve_closed_form(w, 60.0).nodes)
+
+    def test_one_sided_demand_always_met(self):
+        rng = np.random.default_rng(9)
+        w = rng.uniform(0, 4000, size=200)
+        for kwargs in ({"max_scale_out": 4}, {"max_scale_in": 4}):
+            plan = solve_with_ramp_limits(w, 60.0, **kwargs)
+            assert np.all(w / plan.nodes <= 60.0 + 1e-9), kwargs

@@ -120,3 +120,43 @@ class TestValidation:
         )
         runtime.observe(600.0)
         assert runtime.target_nodes() == 10
+
+
+class TestTelemetry:
+    def test_runtime_emits_counters_spans_and_gauge(self):
+        from repro.obs import InMemorySink, MetricsRegistry, using_registry
+
+        series = np.full(20, 300.0)
+        sink = InMemorySink()
+        registry = MetricsRegistry(sinks=[sink])
+        with using_registry(registry):
+            runtime, _ = make_runtime(series, context=6, horizon=4)
+            allocations = runtime.run(series)
+        assert len(allocations) == len(series)
+
+        snap = registry.snapshot()
+        assert snap["counters"]["runtime.observations"] == len(series)
+        # Fallback serves the first `context` intervals, prediction after.
+        assert snap["counters"]["runtime.fallback_activations"] == 6
+        expected_plans = snap["counters"]["runtime.decisions{source=predictive}"]
+        assert expected_plans >= 1
+        assert snap["spans"]["runtime/plan"]["count"] == expected_plans
+        assert snap["gauges"]["runtime.nodes_requested"] == allocations[-1]
+
+        # The same facts flow to the sink as a replayable event stream.
+        kinds = {r["kind"] for r in sink.records}
+        assert {"counter", "gauge", "span"} <= kinds
+
+    def test_no_telemetry_leaks_outside_scoped_registry(self):
+        from repro.obs import MetricsRegistry, using_registry
+
+        series = np.full(15, 300.0)
+        scoped = MetricsRegistry()
+        with using_registry(scoped):
+            runtime, _ = make_runtime(series, context=6, horizon=4)
+            runtime.run(series)
+        fresh = MetricsRegistry()
+        with using_registry(fresh):
+            pass
+        assert fresh.snapshot()["counters"] == {}
+        assert scoped.snapshot()["counters"]["runtime.observations"] == len(series)

@@ -137,9 +137,28 @@ class TestManager:
         plan = manager.plan(fc)
         assert np.abs(np.diff(plan.nodes)).max() <= 1
 
-    def test_ramp_limits_must_pair(self):
-        with pytest.raises(ValueError):
-            RobustAutoScalingManager(threshold=60.0, max_scale_out=2)
+    def test_one_sided_scale_out_limit(self):
+        # Only the out-rate is capped; scale-in may drop arbitrarily fast.
+        manager = RobustAutoScalingManager(
+            threshold=60.0, policy=FixedQuantilePolicy(0.5), max_scale_out=1
+        )
+        fc = fan([0.5], [60.0, 600.0, 60.0])
+        plan = manager.plan(fc)
+        diffs = np.diff(plan.nodes)
+        assert diffs.max() <= 1
+        assert np.all(plan.nodes >= required_nodes(fc.at(0.5), 60.0))
+
+    def test_one_sided_scale_in_limit(self):
+        # Only the in-rate is capped; the jump up happens in one step.
+        manager = RobustAutoScalingManager(
+            threshold=60.0, policy=FixedQuantilePolicy(0.5), max_scale_in=1
+        )
+        fc = fan([0.5], [60.0, 600.0, 60.0, 60.0])
+        plan = manager.plan(fc)
+        diffs = np.diff(plan.nodes)
+        assert diffs.min() >= -1
+        assert plan.nodes[1] == 10  # unconstrained scale-out
+        assert np.all(plan.nodes >= required_nodes(fc.at(0.5), 60.0))
 
     def test_rejects_bad_threshold(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,204 @@
+"""Tests for the metric primitives, spans, and the ambient registry."""
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    InMemorySink,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+    using_registry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("decisions")
+        assert counter.value == 0.0
+        counter.inc()
+        counter.inc(3.0)
+        assert counter.value == 4.0
+
+    def test_rejects_negative_increment(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("x").inc(-1.0)
+
+    def test_interned_by_name_and_labels(self):
+        registry = MetricsRegistry()
+        a = registry.counter("events", strategy="tft")
+        b = registry.counter("events", strategy="tft")
+        c = registry.counter("events", strategy="naive")
+        assert a is b
+        assert a is not c
+
+    def test_flat_key_sorts_labels(self):
+        counter = MetricsRegistry().counter("c", b="2", a="1")
+        assert counter.key == "c{a=1,b=2}"
+
+    def test_events_carry_running_total(self):
+        sink = InMemorySink()
+        registry = MetricsRegistry(sinks=[sink])
+        counter = registry.counter("hits")
+        counter.inc()
+        counter.inc(2.0)
+        values = [r["value"] for r in sink.records]
+        deltas = [r["delta"] for r in sink.records]
+        assert values == [1.0, 3.0]
+        assert deltas == [1.0, 2.0]
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        gauge = MetricsRegistry().gauge("nodes")
+        assert gauge.value is None
+        gauge.set(5)
+        gauge.add(2)
+        assert gauge.value == 7.0
+
+    def test_add_from_unset_starts_at_zero(self):
+        gauge = MetricsRegistry().gauge("nodes")
+        gauge.add(3)
+        assert gauge.value == 3.0
+
+
+class TestHistogram:
+    def test_exact_moments(self):
+        hist = MetricsRegistry().histogram("latency")
+        for v in (1.0, 2.0, 3.0, 4.0):
+            hist.observe(v)
+        assert hist.count == 4
+        assert hist.sum == 10.0
+        assert hist.mean == 2.5
+        assert hist.min == 1.0
+        assert hist.max == 4.0
+
+    def test_quantiles_exact_below_reservoir_size(self):
+        hist = MetricsRegistry().histogram("latency")
+        values = np.arange(101, dtype=np.float64)
+        for v in values:
+            hist.observe(v)
+        assert hist.quantile(0.5) == pytest.approx(50.0)
+        assert hist.quantile(0.9) == pytest.approx(90.0)
+
+    def test_reservoir_quantiles_approximate_beyond_capacity(self):
+        hist = MetricsRegistry().histogram("latency", reservoir_size=256)
+        rng = np.random.default_rng(0)
+        for v in rng.uniform(0, 100, size=10_000):
+            hist.observe(v)
+        assert hist.count == 10_000
+        # Uniform[0, 100]: the sampled median should land near 50.
+        assert hist.quantile(0.5) == pytest.approx(50.0, abs=10.0)
+
+    def test_quantile_without_observations_raises(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("empty").quantile(0.5)
+
+    def test_summary_fields(self):
+        hist = MetricsRegistry().histogram("h")
+        hist.observe(1.0)
+        summary = hist.summary()
+        assert summary["count"] == 1
+        assert summary["p50"] == 1.0
+
+    def test_empty_summary(self):
+        assert MetricsRegistry().histogram("h").summary() == {"count": 0, "sum": 0.0}
+
+
+class TestSpans:
+    def test_span_records_duration_histogram(self):
+        registry = MetricsRegistry()
+        with registry.span("plan"):
+            pass
+        snap = registry.snapshot()
+        assert snap["spans"]["plan"]["count"] == 1
+        assert snap["spans"]["plan"]["max"] >= 0.0
+
+    def test_nested_spans_build_slash_paths(self):
+        registry = MetricsRegistry()
+        with registry.span("evaluate"):
+            with registry.span("plan"):
+                with registry.span("forecast"):
+                    pass
+        spans = registry.snapshot()["spans"]
+        assert set(spans) == {"evaluate", "evaluate/plan", "evaluate/plan/forecast"}
+
+    def test_span_stack_unwinds_on_exception(self):
+        registry = MetricsRegistry()
+        with pytest.raises(RuntimeError):
+            with registry.span("outer"):
+                raise RuntimeError("boom")
+        with registry.span("after"):
+            pass
+        assert "after" in registry.snapshot()["spans"]  # not "outer/after"
+
+    def test_span_events_emitted_with_depth(self):
+        sink = InMemorySink()
+        registry = MetricsRegistry(sinks=[sink])
+        with registry.span("a"):
+            with registry.span("b", model="tft"):
+                pass
+        events = [r for r in sink.records if r["kind"] == "span"]
+        # Inner span completes (and is emitted) first.
+        assert [e["name"] for e in events] == ["a/b", "a"]
+        assert events[0]["depth"] == 1
+        assert events[0]["labels"] == {"model": "tft"}
+        assert all(e["duration_s"] >= 0.0 for e in events)
+
+
+class TestRegistry:
+    def test_snapshot_groups_by_kind(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.gauge("g").set(2)
+        registry.histogram("h").observe(3.0)
+        snap = registry.snapshot()
+        assert snap["counters"]["c"] == 1.0
+        assert snap["gauges"]["g"] == 2.0
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_events_timestamped_with_injected_clock(self):
+        sink = InMemorySink()
+        registry = MetricsRegistry(sinks=[sink], time_source=lambda: 123.0)
+        registry.counter("c").inc()
+        assert sink.records[0]["ts"] == 123.0
+
+    def test_sink_add_remove(self):
+        registry = MetricsRegistry()
+        sink = InMemorySink()
+        registry.add_sink(sink)
+        registry.counter("c").inc()
+        registry.remove_sink(sink)
+        registry.counter("c").inc()
+        assert len(sink) == 1
+
+
+class TestAmbientRegistry:
+    def test_default_is_a_registry(self):
+        assert isinstance(get_registry(), MetricsRegistry)
+
+    def test_using_registry_scopes_and_restores(self):
+        outer = get_registry()
+        scoped = MetricsRegistry()
+        with using_registry(scoped) as active:
+            assert active is scoped
+            assert get_registry() is scoped
+        assert get_registry() is outer
+
+    def test_set_registry_returns_previous(self):
+        original = get_registry()
+        replacement = MetricsRegistry()
+        previous = set_registry(replacement)
+        try:
+            assert previous is original
+            assert get_registry() is replacement
+        finally:
+            set_registry(original)
+
+    def test_using_registry_restores_on_exception(self):
+        outer = get_registry()
+        with pytest.raises(RuntimeError):
+            with using_registry(MetricsRegistry()):
+                raise RuntimeError("boom")
+        assert get_registry() is outer

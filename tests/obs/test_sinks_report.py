@@ -1,0 +1,158 @@
+"""Tests for telemetry sinks and the event-stream summarizer."""
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    InMemorySink,
+    JsonlSink,
+    MetricsRegistry,
+    Sink,
+    TableSink,
+    format_summary,
+    read_jsonl,
+    summarize_records,
+)
+
+
+class TestInMemorySink:
+    def test_copies_records(self):
+        sink = InMemorySink()
+        record = {"kind": "counter", "name": "c", "labels": {}}
+        sink.emit(record)
+        record["name"] = "mutated"
+        assert sink.records[0]["name"] == "c"
+
+    def test_structural_sink_protocol(self):
+        # All shipped sinks satisfy the Sink protocol structurally.
+        for sink in (InMemorySink(), TableSink(stream=io.StringIO())):
+            assert isinstance(sink, Sink)
+
+
+class TestJsonlSink:
+    def test_round_trip_through_read_jsonl(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        registry = MetricsRegistry(time_source=lambda: 1.0)
+        with JsonlSink(path) as sink:
+            registry.add_sink(sink)
+            registry.counter("decisions", strategy="tft").inc()
+            registry.gauge("nodes").set(4)
+            with registry.span("plan"):
+                pass
+        assert sink.records_written == 3
+        records = read_jsonl(path)
+        assert len(records) == 3
+        kinds = {r["kind"] for r in records}
+        assert kinds == {"counter", "gauge", "span"}
+        assert records[0]["labels"] == {"strategy": "tft"}
+
+    def test_numpy_values_serialised(self, tmp_path):
+        path = tmp_path / "np.jsonl"
+        with JsonlSink(path) as sink:
+            sink.emit({"kind": "gauge", "value": np.float64(1.5), "n": np.int64(2)})
+        record = read_jsonl(path)[0]
+        assert record["value"] == 1.5
+        assert record["n"] == 2
+
+    def test_emit_after_close_raises(self, tmp_path):
+        sink = JsonlSink(tmp_path / "x.jsonl")
+        sink.close()
+        with pytest.raises(ValueError):
+            sink.emit({"kind": "counter"})
+
+    def test_close_idempotent(self, tmp_path):
+        sink = JsonlSink(tmp_path / "x.jsonl")
+        sink.close()
+        sink.close()
+
+
+class TestReadJsonl:
+    def test_skips_malformed_and_blank_lines(self, tmp_path):
+        path = tmp_path / "dirty.jsonl"
+        path.write_text(
+            '{"kind": "counter", "name": "a", "value": 1}\n'
+            "not json at all\n"
+            "\n"
+            "[1, 2, 3]\n"
+            '{"kind": "gauge", "name": "b", "value": 2}\n'
+        )
+        records = read_jsonl(path)
+        assert [r["name"] for r in records] == ["a", "b"]
+
+
+class TestTableSink:
+    def test_prints_summary_on_close(self):
+        stream = io.StringIO()
+        sink = TableSink(stream=stream)
+        registry = MetricsRegistry(sinks=[sink])
+        registry.counter("decisions").inc()
+        sink.close()
+        out = stream.getvalue()
+        assert "telemetry summary" in out
+        assert "decisions" in out
+
+    def test_silent_when_empty(self):
+        stream = io.StringIO()
+        TableSink(stream=stream).close()
+        assert stream.getvalue() == ""
+
+
+class TestSummarizeRecords:
+    def _capture(self):
+        sink = InMemorySink()
+        registry = MetricsRegistry(sinks=[sink])
+        return registry, sink
+
+    def test_counter_last_value_wins(self):
+        registry, sink = self._capture()
+        counter = registry.counter("hits")
+        for _ in range(5):
+            counter.inc()
+        summary = summarize_records(sink.records)
+        assert summary.counters["hits"] == 5.0
+
+    def test_counter_total_sums_label_sets(self):
+        registry, sink = self._capture()
+        registry.counter("steps", strategy="a").inc(3)
+        registry.counter("steps", strategy="b").inc(4)
+        registry.counter("stepsize").inc(100)  # prefix, not the same counter
+        summary = summarize_records(sink.records)
+        assert summary.counter_total("steps") == 7.0
+
+    def test_gauge_and_histogram_and_span(self):
+        registry, sink = self._capture()
+        registry.gauge("nodes").set(3)
+        registry.gauge("nodes").set(5)
+        registry.histogram("lat").observe(1.0)
+        registry.histogram("lat").observe(3.0)
+        with registry.span("plan"):
+            pass
+        summary = summarize_records(sink.records)
+        assert summary.gauges["nodes"] == 5.0
+        assert summary.histograms["lat"].count == 2
+        assert summary.histograms["lat"].mean == 2.0
+        assert summary.spans["plan"].count == 1
+        assert summary.records == len(sink.records)
+
+    def test_format_summary_sections(self):
+        registry, sink = self._capture()
+        registry.counter("c").inc()
+        registry.gauge("g").set(1)
+        registry.histogram("h").observe(2.0)
+        with registry.span("s"):
+            pass
+        text = format_summary(summarize_records(sink.records))
+        assert "phase timings (spans)" in text
+        assert "counters" in text
+        assert "gauges (last value)" in text
+        assert "histograms" in text
+
+    def test_round_trips_json_encoding(self):
+        registry, sink = self._capture()
+        registry.counter("c", k="v").inc()
+        encoded = [json.loads(json.dumps(r)) for r in sink.records]
+        summary = summarize_records(encoded)
+        assert summary.counters["c{k=v}"] == 1.0

@@ -1,0 +1,105 @@
+"""End-to-end CLI smoke tests: --telemetry capture and the report command."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+EVALUATE_ARGS = [
+    "evaluate", "--trace", "alibaba", "--days", "5", "--model", "naive",
+    "--context", "144", "--horizon", "36", "--quantile", "0.9",
+]
+
+
+def read_events(path):
+    return [json.loads(line) for line in path.read_text().splitlines() if line.strip()]
+
+
+class TestEvaluateWithTelemetry:
+    def test_closed_loop_run_streams_events(self, tmp_path, capsys):
+        telemetry = tmp_path / "telemetry.jsonl"
+        code = main(EVALUATE_ARGS + ["--telemetry", str(telemetry)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "under-provisioning" in out
+        assert "planning decisions" in out
+        assert "QoS violations" in out
+
+        records = read_events(telemetry)
+        assert records
+        kinds = {r["kind"] for r in records}
+        assert {"counter", "gauge", "span"} <= kinds
+        names = {r["name"] for r in records}
+        # Closed loop: runtime decisions and fallback, simulator replay.
+        assert "runtime.decisions" in names
+        assert "runtime.fallback_activations" in names
+        assert "runtime.nodes_requested" in names
+        assert "simulator.intervals" in names
+        assert "runtime/plan" in names  # span path
+        assert all("ts" in r for r in records)
+
+    def test_no_telemetry_flag_writes_nothing(self, tmp_path, capsys):
+        code = main(EVALUATE_ARGS)
+        assert code == 0
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestReport:
+    def test_report_summarises_an_evaluate_run(self, tmp_path, capsys):
+        telemetry = tmp_path / "telemetry.jsonl"
+        assert main(EVALUATE_ARGS + ["--telemetry", str(telemetry)]) == 0
+        capsys.readouterr()
+
+        code = main(["report", str(telemetry)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "telemetry summary" in out
+        assert "phase timings (spans)" in out
+        assert "runtime/plan" in out
+        assert "runtime.fallback_activations" in out
+        assert "simulator.intervals" in out
+        assert "gauges (last value)" in out
+
+    def test_report_empty_file_fails(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["report", str(empty)]) == 1
+
+    def test_report_missing_file_fails_cleanly(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "nope.jsonl")]) == 2
+        assert "cannot read telemetry file" in capsys.readouterr().err
+
+    def test_unwritable_telemetry_path_fails_cleanly(self, tmp_path, capsys):
+        code = main(
+            EVALUATE_ARGS + ["--telemetry", str(tmp_path / "no-dir" / "out.jsonl")]
+        )
+        assert code == 2
+        assert "cannot open telemetry file" in capsys.readouterr().err
+
+    def test_report_skips_malformed_lines(self, tmp_path, capsys):
+        path = tmp_path / "dirty.jsonl"
+        path.write_text(
+            "garbage\n"
+            '{"kind": "counter", "name": "c", "labels": {}, "value": 2}\n'
+        )
+        assert main(["report", str(path)]) == 0
+        assert "c" in capsys.readouterr().out
+
+
+class TestCompareWithTelemetry:
+    def test_compare_streams_evaluation_counters(self, tmp_path, capsys):
+        telemetry = tmp_path / "telemetry.jsonl"
+        code = main(
+            [
+                "compare", "--trace", "google", "--days", "6", "--epochs", "1",
+                "--context", "96", "--horizon", "24",
+                "--telemetry", str(telemetry),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "strategy" in out
+        names = {r["name"] for r in read_events(telemetry)}
+        assert "evaluation.windows" in names
+        assert any(name.startswith("evaluate") for name in names)  # spans
