@@ -18,6 +18,14 @@ Capture telemetry from any run and summarise it afterwards::
 
     repro-autoscale evaluate --trace alibaba --days 5 --telemetry out.jsonl
     repro-autoscale report out.jsonl
+
+Watch model health online (calibration windows, drift detection,
+alerts, decision provenance) and stress it with an injected regime
+shift::
+
+    repro-autoscale evaluate --model naive --monitor \
+        --inject-shift 90:1500 --telemetry out.jsonl
+    repro-autoscale report out.jsonl   # includes the model-health section
 """
 
 from __future__ import annotations
@@ -69,6 +77,47 @@ def _load_trace(args: argparse.Namespace):
     return trace.split(test_fraction=0.25)
 
 
+def _parse_shift(spec: str):
+    """Parse ``--inject-shift START:MAGNITUDE`` (START is test-relative)."""
+    try:
+        start_text, magnitude_text = spec.split(":", 1)
+        return int(start_text), float(magnitude_text)
+    except ValueError:
+        raise SystemExit(
+            f"cannot parse --inject-shift {spec!r}; expected START:MAGNITUDE, "
+            f"e.g. 90:1500"
+        )
+
+
+def _build_monitor(args: argparse.Namespace):
+    """A ModelHealthMonitor wired to default + user alert rules."""
+    from .obs import AlertEngine, ModelHealthMonitor, default_rules, parse_rule
+
+    nominal = getattr(args, "quantile", 0.9)
+    rules = default_rules(nominal_level=nominal)
+    for spec in getattr(args, "alert", None) or []:
+        try:
+            rules.append(parse_rule(spec))
+        except ValueError as error:
+            raise SystemExit(str(error))
+    return ModelHealthMonitor(
+        window=args.monitor_window, alerts=AlertEngine(rules)
+    )
+
+
+def _print_model_health(monitor, provenance: list[dict]) -> None:
+    from .obs import ModelHealthSummary, format_model_health
+
+    health = ModelHealthSummary(
+        windows=monitor.window_records(),
+        drifts=monitor.drift_records(),
+        alerts=monitor.alerts.alert_records() if monitor.alerts else [],
+        provenance=provenance,
+    )
+    print()
+    print(format_model_health(health))
+
+
 def cmd_forecast(args: argparse.Namespace) -> int:
     train, test = _load_trace(args)
     forecaster = _build_forecaster(args.model, args.context, args.horizon, args.epochs, args.seed)
@@ -100,6 +149,11 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     train, test = _load_trace(args)
     forecaster = _build_forecaster(args.model, args.context, args.horizon, args.epochs, args.seed)
     forecaster.fit(train.values)
+    if args.inject_shift:
+        from .traces.anomalies import inject_level_shift
+
+        shift_start, shift_magnitude = _parse_shift(args.inject_shift)
+        test = inject_level_shift(test, shift_start, shift_magnitude)
     if args.adaptive:
         policy = UncertaintyAwarePolicy(
             args.quantile_low, args.quantile, uncertainty_threshold=args.uncertainty_threshold
@@ -114,6 +168,11 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
         threshold=args.threshold,
         start_index=len(train.values),
     )
+    monitor = None
+    if args.monitor:
+        monitor = _build_monitor(args)
+        runtime.monitor = monitor
+        runtime.record_provenance = True
     allocations = runtime.run(test.values)
     committed = ScalingPlan(
         nodes=allocations, threshold=args.threshold, strategy=scaler.name
@@ -132,22 +191,46 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     print(f"QoS violations      : {violations} "
           f"({replay.violation_rate:.1%}, {replay.warmup_limited_violations} warm-up limited)")
     print(f"node-hours consumed : {replay.total_node_seconds / 3600:.0f}")
+    if monitor is not None:
+        _print_model_health(monitor, runtime.provenance)
     return 0
 
 
 def cmd_report(args: argparse.Namespace) -> int:
     """Summarise a telemetry file produced with ``--telemetry``."""
-    from .obs import format_summary, read_jsonl, summarize_records
+    from .obs import (
+        format_model_health,
+        format_summary,
+        read_jsonl,
+        summarize_model_health,
+        summarize_records,
+    )
 
     try:
         records = read_jsonl(args.path)
     except OSError as error:
         print(f"cannot read telemetry file: {error}", file=sys.stderr)
         return 2
+    except UnicodeDecodeError:
+        print(
+            f"cannot read telemetry file: {args.path} is not a text file "
+            f"(expected JSON lines written by --telemetry)",
+            file=sys.stderr,
+        )
+        return 2
     if not records:
-        print(f"no telemetry records in {args.path}", file=sys.stderr)
+        print(
+            f"no telemetry records in {args.path} — the file is empty, "
+            f"contains no valid JSON lines, or the run that wrote it was "
+            f"interrupted before any event was flushed",
+            file=sys.stderr,
+        )
         return 1
     print(format_summary(summarize_records(records)))
+    health = summarize_model_health(records)
+    if health:
+        print()
+        print(format_model_health(health))
     return 0
 
 
@@ -156,23 +239,53 @@ def cmd_compare(args: argparse.Namespace) -> int:
     rows = []
     for scaler in (ReactiveMaxScaler(), ReactiveAvgScaler()):
         ev = evaluate_strategy(scaler, test.values, args.context, args.horizon, args.threshold)
-        rows.append((scaler.name, ev.report))
+        rows.append((scaler.name, ev.report, None))
     forecaster = _build_forecaster("tft", args.context, args.horizon, args.epochs, args.seed)
     forecaster.fit(train.values)
     for tau in (0.5, 0.8, 0.9, 0.95):
         scaler = RobustPredictiveAutoscaler(forecaster, args.threshold, FixedQuantilePolicy(tau))
+        monitor = _build_monitor(args) if args.monitor else None
+        on_window = _monitor_feeder(monitor) if monitor is not None else None
         ev = evaluate_strategy(
             scaler, test.values, args.context, args.horizon, args.threshold,
-            series_start_index=len(train.values),
+            series_start_index=len(train.values), on_window=on_window,
         )
-        rows.append((f"TFT-{tau}", ev.report))
-    print(f"{'strategy':<16} {'under':>8} {'over':>8} {'nodes':>8}")
-    for name, report in rows:
-        print(
+        rows.append((f"TFT-{tau}", ev.report, monitor))
+    header = f"{'strategy':<16} {'under':>8} {'over':>8} {'nodes':>8}"
+    if args.monitor:
+        header += f" {'cal.err':>8} {'drift':>6}"
+    print(header)
+    for name, report, monitor in rows:
+        row = (
             f"{name:<16} {report.under_provisioning_rate:>8.4f} "
             f"{report.over_provisioning_rate:>8.4f} {report.total_nodes:>8}"
         )
+        if args.monitor:
+            if monitor is not None and monitor.windows:
+                mean_cal = float(
+                    np.mean([w.calibration_error for w in monitor.windows])
+                )
+                row += f" {mean_cal:>8.3f} {len(monitor.drift_events):>6}"
+            else:
+                row += f" {'-':>8} {'-':>6}"
+        print(row)
     return 0
+
+
+def _monitor_feeder(monitor):
+    """An ``evaluate_strategy`` on_window callback feeding a health monitor."""
+
+    def on_window(point, plan, actual_window):
+        levels = plan.metadata.get("forecast_levels")
+        values = plan.metadata.get("forecast_values")
+        if levels is None or values is None:
+            return
+        for h in range(min(plan.horizon, len(actual_window))):
+            monitor.observe(
+                levels, values[:, h], actual_window[h], time_index=point + h
+            )
+
+    return on_window
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
@@ -246,6 +359,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="stream telemetry events (spans, counters, gauges, "
                             "histograms) to PATH as JSON lines")
 
+    def monitoring(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--monitor", action="store_true",
+                       help="track model health online: windowed quantile "
+                            "calibration, rolling wQL/MAPE, drift detection, "
+                            "alerts, and per-decision provenance")
+        p.add_argument("--monitor-window", type=int, default=24,
+                       help="steps per calibration window (default 24)")
+        p.add_argument("--alert", action="append", metavar="RULE",
+                       help="extra alert rule, e.g. 'coverage@0.9 < 0.8 for 12' "
+                            "or 'drift_score > 25' (repeatable)")
+
     p_forecast = sub.add_parser("forecast", help="print a quantile forecast vs actuals")
     common(p_forecast)
     p_forecast.add_argument("--model", default="tft",
@@ -254,6 +378,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_eval = sub.add_parser("evaluate", help="evaluate one robust scaling strategy")
     common(p_eval)
+    monitoring(p_eval)
     p_eval.add_argument("--model", default="tft",
                         choices=["tft", "deepar", "mlp", "arima", "naive"])
     p_eval.add_argument("--quantile", type=float, default=0.9)
@@ -262,10 +387,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_eval.add_argument("--quantile-low", type=float, default=0.7,
                         help="optimistic level for --adaptive")
     p_eval.add_argument("--uncertainty-threshold", type=float, default=100.0)
+    p_eval.add_argument("--inject-shift", metavar="START:MAGNITUDE", default=None,
+                        help="inject a permanent level shift into the test "
+                            "split at test-relative step START (stress the "
+                            "monitors with a regime change)")
     p_eval.set_defaults(func=cmd_evaluate)
 
     p_cmp = sub.add_parser("compare", help="compare reactive and robust strategies")
     common(p_cmp)
+    monitoring(p_cmp)
     p_cmp.set_defaults(func=cmd_compare)
 
     p_sim = sub.add_parser(

@@ -93,4 +93,7 @@ class RobustPredictiveAutoscaler:
         with metrics.span("forecast", model=type(self.forecaster).__name__):
             forecast = self.forecast(context, start_index)
         with metrics.span("solve", policy=self.manager.policy.name):
-            return self.manager.plan(forecast, current_nodes=current_nodes)
+            plan = self.manager.plan(forecast, current_nodes=current_nodes)
+        plan.metadata["model"] = type(self.forecaster).__name__
+        plan.metadata["policy"] = self.manager.policy.name
+        return plan

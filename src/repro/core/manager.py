@@ -14,6 +14,7 @@ from ..forecast.base import QuantileForecast
 from .optimizer import solve_closed_form, solve_with_ramp_limits
 from .plan import ScalingPlan
 from .policies import FixedQuantilePolicy, QuantilePolicy
+from .uncertainty import quantile_uncertainty
 
 __all__ = ["RobustAutoScalingManager"]
 
@@ -70,6 +71,7 @@ class RobustAutoScalingManager:
             # Quantile forecasts can dip below zero on normalised models;
             # workload is physically non-negative.
             bound = np.maximum(bound, 0.0)
+        ramp_clipped_steps = 0
         if self.max_scale_out is not None or self.max_scale_in is not None:
             plan = solve_with_ramp_limits(
                 bound,
@@ -79,8 +81,17 @@ class RobustAutoScalingManager:
                 initial_nodes=current_nodes,
                 strategy=self.policy.name,
             )
+            unclipped = solve_closed_form(bound, self.threshold)
+            ramp_clipped_steps = int(np.count_nonzero(plan.nodes != unclipped.nodes))
         else:
             plan = solve_closed_form(bound, self.threshold, strategy=self.policy.name)
         plan.quantile_levels = levels
+        # Decision provenance: everything the runtime needs to explain
+        # (and the model-health monitor to score) this plan.  Arrays are
+        # stored by reference — no copies on the planning path.
         plan.metadata["bound_workload"] = bound
+        plan.metadata["uncertainty"] = quantile_uncertainty(forecast)
+        plan.metadata["forecast_levels"] = forecast.levels
+        plan.metadata["forecast_values"] = forecast.values
+        plan.metadata["ramp_clipped_steps"] = ramp_clipped_steps
         return plan

@@ -13,18 +13,40 @@ every decision for audit.  The loop is instrumented through
 :mod:`repro.obs`: planning latency (span ``runtime/plan``), decision and
 fallback counters, and a ``runtime.nodes_requested`` gauge all flow to
 the ambient metrics registry.
+
+Two opt-in observability extensions ride on the loop:
+
+* **decision provenance** — every planning step (predictive plan or
+  fallback activation) emits one structured ``provenance`` record
+  capturing the quantile bound used, the uncertainty estimate, ramp
+  clipping, and the final allocation.  Records flow through the ambient
+  registry to any attached sink; set :attr:`record_provenance` to also
+  keep them on the runtime (:attr:`provenance`).
+* **model health** — attach a
+  :class:`~repro.obs.monitor.ModelHealthMonitor` and every observed
+  interval feeds the monitor its ``(forecast quantiles, realized
+  value)`` pair, driving windowed calibration tracking and drift
+  detection online.
+
+Both are zero-cost when unused: with no monitor attached and no sinks
+on the ambient registry, the hot path builds no records and allocates
+nothing beyond the pre-existing counter/gauge updates.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..obs import get_registry
 from .plan import Planner, ScalingPlan, required_nodes
 from .reactive import ReactiveScaler
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..obs.monitor import ModelHealthMonitor
 
 __all__ = ["Decision", "AutoscalingRuntime"]
 
@@ -36,6 +58,62 @@ class Decision:
     time_index: int
     plan: ScalingPlan
     source: str  # "predictive" or "reactive-fallback"
+
+
+def _decision_record(
+    time_index: int, plan: ScalingPlan, source: str
+) -> dict:
+    """Build the provenance record for one predictive planning step.
+
+    Only called when someone is listening (a sink or
+    ``record_provenance``) — this is the allocation the zero-cost
+    guarantee avoids.
+    """
+    meta = plan.metadata
+    record: dict = {
+        "time_index": int(time_index),
+        "source": source,
+        "strategy": plan.strategy,
+        "horizon": int(plan.horizon),
+        "nodes": plan.nodes.tolist(),
+        "nodes_first": int(plan.nodes[0]),
+        "ramp_clipped_steps": int(meta.get("ramp_clipped_steps", 0)),
+    }
+    if plan.quantile_levels is not None:
+        levels = np.asarray(plan.quantile_levels, dtype=np.float64)
+        record["tau_min"] = float(levels.min())
+        record["tau_max"] = float(levels.max())
+    bound = meta.get("bound_workload")
+    if bound is not None:
+        bound = np.asarray(bound, dtype=np.float64)
+        record["bound_max"] = float(bound.max())
+        record["bound_total"] = float(bound.sum())
+    uncertainty = meta.get("uncertainty")
+    if uncertainty is not None:
+        uncertainty = np.asarray(uncertainty, dtype=np.float64)
+        record["uncertainty_mean"] = float(uncertainty.mean())
+        record["uncertainty_max"] = float(uncertainty.max())
+    if "model" in meta:
+        record["model"] = meta["model"]
+    if "policy" in meta:
+        record["policy"] = meta["policy"]
+    return record
+
+
+def _fallback_record(
+    time_index: int, target: int, window_statistic: float, fallback_name: str
+) -> dict:
+    """Provenance record for one reactive-fallback activation."""
+    return {
+        "time_index": int(time_index),
+        "source": "reactive-fallback",
+        "strategy": fallback_name,
+        "horizon": 1,
+        "nodes": [int(target)],
+        "nodes_first": int(target),
+        "window_statistic": float(window_statistic),
+        "ramp_clipped_steps": 0,
+    }
 
 
 @dataclass
@@ -63,6 +141,13 @@ class AutoscalingRuntime:
         cannot refuse to scale during warm-up.
     threshold:
         Per-node workload threshold for the fallback's allocations.
+    monitor:
+        Optional :class:`~repro.obs.monitor.ModelHealthMonitor`; when
+        attached, every observed interval covered by a predictive plan
+        feeds the monitor its forecast quantiles and realized value.
+    record_provenance:
+        Keep provenance records on :attr:`provenance` (they are always
+        *emitted* when the ambient registry has sinks).
     """
 
     planner: Planner
@@ -72,12 +157,16 @@ class AutoscalingRuntime:
     replan_every: int | None = None
     fallback: ReactiveScaler | None = None
     start_index: int = 0
+    monitor: "ModelHealthMonitor | None" = None
+    record_provenance: bool = False
 
     _history: deque = field(default_factory=deque, repr=False)
     decisions: list[Decision] = field(default_factory=list, repr=False)
+    provenance: list[dict] = field(default_factory=list, repr=False)
     _current_plan: ScalingPlan | None = field(default=None, repr=False)
     _plan_position: int = field(default=0, repr=False)
     _time: int = field(default=0, repr=False)
+    _last_target: int | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if self.context_length < 1 or self.horizon < 1:
@@ -101,10 +190,31 @@ class AutoscalingRuntime:
         """Record the workload that materialised in the current interval."""
         if workload < 0:
             raise ValueError("workload must be non-negative")
+        if self.monitor is not None:
+            self._feed_monitor(float(workload))
         self._history.append(float(workload))
         self._time += 1
         self._plan_position += 1
         get_registry().counter("runtime.observations").inc()
+
+    def _feed_monitor(self, workload: float) -> None:
+        """Hand the interval's (forecast quantiles, realized value) pair over."""
+        plan = self._current_plan
+        if plan is None:
+            return
+        levels = plan.metadata.get("forecast_levels")
+        values = plan.metadata.get("forecast_values")
+        if levels is None or values is None:
+            return
+        position = min(self._plan_position, plan.horizon - 1)
+        self.monitor.observe(
+            levels,
+            values[:, position],
+            workload,
+            time_index=self._time,
+            nodes=self._last_target,
+            threshold=self.threshold,
+        )
 
     def target_nodes(self) -> int:
         """Node target for the upcoming interval (plans lazily)."""
@@ -118,6 +228,7 @@ class AutoscalingRuntime:
             metrics.counter("runtime.fallback_activations").inc()
             target = self._fallback_target()
         get_registry().gauge("runtime.nodes_requested").set(target)
+        self._last_target = target
         return target
 
     def _needs_replan(self) -> bool:
@@ -143,14 +254,30 @@ class AutoscalingRuntime:
             Decision(time_index=self._time, plan=plan, source="predictive")
         )
         metrics.counter("runtime.decisions", source="predictive").inc()
+        if self.record_provenance or metrics.active:
+            record = _decision_record(self._time, plan, "predictive")
+            metrics.emit_event("provenance", "runtime.decision", **record)
+            if self.record_provenance:
+                self.provenance.append(record)
 
     def _fallback_target(self) -> int:
         if not self._history:
-            return 1
-        recent = np.asarray(self._history, dtype=np.float64)
-        window = recent[-self.fallback.window :]
-        estimate = max(self.fallback.window_statistic(window), 0.0)
-        return int(required_nodes(np.array([estimate]), self.threshold)[0])
+            estimate = 0.0
+            target = 1
+        else:
+            recent = np.asarray(self._history, dtype=np.float64)
+            window = recent[-self.fallback.window :]
+            estimate = max(self.fallback.window_statistic(window), 0.0)
+            target = int(required_nodes(np.array([estimate]), self.threshold)[0])
+        metrics = get_registry()
+        if self.record_provenance or metrics.active:
+            record = _fallback_record(
+                self._time, target, estimate, self.fallback.name
+            )
+            metrics.emit_event("provenance", "runtime.decision", **record)
+            if self.record_provenance:
+                self.provenance.append(record)
+        return target
 
     # ------------------------------------------------------------------
     def run(self, workload: np.ndarray) -> np.ndarray:

@@ -26,7 +26,12 @@ import numpy as np
 from ..distributions import Distribution
 from ..forecast.base import QuantileForecast
 
-__all__ = ["quantile_uncertainty", "distribution_uncertainty", "forecast_uncertainty"]
+__all__ = [
+    "quantile_uncertainty",
+    "distribution_uncertainty",
+    "forecast_uncertainty",
+    "interquantile_range",
+]
 
 
 def quantile_uncertainty(forecast: QuantileForecast) -> np.ndarray:
@@ -43,6 +48,23 @@ def quantile_uncertainty(forecast: QuantileForecast) -> np.ndarray:
         indicator = (values < median).astype(np.float64)
         total += (tau - indicator) * (values - median)
     return total
+
+
+def interquantile_range(
+    forecast: QuantileForecast, low: float = 0.1, high: float = 0.9
+) -> np.ndarray:
+    """Per-step width of the forecast fan between two quantile levels.
+
+    A robust scale estimate for normalising residuals (the model-health
+    monitors divide ``actual - median`` by this so drift statistics are
+    comparable across workload magnitudes).  Levels outside the
+    forecast's grid are clamped to the outermost available levels.
+    """
+    if not low < high:
+        raise ValueError(f"low ({low}) must be below high ({high})")
+    lo = max(low, float(forecast.levels[0]))
+    hi = min(high, float(forecast.levels[-1]))
+    return forecast.at(hi) - forecast.at(lo)
 
 
 def distribution_uncertainty(distribution: Distribution) -> np.ndarray:

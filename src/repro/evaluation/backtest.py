@@ -93,6 +93,7 @@ def backtest(
     levels: tuple[float, ...],
     stride: int | None = None,
     series_start_index: int = 0,
+    monitor=None,
 ) -> BacktestResult:
     """Rolling-origin evaluation of a fitted forecaster.
 
@@ -107,6 +108,10 @@ def backtest(
     series_start_index:
         Absolute index of ``values[0]`` in the original trace — keeps
         calendar features phase-aligned when ``values`` is a split.
+    monitor:
+        Optional :class:`~repro.obs.monitor.ModelHealthMonitor`: every
+        evaluated (forecast, actual) pair is streamed into it, so the
+        backtest doubles as an offline calibration/drift analysis.
     """
     from ..core.evaluation import decision_points
     from ..obs import get_registry
@@ -126,5 +131,10 @@ def backtest(
                 )
             metrics.counter("backtest.windows", model=model).inc()
             result.forecasts.append(forecast)
-            result.actuals.append(values[point : point + horizon])
+            actual = values[point : point + horizon]
+            result.actuals.append(actual)
+            if monitor is not None:
+                monitor.observe_forecast(
+                    forecast, actual, start_index=series_start_index + point
+                )
     return result

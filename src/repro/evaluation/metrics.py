@@ -77,6 +77,11 @@ def coverage(target: np.ndarray, predicted: np.ndarray) -> float:
     Coverage_[tau] measures how often the tau-quantile forecast is larger
     than the true value; a perfectly calibrated forecaster achieves
     Coverage_[tau] = tau.
+
+    NaN targets (missing observations) compare as *not covered* — they
+    lower coverage rather than poisoning it, which is the conservative
+    choice for the monitors built on top of this function.  Empty
+    targets raise.
     """
     target = np.asarray(target, dtype=np.float64)
     predicted = np.asarray(predicted, dtype=np.float64)
@@ -109,7 +114,14 @@ def mape(target: np.ndarray, predicted: np.ndarray, eps: float = 1e-9) -> float:
 def calibration_table(
     target: np.ndarray, quantile_forecasts: dict[float, np.ndarray]
 ) -> dict[float, float]:
-    """Per-level coverage, for calibration diagnostics (Fig. 7 discussion)."""
+    """Per-level coverage, for calibration diagnostics (Fig. 7 discussion).
+
+    Every key must be a valid quantile level in (0, 1) — these tables
+    feed the model-health monitors, where an out-of-range nominal level
+    would silently corrupt calibration error.
+    """
+    for tau in quantile_forecasts:
+        _check_tau(tau)
     return {
         tau: coverage(target, forecast)
         for tau, forecast in sorted(quantile_forecasts.items())

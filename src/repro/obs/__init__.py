@@ -9,7 +9,13 @@ production autoscalers rely on, scaled down to a library:
   :class:`Histogram` metrics and nested wall-clock ``span()`` timers;
 * pluggable sinks (:class:`InMemorySink`, :class:`JsonlSink`,
   :class:`TableSink`);
-* stream summarization for ``repro-autoscale report``.
+* streaming **model-health monitors** (:mod:`repro.obs.monitor`):
+  windowed quantile calibration, rolling wQL/MAPE, and residual drift
+  detection via Page-Hinkley and CUSUM;
+* a declarative **alert engine** (:mod:`repro.obs.alerts`) firing
+  structured alert events into the same stream;
+* stream summarization for ``repro-autoscale report`` — including the
+  model-health timeline and per-decision provenance records.
 
 Instrumented modules (``core.runtime``, ``simulator``, ``forecast``,
 ``core.evaluation``) write to the ambient registry from
@@ -20,12 +26,26 @@ Instrumented modules (``core.runtime``, ``simulator``, ``forecast``,
 
     registry = obs.MetricsRegistry()
     registry.add_sink(obs.JsonlSink("run.jsonl"))
+    monitor = obs.ModelHealthMonitor(window=24, alerts=obs.AlertEngine(
+        obs.default_rules(nominal_level=0.9)))
+    runtime.monitor = monitor
     with obs.using_registry(registry):
         runtime.run(workload)
     print(obs.format_summary(obs.summarize_records(
         obs.read_jsonl("run.jsonl"))))
+    print(obs.format_model_health(obs.summarize_model_health(
+        obs.read_jsonl("run.jsonl"))))
 """
 
+from .alerts import Alert, AlertEngine, AlertRule, default_rules, parse_rule
+from .monitor import (
+    CUSUM,
+    DriftDetector,
+    DriftEvent,
+    ModelHealthMonitor,
+    PageHinkley,
+    WindowStats,
+)
 from .registry import (
     Counter,
     Gauge,
@@ -37,10 +57,13 @@ from .registry import (
 )
 from .report import (
     DistributionSummary,
+    ModelHealthSummary,
     SpanSummary,
     TelemetrySummary,
+    format_model_health,
     format_summary,
     read_jsonl,
+    summarize_model_health,
     summarize_records,
 )
 from .sinks import InMemorySink, JsonlSink, Sink, TableSink
@@ -57,10 +80,24 @@ __all__ = [
     "InMemorySink",
     "JsonlSink",
     "TableSink",
+    "ModelHealthMonitor",
+    "DriftDetector",
+    "DriftEvent",
+    "PageHinkley",
+    "CUSUM",
+    "WindowStats",
+    "Alert",
+    "AlertRule",
+    "AlertEngine",
+    "parse_rule",
+    "default_rules",
     "TelemetrySummary",
     "SpanSummary",
     "DistributionSummary",
+    "ModelHealthSummary",
     "summarize_records",
+    "summarize_model_health",
     "read_jsonl",
     "format_summary",
+    "format_model_health",
 ]

@@ -1,0 +1,526 @@
+"""Streaming model-health monitors for the closed autoscaling loop.
+
+The paper's argument rests on forecast uncertainty being *trustworthy*:
+the adaptive policy reacts to estimated uncertainty, and the robust
+bounds only hold if the quantile forecasts stay calibrated.  Offline
+metrics (``repro.evaluation.metrics``) score a finished run; this module
+watches calibration *while the loop runs*, the way RobustScaler couples
+its scaler to continuous uncertainty estimates and OptScaler monitors
+prediction reliability online.
+
+:class:`ModelHealthMonitor` consumes one ``(forecast quantiles,
+realized value)`` pair per interval and maintains:
+
+* **windowed calibration** — per-level empirical coverage vs. nominal
+  over fixed-size windows, plus the mean absolute calibration error;
+* **rolling accuracy** — per-window wQL (per level and mean) and MAPE
+  of the median forecast;
+* **residual drift** — :class:`PageHinkley` and :class:`CUSUM`
+  detectors on spread-normalised residuals, emitting regime-change
+  events the moment the forecaster's error distribution moves.
+
+Everything is published through the ambient metrics registry
+(:func:`repro.obs.get_registry`), so any attached sink — JSONL file,
+in-memory buffer, summary table — receives ``model_health`` events for
+free, and ``repro-autoscale report`` can reconstruct the full health
+timeline from a telemetry file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+import numpy as np
+
+from .registry import get_registry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..forecast.base import QuantileForecast
+    from .alerts import AlertEngine
+
+__all__ = [
+    "DriftDetector",
+    "PageHinkley",
+    "CUSUM",
+    "DriftEvent",
+    "WindowStats",
+    "ModelHealthMonitor",
+]
+
+#: Floor for the residual-normalisation scale, so degenerate (zero
+#: width) forecast fans cannot produce infinite drift statistics.
+_SCALE_FLOOR = 1e-9
+
+
+@runtime_checkable
+class DriftDetector(Protocol):
+    """Streaming change detector over a residual sequence."""
+
+    name: str
+
+    def update(self, value: float) -> bool:
+        """Feed one value; return True when a change-point fires."""
+        ...
+
+    def reset(self) -> None:
+        """Forget all state (called automatically after a firing)."""
+        ...
+
+    @property
+    def score(self) -> float:
+        """Current test statistic (compared against the threshold)."""
+        ...
+
+    @property
+    def direction(self) -> str:
+        """Which side is drifting: ``"up"``, ``"down"``, or ``"none"``."""
+        ...
+
+    fired_score: float
+    fired_direction: str
+
+
+class PageHinkley:
+    """Two-sided Page-Hinkley test for mean shift in a stream.
+
+    Tracks the cumulative deviation of the input from its running mean
+    (minus a slack ``delta``); a drift fires when the deviation exceeds
+    its historical minimum (resp. maximum, for downward shifts) by more
+    than ``threshold``.  Input is expected to be roughly unit-scale —
+    the monitor feeds spread-normalised residuals.
+
+    Parameters
+    ----------
+    threshold:
+        λ — firing threshold on the PH statistic.
+    delta:
+        Per-step slack absorbing benign drift of the mean.
+    min_samples:
+        Observations required before the test may fire (warm-up).
+    """
+
+    name = "page-hinkley"
+
+    def __init__(
+        self, threshold: float = 12.0, delta: float = 0.05, min_samples: int = 12
+    ) -> None:
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        if min_samples < 1:
+            raise ValueError("min_samples must be >= 1")
+        self.threshold = threshold
+        self.delta = delta
+        self.min_samples = min_samples
+        self.reset()
+
+    #: statistic/direction at the moment of the most recent firing
+    fired_score: float = 0.0
+    fired_direction: str = "none"
+
+    def reset(self) -> None:
+        self._count = 0
+        self._mean = 0.0
+        self._cum_up = 0.0  # Σ (x - mean - delta)
+        self._cum_down = 0.0  # Σ (x - mean + delta)
+        self._min_up = 0.0
+        self._max_down = 0.0
+
+    def update(self, value: float) -> bool:
+        self._count += 1
+        self._mean += (value - self._mean) / self._count
+        self._cum_up += value - self._mean - self.delta
+        self._cum_down += value - self._mean + self.delta
+        self._min_up = min(self._min_up, self._cum_up)
+        self._max_down = max(self._max_down, self._cum_down)
+        if self._count < self.min_samples:
+            return False
+        if self.score > self.threshold:
+            # Snapshot the firing statistic before the reset wipes it —
+            # drift events report the score that crossed the threshold.
+            self.fired_score = self.score
+            self.fired_direction = self.direction
+            self.reset()
+            return True
+        return False
+
+    @property
+    def _score_up(self) -> float:
+        return self._cum_up - self._min_up
+
+    @property
+    def _score_down(self) -> float:
+        return self._max_down - self._cum_down
+
+    @property
+    def score(self) -> float:
+        return max(self._score_up, self._score_down)
+
+    @property
+    def direction(self) -> str:
+        if self._score_up == self._score_down == 0.0:
+            return "none"
+        return "up" if self._score_up >= self._score_down else "down"
+
+
+class CUSUM:
+    """Two-sided cumulative-sum detector for mean shift in a stream.
+
+    Classic tabular CUSUM: accumulate deviations beyond a slack
+    ``drift`` on each side, fire when either side's sum exceeds
+    ``threshold``.  Complements Page-Hinkley — CUSUM reacts faster to
+    abrupt jumps, PH is more sensitive to slow creep.
+    """
+
+    name = "cusum"
+
+    def __init__(
+        self, threshold: float = 8.0, drift: float = 0.5, min_samples: int = 6
+    ) -> None:
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        if drift < 0:
+            raise ValueError("drift must be non-negative")
+        if min_samples < 1:
+            raise ValueError("min_samples must be >= 1")
+        self.threshold = threshold
+        self.drift = drift
+        self.min_samples = min_samples
+        self.reset()
+
+    fired_score: float = 0.0
+    fired_direction: str = "none"
+
+    def reset(self) -> None:
+        self._count = 0
+        self._pos = 0.0
+        self._neg = 0.0
+
+    def update(self, value: float) -> bool:
+        self._count += 1
+        self._pos = max(0.0, self._pos + value - self.drift)
+        self._neg = max(0.0, self._neg - value - self.drift)
+        if self._count < self.min_samples:
+            return False
+        if self.score > self.threshold:
+            self.fired_score = self.score
+            self.fired_direction = self.direction
+            self.reset()
+            return True
+        return False
+
+    @property
+    def score(self) -> float:
+        return max(self._pos, self._neg)
+
+    @property
+    def direction(self) -> str:
+        if self._pos == self._neg == 0.0:
+            return "none"
+        return "up" if self._pos >= self._neg else "down"
+
+
+@dataclass(frozen=True)
+class DriftEvent:
+    """One regime-change firing from a drift detector."""
+
+    time_index: int
+    detector: str
+    score: float
+    direction: str
+
+    def as_record(self) -> dict:
+        return {
+            "kind": "model_health",
+            "name": "monitor.drift",
+            "time_index": self.time_index,
+            "detector": self.detector,
+            "score": self.score,
+            "direction": self.direction,
+        }
+
+
+@dataclass(frozen=True)
+class WindowStats:
+    """Model-health aggregates over one completed monitoring window."""
+
+    window: int
+    start_index: int
+    end_index: int
+    steps: int
+    coverage: dict[str, float]  # level (str, e.g. "0.9") -> empirical
+    calibration_error: float  # mean |empirical - nominal| over levels
+    wql: dict[str, float]  # level -> windowed wQL
+    mean_wql: float
+    mape: float
+    mean_residual: float
+    drift_score: float  # max detector statistic at window close
+    drift_events: int  # firings inside this window
+    violation_rate: float | None = None  # when allocations were observed
+
+    def as_record(self) -> dict:
+        record = {
+            "kind": "model_health",
+            "name": "monitor.window",
+            "window": self.window,
+            "start_index": self.start_index,
+            "end_index": self.end_index,
+            "steps": self.steps,
+            "coverage": dict(self.coverage),
+            "calibration_error": self.calibration_error,
+            "wql": dict(self.wql),
+            "mean_wql": self.mean_wql,
+            "mape": self.mape,
+            "mean_residual": self.mean_residual,
+            "drift_score": self.drift_score,
+            "drift_events": self.drift_events,
+        }
+        if self.violation_rate is not None:
+            record["violation_rate"] = self.violation_rate
+        return record
+
+
+def _level_key(tau: float) -> str:
+    """Stable string form for a quantile level (JSON-safe dict key)."""
+    return format(float(tau), "g")
+
+
+class ModelHealthMonitor:
+    """Online calibration, accuracy, and drift tracking.
+
+    Feed one forecast/actual pair per interval via :meth:`observe` (the
+    runtime does this automatically when a monitor is attached), or a
+    whole forecast window via :meth:`observe_forecast` (the backtest
+    integration).  Aggregates are finalised every ``window`` steps;
+    drift detectors run on every step.
+
+    Parameters
+    ----------
+    window:
+        Steps per calibration window.  Smaller windows localise drift
+        better but make per-level coverage noisier; the default (24 =
+        4 hours at 10-minute intervals) matches the paper's replan
+        cadence order of magnitude.
+    detectors:
+        Drift detectors run on spread-normalised residuals; default is
+        one :class:`PageHinkley` and one :class:`CUSUM` instance.
+    alerts:
+        Optional :class:`~repro.obs.alerts.AlertEngine`; when present,
+        every finalised window record is evaluated against its rules.
+    eps:
+        Denominator guard for MAPE.
+    """
+
+    def __init__(
+        self,
+        window: int = 24,
+        detectors: "list[DriftDetector] | None" = None,
+        alerts: "AlertEngine | None" = None,
+        eps: float = 1e-9,
+    ) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = window
+        self.detectors: list[DriftDetector] = (
+            list(detectors) if detectors is not None else [PageHinkley(), CUSUM()]
+        )
+        self.alerts = alerts
+        self.eps = eps
+
+        self.steps_observed = 0
+        self.windows: list[WindowStats] = []
+        self.drift_events: list[DriftEvent] = []
+        self._reset_window()
+        self._window_count = 0
+        self._window_drift_events = 0
+
+    # -- per-window accumulator state ----------------------------------
+    def _reset_window(self) -> None:
+        self._buf_indices: list[int] = []
+        self._buf_actuals: list[float] = []
+        self._buf_medians: list[float] = []
+        self._buf_covered: dict[str, list[bool]] = {}
+        self._buf_taus: dict[str, float] = {}
+        self._buf_ql: dict[str, float] = {}
+        self._buf_violations: list[bool] = []
+        self._window_drift_events = 0
+
+    # -- feeding -------------------------------------------------------
+    def observe(
+        self,
+        levels: np.ndarray,
+        values: np.ndarray,
+        actual: float,
+        time_index: int,
+        nodes: int | None = None,
+        threshold: float | None = None,
+    ) -> None:
+        """Ingest one interval's forecast quantiles and realized value.
+
+        Parameters
+        ----------
+        levels, values:
+            The quantile levels (shape ``(L,)``) and the corresponding
+            forecasts *for this single step* (shape ``(L,)``).
+        actual:
+            The workload that materialised.
+        time_index:
+            Absolute interval index (drift events carry it).
+        nodes, threshold:
+            Optionally, the allocation that served this interval and the
+            per-node threshold — enables the window's QoS
+            ``violation_rate`` (and alert rules on it).
+        """
+        levels = np.asarray(levels, dtype=np.float64)
+        values = np.asarray(values, dtype=np.float64)
+        actual = float(actual)
+        median = float(np.interp(0.5, levels, values))
+        residual = actual - median
+
+        self._buf_indices.append(int(time_index))
+        self._buf_actuals.append(actual)
+        self._buf_medians.append(median)
+        for tau, predicted in zip(levels, values):
+            key = _level_key(tau)
+            self._buf_taus.setdefault(key, float(tau))
+            self._buf_covered.setdefault(key, []).append(bool(predicted > actual))
+            indicator = 1.0 if actual < predicted else 0.0
+            self._buf_ql[key] = self._buf_ql.get(key, 0.0) + (
+                (tau - indicator) * (actual - predicted)
+            )
+        if nodes is not None and threshold is not None:
+            self._buf_violations.append(actual > nodes * threshold)
+
+        # Drift detection on the spread-normalised residual.
+        spread = float(values[-1] - values[0]) if len(values) > 1 else 0.0
+        scale = max(spread, _SCALE_FLOOR)
+        normalised = residual / scale
+        registry = get_registry()
+        for detector in self.detectors:
+            if detector.update(normalised):
+                event = DriftEvent(
+                    time_index=int(time_index),
+                    detector=detector.name,
+                    score=float(detector.fired_score),
+                    direction=detector.fired_direction,
+                )
+                self.drift_events.append(event)
+                self._window_drift_events += 1
+                registry.emit_event(**event.as_record())
+                registry.counter(
+                    "monitor.drift_events", detector=detector.name
+                ).inc()
+
+        self.steps_observed += 1
+        if len(self._buf_actuals) >= self.window:
+            self._finalize_window()
+
+    def observe_forecast(
+        self,
+        forecast: "QuantileForecast",
+        actuals: np.ndarray,
+        start_index: int = 0,
+    ) -> None:
+        """Ingest a whole forecast window step by step (backtest path)."""
+        actuals = np.asarray(actuals, dtype=np.float64)
+        steps = min(forecast.horizon, len(actuals))
+        for h in range(steps):
+            self.observe(
+                forecast.levels,
+                forecast.values[:, h],
+                actuals[h],
+                time_index=start_index + h,
+            )
+
+    # -- window finalisation -------------------------------------------
+    def _finalize_window(self) -> None:
+        actuals = np.asarray(self._buf_actuals, dtype=np.float64)
+        medians = np.asarray(self._buf_medians, dtype=np.float64)
+        steps = len(actuals)
+        coverage = {
+            key: float(np.mean(flags)) for key, flags in self._buf_covered.items()
+        }
+        calibration_error = (
+            float(
+                np.mean(
+                    [abs(coverage[k] - self._buf_taus[k]) for k in coverage]
+                )
+            )
+            if coverage
+            else 0.0
+        )
+        abs_sum = float(np.abs(actuals).sum())
+        if abs_sum > 0.0:
+            wql = {k: 2.0 * ql / abs_sum for k, ql in self._buf_ql.items()}
+        else:
+            wql = {k: 0.0 for k in self._buf_ql}
+        mape = float(
+            np.mean(np.abs(medians - actuals) / np.maximum(np.abs(actuals), self.eps))
+        )
+        stats = WindowStats(
+            window=self._window_count,
+            start_index=self._buf_indices[0],
+            end_index=self._buf_indices[-1],
+            steps=steps,
+            coverage=coverage,
+            calibration_error=calibration_error,
+            wql=wql,
+            mean_wql=float(np.mean(list(wql.values()))) if wql else 0.0,
+            mape=mape,
+            mean_residual=float(np.mean(actuals - medians)),
+            drift_score=max((d.score for d in self.detectors), default=0.0),
+            drift_events=self._window_drift_events,
+            violation_rate=(
+                float(np.mean(self._buf_violations))
+                if self._buf_violations
+                else None
+            ),
+        )
+        self.windows.append(stats)
+        self._window_count += 1
+        self._reset_window()
+
+        registry = get_registry()
+        record = stats.as_record()
+        registry.emit_event(**record)
+        for key, value in coverage.items():
+            registry.gauge("monitor.coverage", level=key).set(value)
+        registry.gauge("monitor.calibration_error").set(calibration_error)
+        registry.gauge("monitor.mean_wql").set(stats.mean_wql)
+        registry.gauge("monitor.mape").set(mape)
+        registry.gauge("monitor.drift_score").set(stats.drift_score)
+        registry.counter("monitor.windows").inc()
+
+        if self.alerts is not None:
+            self.alerts.evaluate(record)
+
+    # -- inspection ----------------------------------------------------
+    def coverage_series(self, tau: float) -> np.ndarray:
+        """Per-window empirical coverage of one level, in window order."""
+        key = _level_key(tau)
+        return np.array(
+            [w.coverage.get(key, np.nan) for w in self.windows], dtype=np.float64
+        )
+
+    def window_records(self) -> list[dict]:
+        """All finalised windows as plain event records."""
+        return [w.as_record() for w in self.windows]
+
+    def drift_records(self) -> list[dict]:
+        """All drift events as plain event records."""
+        return [d.as_record() for d in self.drift_events]
+
+    def summary(self) -> dict:
+        """Headline health figures (latest window + totals)."""
+        latest = self.windows[-1] if self.windows else None
+        return {
+            "steps_observed": self.steps_observed,
+            "windows": len(self.windows),
+            "drift_events": len(self.drift_events),
+            "latest_coverage": dict(latest.coverage) if latest else {},
+            "latest_calibration_error": (
+                latest.calibration_error if latest else None
+            ),
+            "latest_mean_wql": latest.mean_wql if latest else None,
+            "latest_mape": latest.mape if latest else None,
+        }

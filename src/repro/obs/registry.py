@@ -27,6 +27,7 @@ not being collected.
 from __future__ import annotations
 
 import time
+import zlib
 from contextlib import contextmanager
 from typing import TYPE_CHECKING, Iterator
 
@@ -139,7 +140,10 @@ class Histogram(_Metric):
         self.min = np.inf
         self.max = -np.inf
         self._reservoir = np.empty(reservoir_size, dtype=np.float64)
-        self._rng = np.random.default_rng(abs(hash(self.key)) % (2**32))
+        # crc32, not hash(): str hashing is salted by PYTHONHASHSEED, so
+        # reservoir contents (and thus quantiles) would differ between
+        # processes observing the same value stream.
+        self._rng = np.random.default_rng(zlib.crc32(self.key.encode("utf-8")))
 
     def observe(self, value: float) -> None:
         self._record(float(value))
@@ -262,6 +266,29 @@ class MetricsRegistry:
 
     def remove_sink(self, sink: "Sink") -> None:
         self._sinks.remove(sink)
+
+    @property
+    def active(self) -> bool:
+        """True when at least one sink is attached.
+
+        Instrumentation that must *build* a payload (e.g. a provenance
+        record) checks this first, so a sink-less run pays nothing
+        beyond the attribute read.
+        """
+        return bool(self._sinks)
+
+    def emit_event(self, kind: str, name: str, **payload) -> None:
+        """Publish a free-form structured event to the sinks.
+
+        The metric classes cover scalar telemetry; richer one-off
+        records — provenance of a planning decision, a drift event, an
+        alert — flow through here with a caller-chosen ``kind`` so
+        existing sinks and ``report`` pick them up with no extra wiring.
+        No-op when no sinks are attached.
+        """
+        if not self._sinks:
+            return
+        self._emit({"kind": kind, "name": name, "labels": {}, **payload})
 
     def _emit(self, record: dict) -> None:
         if not self._sinks:

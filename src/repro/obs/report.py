@@ -23,9 +23,12 @@ __all__ = [
     "SpanSummary",
     "DistributionSummary",
     "TelemetrySummary",
+    "ModelHealthSummary",
     "summarize_records",
+    "summarize_model_health",
     "read_jsonl",
     "format_summary",
+    "format_model_health",
 ]
 
 
@@ -110,6 +113,155 @@ def summarize_records(records: Iterable[dict]) -> TelemetrySummary:
                 float(record.get("duration_s", 0.0))
             )
     return summary
+
+
+@dataclass
+class ModelHealthSummary:
+    """The model-health slice of a telemetry stream.
+
+    Four record families, in stream order: per-window calibration
+    records and drift events from
+    :class:`~repro.obs.monitor.ModelHealthMonitor`, fired alerts from
+    :class:`~repro.obs.alerts.AlertEngine`, and per-decision provenance
+    records from :class:`~repro.core.runtime.AutoscalingRuntime`.
+    """
+
+    windows: list[dict] = field(default_factory=list)
+    drifts: list[dict] = field(default_factory=list)
+    alerts: list[dict] = field(default_factory=list)
+    provenance: list[dict] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return bool(self.windows or self.drifts or self.alerts or self.provenance)
+
+
+def summarize_model_health(records: Iterable[dict]) -> ModelHealthSummary:
+    """Collect window/drift/alert/provenance records from an event stream."""
+    health = ModelHealthSummary()
+    for record in records:
+        kind = record.get("kind")
+        if kind == "model_health":
+            if record.get("name") == "monitor.window":
+                health.windows.append(record)
+            elif record.get("name") == "monitor.drift":
+                health.drifts.append(record)
+        elif kind == "alert":
+            health.alerts.append(record)
+        elif kind == "provenance":
+            health.provenance.append(record)
+    return health
+
+
+def _coverage_columns(windows: list[dict], max_columns: int = 5) -> list[str]:
+    """Which coverage levels to show: all if few, else the upper tail."""
+    seen: list[str] = []
+    for window in windows:
+        for key in window.get("coverage", {}):
+            if key not in seen:
+                seen.append(key)
+    seen.sort(key=float)
+    if len(seen) <= max_columns:
+        return seen
+    # Planning lives in the upper tail — prefer the highest levels, but
+    # keep the median as an anchor if present.
+    tail = seen[-(max_columns - 1) :]
+    return (["0.5"] if "0.5" in seen and "0.5" not in tail else []) + tail
+
+
+def format_model_health(
+    health: ModelHealthSummary, max_provenance: int = 12
+) -> str:
+    """Render the model-health timeline as aligned plain-text tables."""
+    lines: list[str] = ["model health"]
+
+    if health.windows:
+        levels = _coverage_columns(health.windows)
+        steps = health.windows[0].get("steps", "?")
+        lines.append("")
+        lines.append(f"  calibration over time ({steps} steps/window)")
+        header = f"  {'win':>4} {'t-range':>13}"
+        for level in levels:
+            header += f" {'cov@' + level:>9}"
+        header += f" {'cal.err':>8} {'mean_wQL':>9} {'MAPE':>7} {'drift':>6}"
+        if any("violation_rate" in w for w in health.windows):
+            header += f" {'viol.':>6}"
+        lines.append(header)
+        for window in health.windows:
+            row = (
+                f"  {window.get('window', '?'):>4} "
+                f"{str(window.get('start_index', '?')) + '-' + str(window.get('end_index', '?')):>13}"
+            )
+            coverage = window.get("coverage", {})
+            for level in levels:
+                value = coverage.get(level)
+                row += f" {value:>9.3f}" if value is not None else f" {'-':>9}"
+            row += (
+                f" {window.get('calibration_error', 0.0):>8.3f}"
+                f" {window.get('mean_wql', 0.0):>9.4f}"
+                f" {window.get('mape', 0.0):>7.3f}"
+                f" {window.get('drift_events', 0):>6}"
+            )
+            if "violation_rate" in window:
+                row += f" {window['violation_rate']:>6.2f}"
+            elif any("violation_rate" in w for w in health.windows):
+                row += f" {'-':>6}"
+            lines.append(row)
+
+    if health.drifts:
+        lines.append("")
+        lines.append("  drift events")
+        for drift in health.drifts:
+            lines.append(
+                f"  t={drift.get('time_index', '?'):<6} "
+                f"{drift.get('detector', '?'):<14} "
+                f"score={drift.get('score', 0.0):<8.2f} "
+                f"direction={drift.get('direction', '?')}"
+            )
+
+    if health.alerts:
+        lines.append("")
+        lines.append("  alerts")
+        for alert in health.alerts:
+            lines.append(
+                f"  [{alert.get('severity', 'warning'):<8}] "
+                f"{alert.get('message', alert.get('name', '?'))}"
+            )
+
+    if health.provenance:
+        lines.append("")
+        shown = health.provenance[-max_provenance:]
+        label = (
+            f"  decisions (last {len(shown)} of {len(health.provenance)})"
+            if len(shown) < len(health.provenance)
+            else f"  decisions ({len(health.provenance)})"
+        )
+        lines.append(label)
+        lines.append(
+            f"  {'t':>6} {'source':<18} {'tau':>11} {'unc.mean':>9} "
+            f"{'bound.max':>10} {'clip':>5} {'nodes[0]':>9}"
+        )
+        for record in shown:
+            tau_min = record.get("tau_min")
+            tau_max = record.get("tau_max")
+            if tau_min is None:
+                tau = "-"
+            elif tau_min == tau_max:
+                tau = f"{tau_min:g}"
+            else:
+                tau = f"{tau_min:g}-{tau_max:g}"
+            unc = record.get("uncertainty_mean")
+            bound = record.get("bound_max")
+            lines.append(
+                f"  {record.get('time_index', '?'):>6} "
+                f"{record.get('source', '?'):<18} "
+                f"{tau:>11} "
+                + (f"{unc:>9.2f} " if unc is not None else f"{'-':>9} ")
+                + (f"{bound:>10.1f} " if bound is not None else f"{'-':>10} ")
+                + f"{record.get('ramp_clipped_steps', 0):>5} "
+                + f"{record.get('nodes_first', '?'):>9}"
+            )
+
+    return "\n".join(lines)
 
 
 def read_jsonl(path: str | Path) -> list[dict]:

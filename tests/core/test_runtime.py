@@ -122,6 +122,150 @@ class TestValidation:
         assert runtime.target_nodes() == 10
 
 
+class QuantilePlanner:
+    """Planner double stamping the forecast metadata a manager would."""
+
+    name = "quantile-double"
+
+    def __init__(self, horizon, threshold, center=300.0, spread=100.0):
+        self.horizon = horizon
+        self.threshold = threshold
+        self.levels = np.array([0.1, 0.5, 0.9])
+        self.values = np.vstack(
+            [
+                np.full(horizon, center - spread),
+                np.full(horizon, center),
+                np.full(horizon, center + spread),
+            ]
+        )
+
+    def plan(self, context, start_index=0):
+        plan = ScalingPlan(
+            nodes=required_nodes(self.values[-1], self.threshold),
+            threshold=self.threshold,
+            strategy="quantile-double",
+            quantile_levels=np.full(self.horizon, 0.9),
+        )
+        plan.metadata["forecast_levels"] = self.levels
+        plan.metadata["forecast_values"] = self.values
+        plan.metadata["bound_workload"] = self.values[-1]
+        plan.metadata["uncertainty"] = self.values[-1] - self.values[0]
+        plan.metadata["ramp_clipped_steps"] = 1
+        plan.metadata["model"] = "DoubleForecaster"
+        plan.metadata["policy"] = "fixed-0.9"
+        return plan
+
+
+class TestProvenance:
+    def test_records_kept_for_every_decision(self):
+        series = np.full(20, 300.0)
+        runtime, planner = make_runtime(series, context=6, horizon=4)
+        runtime.record_provenance = True
+        runtime.run(series)
+        fallback = [r for r in runtime.provenance if r["source"] == "reactive-fallback"]
+        predictive = [r for r in runtime.provenance if r["source"] == "predictive"]
+        # One fallback record per warm-up interval, one predictive record
+        # per plan: every planning decision is accounted for.
+        assert len(fallback) == 6
+        assert len(predictive) == len(planner.calls) == len(runtime.decisions)
+        assert len(runtime.provenance) == len(fallback) + len(predictive)
+
+    def test_predictive_record_fields(self):
+        series = np.full(20, 300.0)
+        planner = QuantilePlanner(horizon=4, threshold=60.0)
+        runtime = AutoscalingRuntime(
+            planner=planner, context_length=6, horizon=4, threshold=60.0,
+            record_provenance=True,
+        )
+        runtime.run(series)
+        record = next(r for r in runtime.provenance if r["source"] == "predictive")
+        assert record["strategy"] == "quantile-double"
+        assert record["tau_min"] == record["tau_max"] == 0.9
+        assert record["bound_max"] == 400.0
+        assert record["bound_total"] == 1600.0
+        assert record["uncertainty_mean"] == 200.0
+        assert record["ramp_clipped_steps"] == 1
+        assert record["model"] == "DoubleForecaster"
+        assert record["policy"] == "fixed-0.9"
+        assert record["nodes_first"] == record["nodes"][0]
+
+    def test_fallback_record_fields(self):
+        series = np.full(20, 600.0)
+        runtime, _ = make_runtime(series)
+        runtime.record_provenance = True
+        runtime.target_nodes()
+        runtime.observe(600.0)
+        runtime.target_nodes()
+        record = runtime.provenance[-1]
+        assert record["source"] == "reactive-fallback"
+        assert record["window_statistic"] == 600.0
+        assert record["nodes_first"] == 10
+
+    def test_records_flow_to_sinks_without_record_provenance(self):
+        from repro.obs import InMemorySink, MetricsRegistry, using_registry
+
+        series = np.full(20, 300.0)
+        sink = InMemorySink()
+        with using_registry(MetricsRegistry(sinks=[sink])):
+            runtime, _ = make_runtime(series, context=6, horizon=4)
+            runtime.run(series)
+        events = [r for r in sink.records if r.get("kind") == "provenance"]
+        assert events
+        assert all(e["name"] == "runtime.decision" for e in events)
+        assert runtime.provenance == []  # not kept unless asked
+
+    def test_zero_cost_when_nobody_listens(self, monkeypatch):
+        # The zero-cost contract: with no sinks, no monitor, and
+        # record_provenance off, the hot path must never even *build* a
+        # provenance record.  Make record construction explode to prove it.
+        from repro.core import runtime as runtime_module
+        from repro.obs import MetricsRegistry, using_registry
+
+        def boom(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("provenance record built with nobody listening")
+
+        monkeypatch.setattr(runtime_module, "_decision_record", boom)
+        monkeypatch.setattr(runtime_module, "_fallback_record", boom)
+        series = np.full(20, 300.0)
+        with using_registry(MetricsRegistry()):
+            runtime, _ = make_runtime(series, context=6, horizon=4)
+            allocations = runtime.run(series)
+        assert len(allocations) == len(series)
+
+
+class TestMonitorFeed:
+    def test_monitor_receives_per_step_quantiles(self):
+        from repro.obs import ModelHealthMonitor
+
+        series = np.full(20, 300.0)
+        planner = QuantilePlanner(horizon=4, threshold=60.0, center=300.0)
+        monitor = ModelHealthMonitor(window=4, detectors=[])
+        runtime = AutoscalingRuntime(
+            planner=planner, context_length=6, horizon=4, threshold=60.0,
+            monitor=monitor,
+        )
+        runtime.run(series)
+        # The first plan lands at t=6; 14 covered intervals follow.
+        assert monitor.steps_observed == 14
+        window = monitor.windows[0]
+        assert window.start_index == 6
+        # Constant actual 300 vs q0.9=400 / q0.1=200: upper always covers,
+        # lower never does, and allocations never violate the threshold.
+        assert window.coverage["0.9"] == 1.0
+        assert window.coverage["0.1"] == 0.0
+        assert window.violation_rate == 0.0
+
+    def test_monitor_skipped_for_plans_without_forecast_metadata(self):
+        from repro.obs import ModelHealthMonitor
+
+        series = np.full(20, 300.0)
+        monitor = ModelHealthMonitor(window=4, detectors=[])
+        runtime, _ = make_runtime(series, context=6, horizon=4)
+        runtime.monitor = monitor
+        runtime.run(series)  # OraclePlanner stamps no forecast arrays
+        assert monitor.steps_observed == 0
+
+
 class TestTelemetry:
     def test_runtime_emits_counters_spans_and_gauge(self):
         from repro.obs import InMemorySink, MetricsRegistry, using_registry

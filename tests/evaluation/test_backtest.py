@@ -67,6 +67,25 @@ class TestBacktest:
         sparse = backtest(forecaster, test, SEASON, SEASON, LEVELS)
         assert dense.num_windows > sparse.num_windows
 
+    def test_monitor_streams_every_window(self, fitted):
+        from repro.obs import ModelHealthMonitor
+
+        forecaster, _, test = fitted
+        monitor = ModelHealthMonitor(window=SEASON, detectors=[])
+        result = backtest(
+            forecaster, test, SEASON, SEASON, LEVELS,
+            series_start_index=1000, monitor=monitor,
+        )
+        assert monitor.steps_observed == result.num_windows * SEASON
+        assert len(monitor.windows) == result.num_windows
+        # Absolute indexing carries through from series_start_index.
+        assert monitor.windows[0].start_index == 1000 + SEASON
+        # The monitor's streaming coverage agrees with the offline table
+        # (equal-size windows, so the mean of window coverages is exact).
+        assert float(monitor.coverage_series(0.9).mean()) == pytest.approx(
+            result.coverage(0.9), abs=1e-9
+        )
+
     def test_too_short_series_raises(self, fitted):
         forecaster, _, test = fitted
         with pytest.raises(ValueError):

@@ -106,6 +106,18 @@ class TestCoverage:
         with pytest.raises(ValueError):
             coverage(np.array([]), np.array([]))
 
+    def test_nan_targets_count_as_not_covered(self):
+        # Missing observations must lower coverage (conservative), never
+        # propagate NaN into the calibration statistics.
+        y = np.array([1.0, np.nan, 1.0, np.nan])
+        pred = np.full(4, 2.0)
+        result = coverage(y, pred)
+        assert not np.isnan(result)
+        assert result == pytest.approx(0.5)
+
+    def test_all_nan_targets_give_zero_coverage(self):
+        assert coverage(np.full(3, np.nan), np.full(3, 2.0)) == 0.0
+
 
 class TestPointMetrics:
     def test_mse(self):
@@ -125,6 +137,16 @@ class TestPointMetrics:
         assert list(table) == [0.5, 0.9]
         assert table[0.9] == 1.0
         assert table[0.5] == 0.5
+
+    def test_calibration_table_rejects_tau_outside_unit_interval(self):
+        y = np.zeros(4)
+        for bad_tau in (0.0, 1.0, -0.1, 1.5):
+            with pytest.raises(ValueError, match=r"quantile level"):
+                calibration_table(y, {bad_tau: np.ones(4)})
+
+    def test_calibration_table_rejects_empty_target(self):
+        with pytest.raises(ValueError):
+            calibration_table(np.array([]), {0.5: np.array([])})
 
 
 class TestReport:

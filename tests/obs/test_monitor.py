@@ -1,0 +1,277 @@
+"""Tests for the streaming model-health monitors and drift detectors."""
+
+import numpy as np
+import pytest
+
+from repro.forecast.base import QuantileForecast
+from repro.obs import (
+    CUSUM,
+    AlertEngine,
+    AlertRule,
+    InMemorySink,
+    MetricsRegistry,
+    ModelHealthMonitor,
+    PageHinkley,
+    using_registry,
+)
+
+LEVELS = np.array([0.1, 0.5, 0.9])
+
+
+def well_calibrated_step(rng, center=100.0, spread=20.0):
+    """Quantile values and an actual drawn from the matching normal."""
+    from scipy import stats
+
+    values = center + stats.norm.ppf(LEVELS) * spread
+    actual = rng.normal(center, spread)
+    return values, max(actual, 0.0)
+
+
+class TestPageHinkley:
+    def test_no_fire_on_stationary_stream(self):
+        # Spread-normalised residuals of a calibrated forecaster have
+        # std ~ sigma / (q0.9 - q0.1) ~ 0.4; the default threshold is
+        # tuned for that scale.
+        rng = np.random.default_rng(0)
+        detector = PageHinkley()
+        fired = [detector.update(x) for x in rng.normal(0, 0.4, 500)]
+        assert not any(fired)
+
+    def test_fires_on_upward_mean_shift(self):
+        rng = np.random.default_rng(1)
+        detector = PageHinkley()
+        for x in rng.normal(0, 1, 200):
+            assert not detector.update(x) or True  # warm stream
+        fired_at = None
+        for i, x in enumerate(rng.normal(4, 1, 100)):
+            if detector.update(x):
+                fired_at = i
+                break
+        assert fired_at is not None and fired_at < 30
+        assert detector.fired_direction == "up"
+        assert detector.fired_score > detector.threshold
+
+    def test_fires_on_downward_shift_with_direction(self):
+        rng = np.random.default_rng(2)
+        detector = PageHinkley()
+        for x in rng.normal(0, 1, 200):
+            detector.update(x)
+        fired = False
+        for x in rng.normal(-4, 1, 100):
+            if detector.update(x):
+                fired = True
+                break
+        assert fired
+        assert detector.fired_direction == "down"
+
+    def test_resets_after_firing(self):
+        detector = PageHinkley(min_samples=1)
+        for _ in range(100):
+            if detector.update(5.0):
+                break
+        assert detector.score == 0.0
+
+    def test_validates_parameters(self):
+        with pytest.raises(ValueError):
+            PageHinkley(threshold=0.0)
+        with pytest.raises(ValueError):
+            PageHinkley(min_samples=0)
+
+
+class TestCUSUM:
+    def test_no_fire_on_stationary_stream(self):
+        rng = np.random.default_rng(3)
+        detector = CUSUM()
+        assert not any(detector.update(x) for x in rng.normal(0, 0.3, 500))
+
+    def test_fires_faster_on_abrupt_jump(self):
+        detector = CUSUM()
+        fired_at = None
+        for i in range(50):
+            if detector.update(3.0):
+                fired_at = i
+                break
+        assert fired_at is not None and fired_at < 10
+        assert detector.fired_direction == "up"
+
+    def test_two_sided(self):
+        detector = CUSUM()
+        for _ in range(50):
+            if detector.update(-3.0):
+                break
+        assert detector.fired_direction == "down"
+
+    def test_validates_parameters(self):
+        with pytest.raises(ValueError):
+            CUSUM(threshold=-1.0)
+        with pytest.raises(ValueError):
+            CUSUM(drift=-0.1)
+
+
+class TestModelHealthMonitorWindows:
+    def test_windows_finalise_every_window_steps(self):
+        monitor = ModelHealthMonitor(window=10, detectors=[])
+        rng = np.random.default_rng(0)
+        for t in range(35):
+            values, actual = well_calibrated_step(rng)
+            monitor.observe(LEVELS, values, actual, time_index=t)
+        assert len(monitor.windows) == 3
+        assert monitor.windows[0].steps == 10
+        assert monitor.windows[0].start_index == 0
+        assert monitor.windows[0].end_index == 9
+        assert monitor.windows[2].end_index == 29
+        assert monitor.steps_observed == 35
+
+    def test_calibrated_forecasts_have_near_nominal_coverage(self):
+        monitor = ModelHealthMonitor(window=400, detectors=[])
+        rng = np.random.default_rng(7)
+        for t in range(400):
+            values, actual = well_calibrated_step(rng)
+            monitor.observe(LEVELS, values, actual, time_index=t)
+        window = monitor.windows[0]
+        assert window.coverage["0.9"] == pytest.approx(0.9, abs=0.07)
+        assert window.coverage["0.5"] == pytest.approx(0.5, abs=0.07)
+        assert window.calibration_error < 0.1
+
+    def test_systematic_undershoot_destroys_coverage(self):
+        monitor = ModelHealthMonitor(window=20, detectors=[])
+        values = np.array([10.0, 50.0, 90.0])  # forecasts far below actual
+        for t in range(20):
+            monitor.observe(LEVELS, values, 500.0, time_index=t)
+        window = monitor.windows[0]
+        assert all(cov == 0.0 for cov in window.coverage.values())
+        assert window.calibration_error == pytest.approx(np.mean(LEVELS))
+        assert window.mean_residual == pytest.approx(450.0)
+
+    def test_wql_and_mape_match_offline_metrics(self):
+        from repro.evaluation.metrics import mape as mape_metric
+        from repro.evaluation.metrics import weighted_quantile_loss
+
+        rng = np.random.default_rng(5)
+        actuals, per_level = [], {tau: [] for tau in LEVELS}
+        monitor = ModelHealthMonitor(window=30, detectors=[])
+        for t in range(30):
+            values, actual = well_calibrated_step(rng)
+            monitor.observe(LEVELS, values, actual, time_index=t)
+            actuals.append(actual)
+            for tau, value in zip(LEVELS, values):
+                per_level[tau].append(value)
+        window = monitor.windows[0]
+        target = np.array(actuals)
+        for tau in LEVELS:
+            expected = weighted_quantile_loss(
+                target, np.array(per_level[tau]), float(tau)
+            )
+            assert window.wql[format(tau, "g")] == pytest.approx(expected)
+        expected_mape = mape_metric(target, np.array(per_level[0.5]))
+        assert window.mape == pytest.approx(expected_mape)
+
+    def test_violation_rate_tracked_when_allocation_given(self):
+        monitor = ModelHealthMonitor(window=4, detectors=[])
+        values = np.array([90.0, 100.0, 110.0])
+        # nodes=1, threshold=100 -> violation iff actual > 100
+        for t, actual in enumerate([50.0, 150.0, 120.0, 80.0]):
+            monitor.observe(
+                LEVELS, values, actual, time_index=t, nodes=1, threshold=100.0
+            )
+        assert monitor.windows[0].violation_rate == pytest.approx(0.5)
+
+    def test_coverage_series(self):
+        monitor = ModelHealthMonitor(window=5, detectors=[])
+        values = np.array([90.0, 100.0, 110.0])
+        for t in range(10):
+            actual = 0.0 if t < 5 else 1000.0  # first window covered, second not
+            monitor.observe(LEVELS, values, actual, time_index=t)
+        series = monitor.coverage_series(0.9)
+        assert series.tolist() == [1.0, 0.0]
+
+    def test_validates_window(self):
+        with pytest.raises(ValueError):
+            ModelHealthMonitor(window=0)
+
+
+class TestModelHealthMonitorDrift:
+    def test_drift_event_on_regime_shift(self):
+        monitor = ModelHealthMonitor(window=50)
+        rng = np.random.default_rng(11)
+        for t in range(150):
+            values, actual = well_calibrated_step(rng)
+            monitor.observe(LEVELS, values, actual, time_index=t)
+        pre_shift_events = [e for e in monitor.drift_events]
+        for t in range(150, 250):
+            values, _ = well_calibrated_step(rng)
+            monitor.observe(LEVELS, values, 400.0, time_index=t)  # big shift up
+        new_events = monitor.drift_events[len(pre_shift_events):]
+        assert new_events, "regime shift must fire at least one drift event"
+        assert all(e.time_index >= 150 for e in new_events)
+        assert any(e.direction == "up" for e in new_events)
+
+    def test_degenerate_zero_spread_forecast_does_not_crash(self):
+        monitor = ModelHealthMonitor(window=5)
+        values = np.array([100.0, 100.0, 100.0])
+        for t in range(10):
+            monitor.observe(LEVELS, values, 100.0, time_index=t)
+        assert len(monitor.windows) == 2
+
+
+class TestEventStream:
+    def test_window_and_drift_events_reach_sinks(self):
+        sink = InMemorySink()
+        registry = MetricsRegistry(sinks=[sink])
+        monitor = ModelHealthMonitor(window=10)
+        with using_registry(registry):
+            for t in range(200):
+                values = np.array([90.0, 100.0, 110.0])
+                actual = 100.0 if t < 100 else 500.0
+                monitor.observe(LEVELS, values, actual, time_index=t)
+        kinds = {(r["kind"], r["name"]) for r in sink.records}
+        assert ("model_health", "monitor.window") in kinds
+        assert ("model_health", "monitor.drift") in kinds
+        window_records = [
+            r for r in sink.records if r.get("name") == "monitor.window"
+        ]
+        assert len(window_records) == 20
+        assert "coverage" in window_records[0]
+        assert "ts" in window_records[0]
+        # Gauges and counters mirror the latest window.
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["monitor.windows"] == 20
+        assert any(k.startswith("monitor.coverage") for k in snapshot["gauges"])
+
+    def test_monitor_alert_engine_fires_on_window_records(self):
+        monitor = ModelHealthMonitor(
+            window=5,
+            detectors=[],
+            alerts=AlertEngine(
+                [AlertRule(metric="coverage", level=0.9, op="<", threshold=0.5)]
+            ),
+        )
+        values = np.array([90.0, 100.0, 110.0])
+        for t in range(5):
+            monitor.observe(LEVELS, values, 1000.0, time_index=t)
+        assert len(monitor.alerts.alerts) == 1
+        assert monitor.alerts.alerts[0].value == 0.0
+
+
+class TestObserveForecast:
+    def test_feeds_whole_window(self):
+        monitor = ModelHealthMonitor(window=6, detectors=[])
+        forecast = QuantileForecast(
+            levels=LEVELS,
+            values=np.tile(np.array([[90.0], [100.0], [110.0]]), (1, 6)),
+        )
+        monitor.observe_forecast(forecast, np.full(6, 95.0), start_index=40)
+        assert len(monitor.windows) == 1
+        assert monitor.windows[0].start_index == 40
+        assert monitor.windows[0].end_index == 45
+        assert monitor.windows[0].coverage["0.9"] == 1.0
+        assert monitor.windows[0].coverage["0.1"] == 0.0
+
+    def test_truncates_to_shorter_actuals(self):
+        monitor = ModelHealthMonitor(window=3, detectors=[])
+        forecast = QuantileForecast(
+            levels=LEVELS,
+            values=np.tile(np.array([[90.0], [100.0], [110.0]]), (1, 6)),
+        )
+        monitor.observe_forecast(forecast, np.full(3, 95.0))
+        assert monitor.steps_observed == 3

@@ -174,6 +174,75 @@ class TestRegistry:
         assert len(sink) == 1
 
 
+class TestEmitEvent:
+    def test_noop_without_sinks(self):
+        registry = MetricsRegistry()
+        registry.emit_event("provenance", "runtime.decision", nodes=[1, 2])
+        # Nothing to observe, but must not raise or intern anything.
+        assert registry.snapshot()["counters"] == {}
+
+    def test_record_shape_with_sink(self):
+        sink = InMemorySink()
+        registry = MetricsRegistry(sinks=[sink], time_source=lambda: 9.0)
+        registry.emit_event("provenance", "runtime.decision", source="predictive")
+        assert sink.records == [
+            {
+                "kind": "provenance",
+                "name": "runtime.decision",
+                "labels": {},
+                "source": "predictive",
+                "ts": 9.0,
+            }
+        ]
+
+    def test_active_tracks_sinks(self):
+        registry = MetricsRegistry()
+        assert not registry.active
+        sink = InMemorySink()
+        registry.add_sink(sink)
+        assert registry.active
+        registry.remove_sink(sink)
+        assert not registry.active
+
+
+class TestReservoirDeterminism:
+    """The histogram reservoir must not depend on PYTHONHASHSEED.
+
+    Regression test: seeding from ``abs(hash(key))`` made the sampled
+    quantiles vary from process to process.  The crc32-based seed must
+    give identical reservoirs in every interpreter.
+    """
+
+    SCRIPT = (
+        "import sys; sys.path.insert(0, 'src')\n"
+        "from repro.obs import MetricsRegistry\n"
+        "h = MetricsRegistry().histogram('lat', reservoir_size=8, shard='a')\n"
+        "for i in range(500):\n"
+        "    h.observe(float(i))\n"
+        "print([h.quantile(q) for q in (0.1, 0.5, 0.9)])\n"
+    )
+
+    def _run(self, hash_seed):
+        import os
+        import subprocess
+        import sys
+
+        env = dict(os.environ, PYTHONHASHSEED=str(hash_seed))
+        result = subprocess.run(
+            [sys.executable, "-c", self.SCRIPT],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+        )
+        assert result.returncode == 0, result.stderr
+        return result.stdout
+
+    def test_quantiles_identical_across_hash_seeds(self):
+        outputs = {self._run(seed) for seed in (0, 1, 4242)}
+        assert len(outputs) == 1
+
+
 class TestAmbientRegistry:
     def test_default_is_a_registry(self):
         assert isinstance(get_registry(), MetricsRegistry)

@@ -2,6 +2,9 @@
 
 import io
 import json
+import subprocess
+import sys
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -12,8 +15,10 @@ from repro.obs import (
     MetricsRegistry,
     Sink,
     TableSink,
+    format_model_health,
     format_summary,
     read_jsonl,
+    summarize_model_health,
     summarize_records,
 )
 
@@ -67,6 +72,43 @@ class TestJsonlSink:
         sink = JsonlSink(tmp_path / "x.jsonl")
         sink.close()
         sink.close()
+
+    def test_rejects_bad_flush_every(self, tmp_path):
+        with pytest.raises(ValueError):
+            JsonlSink(tmp_path / "x.jsonl", flush_every=0)
+
+    def test_aborted_writer_leaves_every_record_readable(self, tmp_path):
+        # A run killed mid-stream (OOM, SIGKILL, crash) must not lose
+        # telemetry: with the default flush_every=1 each record hits the
+        # OS before the next emit, so os._exit without close loses nothing.
+        path = tmp_path / "aborted.jsonl"
+        import repro
+
+        src_dir = str(Path(repro.__file__).parents[1])
+        script = (
+            "import os, sys\n"
+            f"sys.path.insert(0, {repr(src_dir)})\n"
+            "from repro.obs import JsonlSink\n"
+            f"sink = JsonlSink({repr(str(path))})\n"
+            "for i in range(25):\n"
+            "    sink.emit({'kind': 'counter', 'name': 'c', 'value': i})\n"
+            "os._exit(1)  # simulate a hard crash: no close(), no atexit\n"
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", script], capture_output=True, text=True
+        )
+        assert result.returncode == 1, result.stderr
+        records = read_jsonl(path)
+        assert len(records) == 25
+        assert [r["value"] for r in records] == list(range(25))
+
+    def test_flush_every_batches_but_close_flushes_tail(self, tmp_path):
+        path = tmp_path / "batched.jsonl"
+        sink = JsonlSink(path, flush_every=10)
+        for i in range(25):
+            sink.emit({"kind": "counter", "value": i})
+        sink.close()
+        assert len(read_jsonl(path)) == 25
 
 
 class TestReadJsonl:
@@ -156,3 +198,97 @@ class TestSummarizeRecords:
         encoded = [json.loads(json.dumps(r)) for r in sink.records]
         summary = summarize_records(encoded)
         assert summary.counters["c{k=v}"] == 1.0
+
+
+def health_stream():
+    """A minimal but complete model-health event stream."""
+    return [
+        {"kind": "counter", "name": "noise", "labels": {}, "value": 1.0},
+        {
+            "kind": "model_health",
+            "name": "monitor.window",
+            "window": 0,
+            "start_index": 0,
+            "end_index": 11,
+            "steps": 12,
+            "coverage": {"0.5": 0.5, "0.9": 0.92},
+            "calibration_error": 0.02,
+            "wql": {"0.5": 0.1, "0.9": 0.04},
+            "mean_wql": 0.07,
+            "mape": 0.12,
+            "drift_score": 0.4,
+            "drift_events": 0,
+            "violation_rate": 0.0,
+        },
+        {
+            "kind": "model_health",
+            "name": "monitor.drift",
+            "time_index": 17,
+            "detector": "page_hinkley",
+            "score": 14.2,
+            "direction": "up",
+        },
+        {
+            "kind": "alert",
+            "name": "coverage@0.9 < 0.75 for 2",
+            "severity": "warning",
+            "message": "coverage@0.9 < 0.75 for 2: value 0.3 < 0.75",
+            "window": 1,
+            "end_index": 23,
+            "value": 0.3,
+        },
+        {
+            "kind": "provenance",
+            "name": "runtime.decision",
+            "time_index": 12,
+            "source": "predictive",
+            "tau_min": 0.9,
+            "tau_max": 0.9,
+            "uncertainty_mean": 3.1,
+            "bound_max": 120.0,
+            "ramp_clipped_steps": 2,
+            "nodes_first": 4,
+        },
+    ]
+
+
+class TestModelHealthSummary:
+    def test_dispatch_by_kind_and_name(self):
+        health = summarize_model_health(health_stream())
+        assert len(health.windows) == 1
+        assert len(health.drifts) == 1
+        assert len(health.alerts) == 1
+        assert len(health.provenance) == 1
+
+    def test_falsy_when_stream_has_no_health_records(self):
+        assert not summarize_model_health(
+            [{"kind": "counter", "name": "c", "labels": {}}]
+        )
+        assert summarize_model_health(health_stream())
+
+    def test_format_renders_all_sections(self):
+        text = format_model_health(summarize_model_health(health_stream()))
+        assert "model health" in text
+        assert "calibration over time" in text
+        assert "cov@0.9" in text
+        assert "0.920" in text
+        assert "drift events" in text
+        assert "page_hinkley" in text
+        assert "alerts" in text
+        assert "coverage@0.9 < 0.75 for 2" in text
+        assert "decisions" in text
+        assert "predictive" in text
+
+    def test_format_caps_provenance_rows(self):
+        health = summarize_model_health(health_stream())
+        base = health.provenance[0]
+        health.provenance = [dict(base, time_index=t) for t in range(40)]
+        text = format_model_health(health, max_provenance=5)
+        assert "t=39" in text or "39" in text
+        shown = [l for l in text.splitlines() if "predictive" in l]
+        assert len(shown) == 5
+
+    def test_survives_json_round_trip(self):
+        encoded = [json.loads(json.dumps(r)) for r in health_stream()]
+        text = format_model_health(summarize_model_health(encoded))
+        assert "calibration over time" in text

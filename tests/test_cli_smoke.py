@@ -86,6 +86,34 @@ class TestReport:
         assert main(["report", str(path)]) == 0
         assert "c" in capsys.readouterr().out
 
+    def test_report_all_garbage_file_fails_with_hint(self, tmp_path, capsys):
+        path = tmp_path / "garbage.jsonl"
+        path.write_text("not json\nstill not json\n")
+        assert main(["report", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert "no telemetry records" in err
+        assert "interrupted" in err  # hints at a partially-written stream
+
+    def test_report_directory_path_fails_cleanly(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path)]) == 2
+        assert "cannot read telemetry file" in capsys.readouterr().err
+
+    def test_report_binary_file_fails_cleanly(self, tmp_path, capsys):
+        path = tmp_path / "binary.jsonl"
+        path.write_bytes(b"\xff\xfe\x00\x01binary junk")
+        assert main(["report", str(path)]) == 2
+        assert "not a text file" in capsys.readouterr().err
+
+
+class TestMonitorFlags:
+    def test_bad_inject_shift_spec_exits_cleanly(self):
+        with pytest.raises(SystemExit, match="START:MAGNITUDE"):
+            main(EVALUATE_ARGS + ["--inject-shift", "banana"])
+
+    def test_bad_alert_rule_exits_cleanly(self):
+        with pytest.raises(SystemExit, match="cannot parse alert rule"):
+            main(EVALUATE_ARGS + ["--monitor", "--alert", "coverage ~ 0.5"])
+
 
 class TestCompareWithTelemetry:
     def test_compare_streams_evaluation_counters(self, tmp_path, capsys):
