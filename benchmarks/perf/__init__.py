@@ -1,0 +1,9 @@
+"""Performance micro-benchmarks for the inference fast path.
+
+Unlike the table/figure benchmarks (pytest files one level up), these
+are plain executable scripts that emit machine-readable JSON — CI runs
+them in ``--quick`` mode and archives the output::
+
+    PYTHONPATH=src python -m benchmarks.perf.perf_inference --quick \
+        --output BENCH_inference.json
+"""

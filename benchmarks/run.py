@@ -1,0 +1,111 @@
+"""Parallel table/figure benchmark runner.
+
+Each ``benchmarks/test_*.py`` file reproduces one table or figure from
+the paper and is independent of the others (session fixtures retrain
+per process, so there is no shared state to race on).  This runner fans
+the files across worker processes via :func:`repro.parallel.parallel_map`
+— each worker shells out to pytest for one file — and prints an ordered
+summary when everything has finished::
+
+    PYTHONPATH=src python -m benchmarks.run --jobs 4
+    PYTHONPATH=src python -m benchmarks.run --match table --jobs 2
+    PYTHONPATH=src python -m benchmarks.run --list
+
+Results come back in discovery order regardless of worker scheduling,
+and per-benchmark wall-clock spans recorded in the workers are merged
+into the parent registry (visible with ``--telemetry``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+REPO_ROOT = BENCH_DIR.parent
+
+
+def discover(match: str | None = None) -> list[str]:
+    """Benchmark file names (sorted), optionally filtered by substring."""
+    names = sorted(p.name for p in BENCH_DIR.glob("test_*.py"))
+    if match:
+        names = [name for name in names if match in name]
+    return names
+
+
+def _run_benchmark(context: dict, name: str) -> dict:
+    """Run one benchmark file under pytest; module-level for pickling."""
+    import time
+
+    from repro.obs import get_registry
+
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    command = [sys.executable, "-m", "pytest", str(BENCH_DIR / name), "-q"]
+    command += context.get("pytest_args", [])
+    start = time.perf_counter()
+    with get_registry().span("benchmark", file=name):
+        proc = subprocess.run(
+            command, cwd=REPO_ROOT, env=env, capture_output=True, text=True
+        )
+    duration = time.perf_counter() - start
+    get_registry().counter(
+        "benchmarks.completed", status="pass" if proc.returncode == 0 else "fail"
+    ).inc()
+    return {
+        "file": name,
+        "returncode": proc.returncode,
+        "duration_s": duration,
+        "output": proc.stdout + proc.stderr,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="benchmarks.run",
+        description="Run the table/figure benchmarks, optionally in parallel",
+    )
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes (default 1: serial, in order)")
+    parser.add_argument("--match", default=None, metavar="SUBSTR",
+                        help="only files whose name contains SUBSTR")
+    parser.add_argument("--list", action="store_true", dest="list_only",
+                        help="print the benchmark files and exit")
+    parser.add_argument("--verbose", action="store_true",
+                        help="print each benchmark's full pytest output")
+    parser.add_argument("pytest_args", nargs="*",
+                        help="extra arguments passed through to pytest")
+    args = parser.parse_args(argv)
+
+    names = discover(args.match)
+    if args.list_only:
+        for name in names:
+            print(name)
+        return 0
+    if not names:
+        print("no benchmark files matched", file=sys.stderr)
+        return 2
+
+    from repro.parallel import parallel_map
+
+    context = {"pytest_args": list(args.pytest_args)}
+    results = parallel_map(_run_benchmark, names, context, n_jobs=args.jobs)
+
+    failed = [r for r in results if r["returncode"] != 0]
+    width = max(len(r["file"]) for r in results)
+    print(f"\n{'benchmark':<{width}}  {'status':<6}  wall-clock")
+    for r in results:
+        status = "pass" if r["returncode"] == 0 else "FAIL"
+        print(f"{r['file']:<{width}}  {status:<6}  {r['duration_s']:8.1f}s")
+        if args.verbose or r["returncode"] != 0:
+            print(r["output"])
+    print(f"\n{len(results) - len(failed)}/{len(results)} benchmarks passed")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,6 +27,33 @@ from .report import ForecastReport, evaluate_quantile_forecast
 
 __all__ = ["BacktestResult", "backtest"]
 
+# Base seed for per-window sampler reseeding on the deterministic
+# (n_jobs-enabled) path; combined with the window's absolute decision
+# point so draws depend only on (seed, window), never on worker layout.
+_WINDOW_SEED = 0x5EED
+
+
+def _reseed_for_window(forecaster: Forecaster, absolute_point: int) -> None:
+    reseed = getattr(forecaster, "reseed_sampler", None)
+    if reseed is not None:
+        reseed((_WINDOW_SEED, absolute_point))
+
+
+def _predict_window(context: dict, point: int) -> QuantileForecast:
+    """One decision window; module-level so workers can pickle it."""
+    from ..obs import get_registry
+
+    forecaster = context["forecaster"]
+    values = context["values"]
+    start = context["series_start_index"] + point - context["context_length"]
+    _reseed_for_window(forecaster, context["series_start_index"] + point)
+    with get_registry().span("predict"):
+        return forecaster.predict(
+            values[point - context["context_length"] : point],
+            levels=context["levels"],
+            start_index=start,
+        )
+
 
 @dataclass
 class BacktestResult:
@@ -36,23 +63,42 @@ class BacktestResult:
     points: list[int]
     forecasts: list[QuantileForecast] = field(default_factory=list)
     actuals: list[np.ndarray] = field(default_factory=list)
+    # Merged-array cache: report() + mean_wql() + per-level coverage()
+    # all reconcatenate O(windows * horizon) arrays; memoise them, keyed
+    # on window count so appending windows invalidates naturally.
+    _merged: dict = field(default_factory=dict, init=False, repr=False, compare=False)
 
     @property
     def num_windows(self) -> int:
         return len(self.forecasts)
 
+    def _merged_cache(self) -> dict:
+        if self._merged.get("windows") != len(self.forecasts):
+            self._merged = {"windows": len(self.forecasts)}
+        return self._merged
+
     @property
     def merged_actual(self) -> np.ndarray:
-        """Actuals concatenated across windows."""
-        return np.concatenate(self.actuals)
+        """Actuals concatenated across windows (cached)."""
+        cache = self._merged_cache()
+        if "actual" not in cache:
+            cache["actual"] = np.concatenate(self.actuals)
+        return cache["actual"]
 
     def merged_level(self, tau: float) -> np.ndarray:
-        """One quantile level's forecasts, concatenated across windows."""
-        return np.concatenate([fc.at(tau) for fc in self.forecasts])
+        """One quantile level's forecasts, concatenated across windows (cached)."""
+        cache = self._merged_cache()
+        key = ("level", float(tau))
+        if key not in cache:
+            cache[key] = np.concatenate([fc.at(tau) for fc in self.forecasts])
+        return cache[key]
 
     def merged_point(self) -> np.ndarray:
-        """Point forecasts concatenated across windows."""
-        return np.concatenate([fc.point for fc in self.forecasts])
+        """Point forecasts concatenated across windows (cached)."""
+        cache = self._merged_cache()
+        if "point" not in cache:
+            cache["point"] = np.concatenate([fc.point for fc in self.forecasts])
+        return cache["point"]
 
     # -- metrics ---------------------------------------------------------
     def coverage(self, tau: float) -> float:
@@ -94,6 +140,7 @@ def backtest(
     stride: int | None = None,
     series_start_index: int = 0,
     monitor=None,
+    n_jobs: int | None = None,
 ) -> BacktestResult:
     """Rolling-origin evaluation of a fitted forecaster.
 
@@ -112,9 +159,19 @@ def backtest(
         Optional :class:`~repro.obs.monitor.ModelHealthMonitor`: every
         evaluated (forecast, actual) pair is streamed into it, so the
         backtest doubles as an offline calibration/drift analysis.
+    n_jobs:
+        ``None`` (default) keeps the legacy serial behaviour: windows
+        share the forecaster's ongoing sampling rng stream.  Any integer
+        ``>= 1`` switches to the deterministic path — the sampler is
+        reseeded per decision window from ``(seed, window)`` — and
+        ``>= 2`` fans windows across spawn workers.  Because draws then
+        depend only on the window, ``n_jobs=1`` and ``n_jobs=4`` give
+        bit-identical results; the monitor is fed in window order either
+        way, and worker telemetry merges into the ambient registry.
     """
     from ..core.evaluation import decision_points
     from ..obs import get_registry
+    from ..parallel import parallel_map
 
     values = np.asarray(values, dtype=np.float64)
     points = decision_points(len(values), context_length, horizon, stride)
@@ -122,13 +179,27 @@ def backtest(
     metrics = get_registry()
     model = type(forecaster).__name__
     with metrics.span("backtest", model=model):
-        for point in points:
-            with metrics.span("predict"):
-                forecast = forecaster.predict(
-                    values[point - context_length : point],
-                    levels=result.levels,
-                    start_index=series_start_index + point - context_length,
-                )
+        if n_jobs is None:
+            forecasts = []
+            for point in points:
+                with metrics.span("predict"):
+                    forecasts.append(
+                        forecaster.predict(
+                            values[point - context_length : point],
+                            levels=result.levels,
+                            start_index=series_start_index + point - context_length,
+                        )
+                    )
+        else:
+            context = {
+                "forecaster": forecaster,
+                "values": values,
+                "levels": result.levels,
+                "context_length": context_length,
+                "series_start_index": series_start_index,
+            }
+            forecasts = parallel_map(_predict_window, points, context, n_jobs=n_jobs)
+        for point, forecast in zip(points, forecasts):
             metrics.counter("backtest.windows", model=model).inc()
             result.forecasts.append(forecast)
             actual = values[point : point + horizon]

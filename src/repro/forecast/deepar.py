@@ -21,10 +21,10 @@ from __future__ import annotations
 import numpy as np
 
 from ..distributions import Empirical
-from ..nn import LSTM, Linear, Module, Tensor, no_grad
+from ..nn import LSTM, Linear, Module, Tensor, fastpath, no_grad
 from ..nn import functional as F
 from .base import QuantileForecast
-from .features import NUM_CALENDAR_FEATURES, calendar_features
+from .features import NUM_CALENDAR_FEATURES, calendar_features, calendar_window
 from .neural import NeuralForecaster, TrainingConfig
 
 __all__ = ["DeepARForecaster"]
@@ -50,6 +50,31 @@ class _DeepARNetwork(Module):
         mu = self.mu_head(hidden)[..., 0]
         scale = self.scale_head(hidden)[..., 0].softplus() + _MIN_SCALE
         df = self.df_head(hidden)[..., 0].softplus() + _MIN_DF
+        return mu, scale, df, state
+
+    def _heads(self, hidden: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Distribution parameters from a raw hidden state (..., H)."""
+        mu = self.mu_head.fast_forward(hidden)[..., 0]
+        scale = fastpath.softplus(self.scale_head.fast_forward(hidden)[..., 0]) + _MIN_SCALE
+        df = fastpath.softplus(self.df_head.fast_forward(hidden)[..., 0]) + _MIN_DF
+        return mu, scale, df
+
+    def fast_forward(
+        self,
+        inputs: np.ndarray,
+        state: list[tuple[np.ndarray, np.ndarray]] | None = None,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, list[tuple[np.ndarray, np.ndarray]]]:
+        """Tape-free forward over a full sequence on raw arrays."""
+        hidden, state = self.lstm.fast_forward(inputs, state)
+        mu, scale, df = self._heads(hidden)
+        return mu, scale, df, state
+
+    def fast_step(
+        self, x: np.ndarray, state: list[tuple[np.ndarray, np.ndarray]]
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, list[tuple[np.ndarray, np.ndarray]]]:
+        """Advance one timestep: x is (batch, features), no sequence axis."""
+        top, state = self.lstm.fast_step(x, state)
+        mu, scale, df = self._heads(top)
         return mu, scale, df, state
 
 
@@ -127,11 +152,32 @@ class DeepARForecaster(NeuralForecaster):
         mean = distribution.mean()
         return QuantileForecast(levels=np.array(levels), values=values, mean=mean)
 
+    def reseed_sampler(self, seed: object) -> None:
+        """Reset the ancestral-sampling RNG to a deterministic seed.
+
+        The parallel backtest path calls this before every decision
+        window so that sample draws depend only on (seed, window), never
+        on how many windows some worker processed before — which is what
+        makes ``n_jobs=1`` and ``n_jobs=4`` bit-identical.
+        """
+        self._sample_rng = np.random.default_rng(seed)
+
     def sample_paths(self, context: np.ndarray, start_index: int = 0) -> Empirical:
         """Draw ``num_samples`` trajectories; returns the per-step cloud.
 
         Shapes: the returned :class:`Empirical` holds samples of shape
         (num_samples, horizon) in workload units.
+
+        The warm-up over the context runs once at batch 1 (every sample
+        path conditions on the same observed context), and the resulting
+        LSTM state is tiled across the ``num_samples`` trajectories.
+        Each horizon step then advances all trajectories through the
+        tape-free kernels of :mod:`repro.nn.fastpath` in one fused call
+        per layer; calendar features are read from the cached
+        per-(start_index, horizon) matrix.  With the fast path disabled
+        (:class:`~repro.nn.fastpath.use_fast_path`) the same algorithm
+        runs through the Tensor tape path — the parity suite asserts
+        both give identical samples for the same seed.
         """
         self._require_fitted()
         assert self.network is not None
@@ -141,27 +187,102 @@ class DeepARForecaster(NeuralForecaster):
                 f"context must have length {self.context_length}, got {len(context)}"
             )
         normalised = self.scaler.transform(context)
-        n = self.num_samples
-
         with no_grad():
-            # Warm up on the context once per sample path (batched).
-            lagged = np.tile(normalised[:-1], (n, 1))
-            indices = start_index + 1 + np.tile(np.arange(len(context) - 1), (n, 1))
-            mu, scale, df, state = self.network(Tensor(self._inputs(lagged, indices)))
-
-            # First horizon step is conditioned on the last context value.
-            last_value = np.full((n, 1), normalised[-1])
-            samples = np.empty((n, self.horizon))
-            for h in range(self.horizon):
-                step_index = np.full((n, 1), start_index + len(context) + h)
-                inputs = self._inputs(last_value, step_index)
-                mu, scale, df, state = self.network(Tensor(inputs), state)
-                mu_h, scale_h = mu.data[:, 0], scale.data[:, 0]
-                if self.likelihood == "student_t":
-                    draws = mu_h + scale_h * self._sample_rng.standard_t(df.data[:, 0])
-                else:
-                    draws = self._sample_rng.normal(mu_h, scale_h)
-                samples[:, h] = draws
-                last_value = draws[:, None]
-
+            if fastpath.fast_path_enabled():
+                samples = self._sample_fast(normalised, start_index)
+            else:
+                samples = self._sample_tape(normalised, start_index)
         return Empirical(self.scaler.inverse_transform(samples))
+
+    def _warmup_inputs(self, normalised: np.ndarray, start_index: int) -> np.ndarray:
+        """(1, T-1, 1+F) warm-up inputs: lagged context + cached calendar."""
+        features = calendar_window(start_index + 1, len(normalised) - 1)
+        return np.concatenate([normalised[:-1, None], features], axis=-1)[None, :, :]
+
+    def _draw(self, mu: np.ndarray, scale: np.ndarray, df: np.ndarray) -> np.ndarray:
+        """One ancestral-sampling draw per trajectory."""
+        if self.likelihood == "student_t":
+            return mu + scale * self._sample_rng.standard_t(df)
+        return self._sample_rng.normal(mu, scale)
+
+    def _sample_fast(self, normalised: np.ndarray, start_index: int) -> np.ndarray:
+        """Vectorized sampling on raw-numpy kernels (the production path)."""
+        assert self.network is not None
+        net = self.network
+        n = self.num_samples
+        hs = self.hidden_size
+        # Warm up at batch 1 — the context is shared by every trajectory —
+        # through the LSTM only (the head outputs are discarded anyway).
+        _, state = net.lstm.fast_forward(self._warmup_inputs(normalised, start_index))
+        # Tile the (batch 1) warm-up state across all trajectories.
+        state = [(np.repeat(h, n, axis=0), np.repeat(c, n, axis=0)) for h, c in state]
+
+        # The horizon loop runs hot: prepare the gate-permuted weights
+        # once (bitwise-neutral, see fastpath.prepare_lstm_params) and
+        # keep weights/head arrays in locals.
+        prepared = fastpath.prepare_lstm_params(net.lstm._layer_params(), hs)
+        cell = fastpath.lstm_cell_permuted
+        w_mu, b_mu = net.mu_head.weight.data, net.mu_head.bias.data
+        w_scale, b_scale = net.scale_head.weight.data, net.scale_head.bias.data
+        w_df, b_df = net.df_head.weight.data, net.df_head.bias.data
+        softplus = fastpath.softplus
+
+        horizon_features = calendar_window(
+            start_index + self.context_length, self.horizon
+        )
+        step_inputs = np.empty((n, 1 + NUM_CALENDAR_FEATURES))
+        samples = np.empty((n, self.horizon))
+        # First horizon step is conditioned on the last context value.
+        last = np.full(n, normalised[-1])
+        for h in range(self.horizon):
+            step_inputs[:, 0] = last
+            step_inputs[:, 1:] = horizon_features[h]
+            top = step_inputs
+            for layer, (w_ih, w_hh, bias) in enumerate(prepared):
+                h_prev, c_prev = state[layer]
+                h_new, c_new = cell(top, h_prev, c_prev, w_ih, w_hh, bias, hs)
+                state[layer] = (h_new, c_new)
+                top = h_new
+            mu = (top @ w_mu + b_mu)[:, 0]
+            scale = softplus((top @ w_scale + b_scale)[:, 0]) + _MIN_SCALE
+            df = softplus((top @ w_df + b_df)[:, 0]) + _MIN_DF
+            draws = self._draw(mu, scale, df)
+            samples[:, h] = draws
+            last = draws
+        return samples
+
+    def _sample_tape(self, normalised: np.ndarray, start_index: int) -> np.ndarray:
+        """The same algorithm through the Tensor tape path (parity reference).
+
+        Every matmul here has the same operand shapes as the fast path
+        (warm-up at batch 1, per-step heads on the squeezed (n, H)
+        hidden), so both paths execute identical BLAS calls and the
+        sampled trajectories match bit for bit given the same RNG seed.
+        """
+        assert self.network is not None
+        n = self.num_samples
+        net = self.network
+        _, state = net.lstm(Tensor(self._warmup_inputs(normalised, start_index)))
+        state = [
+            (Tensor(np.repeat(h.data, n, axis=0)), Tensor(np.repeat(c.data, n, axis=0)))
+            for h, c in state
+        ]
+
+        horizon_features = calendar_window(
+            start_index + self.context_length, self.horizon
+        )
+        step_inputs = np.empty((n, 1, 1 + NUM_CALENDAR_FEATURES))
+        samples = np.empty((n, self.horizon))
+        last = np.full(n, normalised[-1])
+        for h in range(self.horizon):
+            step_inputs[:, 0, 0] = last
+            step_inputs[:, 0, 1:] = horizon_features[h]
+            hidden, state = net.lstm(Tensor(step_inputs), state)
+            top = hidden[:, 0, :]
+            mu = net.mu_head(top)[..., 0]
+            scale = net.scale_head(top)[..., 0].softplus() + _MIN_SCALE
+            df = net.df_head(top)[..., 0].softplus() + _MIN_DF
+            draws = self._draw(mu.data, scale.data, df.data)
+            samples[:, h] = draws
+            last = draws
+        return samples

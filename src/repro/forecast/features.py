@@ -8,11 +8,13 @@ forecasts on the calendar.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 from ..traces.synthetic import STEPS_PER_DAY, STEPS_PER_WEEK
 
-__all__ = ["calendar_features", "NUM_CALENDAR_FEATURES"]
+__all__ = ["calendar_features", "calendar_window", "NUM_CALENDAR_FEATURES"]
 
 NUM_CALENDAR_FEATURES = 4
 
@@ -37,3 +39,17 @@ def calendar_features(indices: np.ndarray) -> np.ndarray:
         [np.sin(day_phase), np.cos(day_phase), np.sin(week_phase), np.cos(week_phase)],
         axis=-1,
     )
+
+
+@lru_cache(maxsize=512)
+def calendar_window(start_index: int, length: int) -> np.ndarray:
+    """Cached feature block for ``length`` consecutive steps from ``start_index``.
+
+    Rolling-origin evaluation asks for the same (start, horizon) feature
+    matrix for every sample path and often for repeated windows; this
+    memoises the trig work.  The returned array is marked read-only
+    because it is shared between callers — copy before mutating.
+    """
+    features = calendar_features(np.arange(start_index, start_index + length))
+    features.setflags(write=False)
+    return features

@@ -16,7 +16,7 @@ import numpy as np
 
 import time
 
-from ..nn import Adam, DataLoader, Module, Tensor, WindowDataset, clip_grad_norm
+from ..nn import Adam, DataLoader, Module, Tensor, WindowDataset, clip_grad_norm, no_grad
 from ..nn.serialization import load_state, save_state
 from ..obs import get_registry
 from ..traces.dataset import StandardScaler
@@ -229,7 +229,10 @@ class NeuralForecaster(Forecaster):
             dataset, self.config.batch_size, shuffle=False, yield_positions=True
         )
         total, batches = 0.0, 0
-        for contexts, horizons, starts in loader:
-            total += self._loss(contexts, horizons, starts).item()
-            batches += 1
+        # Validation never backpropagates: no_grad() skips tape recording
+        # and routes module forwards through the tape-free kernels.
+        with no_grad():
+            for contexts, horizons, starts in loader:
+                total += self._loss(contexts, horizons, starts).item()
+                batches += 1
         return total / max(batches, 1)

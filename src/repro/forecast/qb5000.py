@@ -44,10 +44,9 @@ class LinearRegressionForecaster(PointForecaster):
         if len(series) < window + 1:
             raise ValueError("series too short")
         rows = len(series) - window + 1
-        contexts = np.stack([series[i : i + self.context_length] for i in range(rows)])
-        targets = np.stack(
-            [series[i + self.context_length : i + window] for i in range(rows)]
-        )
+        windows = np.lib.stride_tricks.sliding_window_view(series, window)
+        contexts = windows[:, : self.context_length]
+        targets = windows[:, self.context_length :]
         design = np.column_stack([np.ones(rows), contexts])
         gram = design.T @ design + self.ridge * np.eye(design.shape[1])
         self.weights = np.linalg.solve(gram, design.T @ targets)
@@ -87,10 +86,9 @@ class KernelRegressionForecaster(PointForecaster):
         rows = len(series) - window + 1
         stride = max(1, rows // self.max_windows)
         starts = np.arange(0, rows, stride)
-        self._contexts = np.stack([series[i : i + self.context_length] for i in starts])
-        self._futures = np.stack(
-            [series[i + self.context_length : i + window] for i in starts]
-        )
+        windows = np.lib.stride_tricks.sliding_window_view(series, window)
+        self._contexts = windows[starts, : self.context_length]
+        self._futures = windows[starts, self.context_length :]
         sample = self._contexts[:: max(1, len(self._contexts) // 200)]
         distances = np.linalg.norm(sample[:, None, :] - sample[None, :, :], axis=-1)
         positive = distances[distances > 0]

@@ -5,7 +5,8 @@ implementation — it is the training and inference engine underneath the
 probabilistic forecasters in :mod:`repro.forecast`.
 """
 
-from . import functional, init
+from . import fastpath, functional, init
+from .fastpath import fast_path_enabled, use_fast_path
 from .attention import InterpretableMultiHeadAttention, causal_mask, scaled_dot_product_attention
 from .data import DataLoader, WindowDataset, train_validation_split
 from .layers import (
@@ -27,6 +28,9 @@ __all__ = [
     "Tensor",
     "no_grad",
     "is_grad_enabled",
+    "use_fast_path",
+    "fast_path_enabled",
+    "fastpath",
     "Module",
     "Parameter",
     "Linear",

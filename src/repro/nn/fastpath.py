@@ -1,0 +1,284 @@
+"""Tape-free inference kernels: raw-numpy forwards for the hot layers.
+
+Training needs the autograd tape; inference does not.  Even under
+:class:`~repro.nn.tensor.no_grad` the Tensor ops still pay per-op object
+construction, closure definition, and broadcasting bookkeeping — on the
+small models used for workload forecasting that overhead dominates the
+actual arithmetic.  This module provides raw ``ndarray -> ndarray``
+kernels that compute *exactly* the same float64 operations in the same
+order as the Tensor path, so outputs are numerically identical, without
+building any Tensor objects.
+
+Dispatch is automatic: :class:`~repro.nn.layers.Linear`,
+:class:`~repro.nn.rnn.LSTMCell`, and :class:`~repro.nn.rnn.LSTM` check
+:func:`should_use_fast_path` at the top of ``forward`` and route through
+these kernels whenever gradients are disabled.  The result is wrapped
+back into a constant Tensor so callers never see the difference.  Code
+that wants to stay on raw arrays end to end (DeepAR's ancestral
+sampling) calls the modules' ``fast_forward`` / ``fast_step`` methods
+directly and skips Tensor wrapping entirely.
+
+``use_fast_path(False)`` forces the tape path even under ``no_grad`` —
+used by the parity tests and the perf benchmarks to compare both
+implementations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import is_grad_enabled
+
+__all__ = [
+    "use_fast_path",
+    "fast_path_enabled",
+    "should_use_fast_path",
+    "sigmoid",
+    "tanh",
+    "relu",
+    "softplus",
+    "linear_forward",
+    "lstm_cell_forward",
+    "lstm_cell_permuted",
+    "prepare_lstm_params",
+    "lstm_forward",
+    "lstm_step",
+]
+
+_FAST_PATH_ENABLED = True
+
+
+class use_fast_path:
+    """Context manager to force the fast path on or off.
+
+    The default is on; disabling is only useful for parity testing and
+    for benchmarking the tape path.
+    """
+
+    def __init__(self, enabled: bool) -> None:
+        self._enabled = bool(enabled)
+
+    def __enter__(self) -> "use_fast_path":
+        global _FAST_PATH_ENABLED
+        self._prev = _FAST_PATH_ENABLED
+        _FAST_PATH_ENABLED = self._enabled
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        global _FAST_PATH_ENABLED
+        _FAST_PATH_ENABLED = self._prev
+
+
+def fast_path_enabled() -> bool:
+    """Whether the fast path is globally enabled (default True)."""
+    return _FAST_PATH_ENABLED
+
+
+def should_use_fast_path() -> bool:
+    """True when a layer forward should dispatch to the raw kernels.
+
+    The fast path is only valid when no gradient tape is being recorded;
+    the global switch exists so tests and benchmarks can pin the tape
+    path.
+    """
+    return _FAST_PATH_ENABLED and not is_grad_enabled()
+
+
+# ---------------------------------------------------------------------------
+# Elementwise kernels — bitwise-identical to the Tensor implementations.
+# ---------------------------------------------------------------------------
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic; bitwise-identical to ``Tensor.sigmoid``.
+
+    The Tensor path evaluates both ``np.where`` branches in full (three
+    clips, three exps, and an expensive element select).  Here a single
+    ``t = exp(-|clip(x)|)`` feeds both branches: for ``x >= 0`` it
+    equals ``exp(-clip(x))`` so the positive branch is ``1 / (1 + t)``,
+    and for ``x < 0`` it equals ``exp(clip(x))`` so the negative branch
+    is ``t / (1 + t)``.  The branch select collapses into a single
+    ``maximum``: ``u = max(t, [x >= 0])`` is 1 on the positive branch
+    (``t <= 1`` always) and ``t`` on the negative branch (``t >= 0``
+    always), so ``u / (1 + t)`` reproduces ``np.where``'s result exactly
+    with one exp, one divide, and no select pass.
+    """
+    t = np.exp(-np.abs(np.clip(x, -500, 500)))
+    u = np.maximum(t, (x >= 0) * 1.0)
+    return u / (1.0 + t)
+
+
+def tanh(x: np.ndarray) -> np.ndarray:
+    return np.tanh(x)
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    return x * (x > 0)
+
+
+def softplus(x: np.ndarray) -> np.ndarray:
+    """log(1 + exp(x)), stable; mirrors ``Tensor.softplus`` exactly."""
+    return np.logaddexp(0.0, x)
+
+
+# ---------------------------------------------------------------------------
+# Layer kernels
+# ---------------------------------------------------------------------------
+def linear_forward(x: np.ndarray, weight: np.ndarray, bias: np.ndarray | None) -> np.ndarray:
+    """``x @ W (+ b)`` on raw arrays; same op order as ``Linear.forward``."""
+    out = x @ weight
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def lstm_cell_forward(
+    x: np.ndarray,
+    h_prev: np.ndarray,
+    c_prev: np.ndarray,
+    w_ih: np.ndarray,
+    w_hh: np.ndarray,
+    bias: np.ndarray,
+    hidden_size: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """One fused LSTM step on raw arrays.
+
+    Computes the gates with the same association order as the Tensor
+    path (``(x @ w_ih + h @ w_hh) + bias``) so results match bit for
+    bit.  Gate layout along the output axis is [input, forget, cell,
+    output]; the two sigmoid blocks are evaluated on column slices,
+    which is elementwise and therefore order-independent.
+    """
+    gates = x @ w_ih + h_prev @ w_hh + bias
+    hs = hidden_size
+    # input and forget gates are adjacent columns -> one sigmoid call;
+    # elementwise, so the result per column is unchanged.
+    i_f = sigmoid(gates[:, : 2 * hs])
+    i_gate = i_f[:, :hs]
+    f_gate = i_f[:, hs:]
+    g_gate = tanh(gates[:, 2 * hs : 3 * hs])
+    o_gate = sigmoid(gates[:, 3 * hs :])
+    c_new = f_gate * c_prev + i_gate * g_gate
+    h_new = o_gate * tanh(c_new)
+    return h_new, c_new
+
+
+def prepare_lstm_params(
+    layer_params: list[tuple[np.ndarray, np.ndarray, np.ndarray]],
+    hidden_size: int,
+) -> list[tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """Reorder fused gate weights from [i, f, g, o] to [i, f, o, g].
+
+    With the three sigmoid gates adjacent, a cell step needs a single
+    sigmoid call over ``3 * hidden`` columns instead of two (the call
+    overhead is a large fraction of the cost at these sizes).  Each gemm
+    output column is an independent dot product, so permuting weight
+    *columns* permutes output columns without changing any value —
+    results stay bitwise-identical to the standard layout.
+
+    Prepared per inference call, not cached: optimizers update parameter
+    arrays in place, so a cache keyed on array identity would go stale.
+    """
+    hs = hidden_size
+    prepared = []
+    for w_ih, w_hh, bias in layer_params:
+        perm = np.concatenate(
+            [np.arange(0, 2 * hs), np.arange(3 * hs, 4 * hs), np.arange(2 * hs, 3 * hs)]
+        )
+        prepared.append(
+            (
+                np.ascontiguousarray(w_ih[:, perm]),
+                np.ascontiguousarray(w_hh[:, perm]),
+                np.ascontiguousarray(bias[perm]),
+            )
+        )
+    return prepared
+
+
+def lstm_cell_permuted(
+    x: np.ndarray,
+    h_prev: np.ndarray,
+    c_prev: np.ndarray,
+    w_ih: np.ndarray,
+    w_hh: np.ndarray,
+    bias: np.ndarray,
+    hidden_size: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """LSTM step with [i, f, o, g] gate layout (see :func:`prepare_lstm_params`).
+
+    One sigmoid over the three adjacent sigmoid gates, one tanh over the
+    cell gate; all elementwise, so every output element is bitwise equal
+    to :func:`lstm_cell_forward` on the standard layout.
+    """
+    gates = x @ w_ih + h_prev @ w_hh + bias
+    hs = hidden_size
+    ifo = sigmoid(gates[:, : 3 * hs])
+    g_gate = tanh(gates[:, 3 * hs :])
+    c_new = ifo[:, hs : 2 * hs] * c_prev + ifo[:, :hs] * g_gate
+    h_new = ifo[:, 2 * hs :] * tanh(c_new)
+    return h_new, c_new
+
+
+def lstm_forward(
+    x: np.ndarray,
+    layer_params: list[tuple[np.ndarray, np.ndarray, np.ndarray]],
+    hidden_size: int,
+    state: list[tuple[np.ndarray, np.ndarray]] | None = None,
+) -> tuple[np.ndarray, list[tuple[np.ndarray, np.ndarray]]]:
+    """Fused multi-layer LSTM over a full sequence on raw arrays.
+
+    Parameters
+    ----------
+    x:
+        Input of shape (batch, time, features).
+    layer_params:
+        Per-layer ``(w_ih, w_hh, bias)`` arrays in standard gate layout.
+    state:
+        Optional per-layer ``(h, c)`` arrays of shape (batch, hidden).
+
+    Keeps ``(h, c)`` as plain ndarrays throughout and writes each step's
+    hidden state straight into a preallocated output buffer — no
+    per-timestep Python list construction.
+    """
+    batch, steps, _ = x.shape
+    if state is None:
+        zeros = np.zeros((batch, hidden_size))
+        state = [(zeros.copy(), zeros.copy()) for _ in layer_params]
+    else:
+        state = list(state)
+
+    layer_input = x
+    prepared = prepare_lstm_params(layer_params, hidden_size)
+    for layer, (w_ih, w_hh, bias) in enumerate(prepared):
+        h, c = state[layer]
+        outputs = np.empty((batch, steps, hidden_size))
+        for t in range(steps):
+            h, c = lstm_cell_permuted(layer_input[:, t, :], h, c, w_ih, w_hh, bias, hidden_size)
+            outputs[:, t, :] = h
+        state[layer] = (h, c)
+        layer_input = outputs
+    return layer_input, state
+
+
+def lstm_step(
+    x: np.ndarray,
+    layer_params: list[tuple[np.ndarray, np.ndarray, np.ndarray]],
+    hidden_size: int,
+    state: list[tuple[np.ndarray, np.ndarray]],
+) -> tuple[np.ndarray, list[tuple[np.ndarray, np.ndarray]]]:
+    """Advance a multi-layer LSTM one timestep on raw arrays.
+
+    ``x`` has shape (batch, features); returns the top layer's hidden
+    state and the updated per-layer state.  ``layer_params`` is in the
+    standard gate layout.  Callers looping over many steps should
+    instead run :func:`prepare_lstm_params` once and call
+    :func:`lstm_cell_permuted` per layer (as DeepAR's ancestral sampling
+    does) to amortise the permutation.
+    """
+    state = list(state)
+    inp = x
+    prepared = prepare_lstm_params(layer_params, hidden_size)
+    for layer, (w_ih, w_hh, bias) in enumerate(prepared):
+        h, c = state[layer]
+        h, c = lstm_cell_permuted(inp, h, c, w_ih, w_hh, bias, hidden_size)
+        state[layer] = (h, c)
+        inp = h
+    return inp, state

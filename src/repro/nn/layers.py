@@ -9,7 +9,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from . import init
+from . import fastpath, init
 from .module import Module, Parameter
 from .tensor import Tensor
 
@@ -25,7 +25,12 @@ __all__ = [
 
 
 class Linear(Module):
-    """Affine map ``y = x @ W + b`` with weight shape (in, out)."""
+    """Affine map ``y = x @ W + b`` with weight shape (in, out).
+
+    When gradients are disabled the forward dispatches to the tape-free
+    kernel in :mod:`repro.nn.fastpath`, skipping Tensor-op overhead; the
+    result is numerically identical.
+    """
 
     def __init__(
         self,
@@ -41,10 +46,19 @@ class Linear(Module):
         self.bias = Parameter(init.zeros((out_features,))) if bias else None
 
     def forward(self, x: Tensor) -> Tensor:
+        if fastpath.should_use_fast_path():
+            data = x.data if isinstance(x, Tensor) else np.asarray(x, dtype=np.float64)
+            return Tensor(self.fast_forward(data))
         out = x @ self.weight
         if self.bias is not None:
             out = out + self.bias
         return out
+
+    def fast_forward(self, x: np.ndarray) -> np.ndarray:
+        """Tape-free forward on a raw ndarray."""
+        return fastpath.linear_forward(
+            x, self.weight.data, self.bias.data if self.bias is not None else None
+        )
 
 
 class Dropout(Module):

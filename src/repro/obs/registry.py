@@ -163,6 +163,29 @@ class Histogram(_Metric):
             if slot < size:
                 self._reservoir[slot] = value
 
+    def merge_state(self, state: dict) -> None:
+        """Fold another histogram's state (see ``MetricsRegistry.state_dict``).
+
+        Moments (count/sum/min/max) merge exactly; the reservoir merge is
+        approximate — a deterministic subsample of the union, drawn from
+        this histogram's own seeded rng, so repeated runs with the same
+        merge order produce identical quantile estimates.
+        """
+        if not state["count"]:
+            return
+        filled = min(self.count, len(self._reservoir))
+        self.count += int(state["count"])
+        self.sum += state["sum"]
+        self.min = min(self.min, state["min"])
+        self.max = max(self.max, state["max"])
+        combined = np.concatenate([self._reservoir[:filled], np.asarray(state["reservoir"])])
+        size = len(self._reservoir)
+        if len(combined) <= size:
+            self._reservoir[: len(combined)] = combined
+        else:
+            keep = np.sort(self._rng.choice(len(combined), size=size, replace=False))
+            self._reservoir[:] = combined[keep]
+
     @property
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
@@ -260,6 +283,11 @@ class MetricsRegistry:
                 }
             )
 
+    @property
+    def current_span_path(self) -> str | None:
+        """Slash-joined path of the currently open spans (None at top level)."""
+        return "/".join(self._span_stack) or None
+
     # -- sinks and snapshots ---------------------------------------------
     def add_sink(self, sink: "Sink") -> None:
         self._sinks.append(sink)
@@ -296,6 +324,70 @@ class MetricsRegistry:
         record.setdefault("ts", self._time())
         for sink in self._sinks:
             sink.emit(record)
+
+    # -- cross-process state ---------------------------------------------
+    def state_dict(self) -> dict:
+        """Picklable aggregate state, for shipping across process boundaries.
+
+        Multiprocessing workers run under a fresh registry, return its
+        ``state_dict()`` with their result, and the parent folds it back
+        via :meth:`merge_state_dict` — so telemetry recorded inside
+        workers is not silently dropped.  Only plain Python containers
+        and floats, so any pickle protocol (and JSON) can carry it.
+        """
+        counters, gauges, histograms = [], [], []
+        for metric in self._metrics.values():
+            entry = {"name": metric.name, "labels": dict(metric.labels)}
+            if isinstance(metric, Counter):
+                counters.append({**entry, "value": metric.value})
+            elif isinstance(metric, Gauge):
+                gauges.append({**entry, "value": metric.value})
+            elif isinstance(metric, Histogram):
+                filled = min(metric.count, len(metric._reservoir))
+                histograms.append(
+                    {
+                        **entry,
+                        "count": metric.count,
+                        "sum": metric.sum,
+                        "min": metric.min,
+                        "max": metric.max,
+                        "reservoir": metric._reservoir[:filled].tolist(),
+                        "reservoir_size": len(metric._reservoir),
+                    }
+                )
+        return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+    def merge_state_dict(self, state: dict, span_prefix: str | None = None) -> None:
+        """Fold a worker's :meth:`state_dict` into this registry.
+
+        Counters add (through :meth:`Counter.inc`, so attached sinks see
+        the merged delta), gauges take the incoming value, histograms
+        merge moments exactly and reservoirs approximately (see
+        :meth:`Histogram.merge_state`).  Span histograms ride along like
+        any other histogram; pass ``span_prefix`` (typically the
+        parent's :attr:`current_span_path`) to re-root them under the
+        spans that were open when the work was fanned out, so a worker's
+        ``predict`` span lands in the same ``backtest/predict`` histogram
+        a serial run would record.  When no sink is attached this is a
+        few dict lookups and float adds — the zero-cost contract holds.
+        """
+        for entry in state.get("counters", []):
+            if entry["value"]:
+                self.counter(entry["name"], **entry["labels"]).inc(entry["value"])
+        for entry in state.get("gauges", []):
+            if entry["value"] is not None:
+                self.gauge(entry["name"], **entry["labels"]).set(entry["value"])
+        for entry in state.get("histograms", []):
+            name = entry["name"]
+            if span_prefix and name.startswith("span/"):
+                name = f"span/{span_prefix}/{name[len('span/'):]}"
+            histogram = self._intern(
+                Histogram,
+                name,
+                entry["labels"],
+                reservoir_size=entry.get("reservoir_size", 1024),
+            )
+            histogram.merge_state(entry)
 
     def snapshot(self) -> dict[str, dict]:
         """Aggregate state as plain dicts, keyed by flat metric key.

@@ -1,0 +1,114 @@
+"""Deterministic multiprocessing fan-out for evaluation workloads.
+
+Backtests, grid searches, and the benchmark runner all reduce to the
+same shape: a list of independent work items, a shared read-only context
+(a fitted forecaster, an objective, a config), and the requirement that
+results come back **in item order** and **bit-identical** to a serial
+run.  :func:`parallel_map` provides exactly that:
+
+* ``spawn`` start method — no inherited state, so results cannot depend
+  on what the parent process happened to have touched (and it works the
+  same on platforms where fork is unavailable or unsafe);
+* the shared context is pickled **once** per worker (pool initializer),
+  not once per item — a fitted neural forecaster is megabytes of
+  weights;
+* ``Pool.map`` keeps results in item order regardless of which worker
+  finished first;
+* telemetry recorded inside workers (counters, spans, histograms — see
+  :mod:`repro.obs`) is captured in a per-task registry, shipped back
+  with the result, and merged into the parent registry in item order,
+  so ``n_jobs`` does not change what the registry reports.
+
+Determinism is a *joint* contract: ``parallel_map`` guarantees ordering
+and isolation, and the task function must derive any randomness from
+``(context, item)`` alone — e.g. ``backtest`` reseeds a forecaster's
+sampling rng per decision window, which is what makes ``n_jobs=1`` and
+``n_jobs=4`` bit-identical.
+
+The task function must be a module-level function (picklable by
+reference) taking ``(context, item)``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+from typing import Any, Callable, Iterable, Sequence
+
+__all__ = ["parallel_map"]
+
+# Worker-process slot for the shared (fn, context) payload, populated by
+# the pool initializer so it is unpickled once per worker, not per item.
+_WORKER_PAYLOAD: dict | None = None
+
+
+def _init_worker(payload: bytes) -> None:
+    global _WORKER_PAYLOAD
+    _WORKER_PAYLOAD = pickle.loads(payload)
+
+
+def _run_task(item: Any) -> tuple[Any, dict]:
+    """Run one item under a fresh registry; return (result, telemetry)."""
+    from .obs.registry import MetricsRegistry, using_registry
+
+    assert _WORKER_PAYLOAD is not None, "worker initializer did not run"
+    fn: Callable[[Any, Any], Any] = _WORKER_PAYLOAD["fn"]
+    context = _WORKER_PAYLOAD["context"]
+    registry = MetricsRegistry()
+    with using_registry(registry):
+        result = fn(context, item)
+    return result, registry.state_dict()
+
+
+def parallel_map(
+    fn: Callable[[Any, Any], Any],
+    items: Iterable[Any],
+    context: Any = None,
+    n_jobs: int | None = None,
+    merge_into=None,
+) -> list[Any]:
+    """Map ``fn(context, item)`` over ``items``, optionally in parallel.
+
+    Parameters
+    ----------
+    fn:
+        Module-level function of ``(context, item)``.  For parallel runs
+        it must be picklable by reference and must derive any randomness
+        from its arguments only.
+    context:
+        Shared read-only payload, pickled once per worker.
+    n_jobs:
+        ``None`` or ``1`` runs serially in-process (no pool, ambient
+        registry used directly).  ``>= 2`` fans out over that many
+        spawn-context workers.
+    merge_into:
+        Registry receiving worker telemetry (default: the ambient
+        registry at call time).
+
+    Returns results in item order.
+    """
+    work: Sequence[Any] = list(items)
+    if n_jobs is not None and n_jobs < 1:
+        raise ValueError(f"n_jobs must be >= 1, got {n_jobs}")
+    if n_jobs is None or n_jobs == 1 or len(work) <= 1:
+        return [fn(context, item) for item in work]
+
+    from .obs import get_registry
+
+    registry = merge_into if merge_into is not None else get_registry()
+    payload = pickle.dumps({"fn": fn, "context": context})
+    spawn = multiprocessing.get_context("spawn")
+    processes = min(n_jobs, len(work))
+    with spawn.Pool(
+        processes=processes, initializer=_init_worker, initargs=(payload,)
+    ) as pool:
+        pairs = pool.map(_run_task, work)
+    # Merge in item order -> deterministic; re-root worker spans under
+    # whatever spans are open here (e.g. a worker's "predict" becomes
+    # "backtest/predict", matching what a serial run records).
+    prefix = registry.current_span_path
+    results = []
+    for result, state in pairs:
+        registry.merge_state_dict(state, span_prefix=prefix)
+        results.append(result)
+    return results

@@ -1,0 +1,86 @@
+"""Determinism contract of the parallel evaluation layer.
+
+``backtest`` and ``grid_search`` with ``n_jobs > 1`` must return results
+bit-identical to (and in the same order as) ``n_jobs=1`` — randomness is
+derived from (seed, window), never from worker scheduling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.evaluation.backtest import backtest
+from repro.forecast import DeepARForecaster, TrainingConfig
+from repro.parallel import parallel_map
+from repro.tuning.grid import grid_search
+
+CONTEXT, HORIZON = 36, 12
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    rng = np.random.default_rng(0)
+    series = 100 + 20 * np.sin(np.arange(700) * 2 * np.pi / 144) + rng.normal(0, 3, 700)
+    forecaster = DeepARForecaster(
+        CONTEXT, HORIZON, hidden_size=8, num_layers=1, num_samples=20,
+        config=TrainingConfig(epochs=1, seed=0),
+    ).fit(series[:550])
+    return forecaster, series[550:]
+
+
+def _run(forecaster, test_values, n_jobs):
+    return backtest(
+        forecaster, test_values, CONTEXT, HORIZON, (0.1, 0.5, 0.9),
+        series_start_index=550, n_jobs=n_jobs,
+    )
+
+
+def test_backtest_parallel_bit_identical_to_serial(fitted):
+    forecaster, test_values = fitted
+    serial = _run(forecaster, test_values, n_jobs=1)
+    parallel = _run(forecaster, test_values, n_jobs=4)
+    assert serial.points == parallel.points
+    assert len(serial.forecasts) == len(parallel.forecasts) > 1
+    for a, b in zip(serial.forecasts, parallel.forecasts):
+        assert np.array_equal(a.values, b.values)
+        assert np.array_equal(a.levels, b.levels)
+    assert np.array_equal(serial.merged_actual, parallel.merged_actual)
+    assert np.array_equal(serial.merged_level(0.5), parallel.merged_level(0.5))
+
+
+def test_backtest_deterministic_across_repeat_runs(fitted):
+    forecaster, test_values = fitted
+    first = _run(forecaster, test_values, n_jobs=1)
+    second = _run(forecaster, test_values, n_jobs=1)
+    for a, b in zip(first.forecasts, second.forecasts):
+        assert np.array_equal(a.values, b.values)
+
+
+def _objective(params):
+    return (params["a"] - 2.0) ** 2 + params["b"]
+
+
+def test_grid_search_parallel_matches_serial():
+    space = {"a": [0.0, 1.0, 2.0, 3.0], "b": [0.5, 0.0]}
+    best_serial, all_serial = grid_search(_objective, space)
+    best_parallel, all_parallel = grid_search(_objective, space, n_jobs=2)
+    assert all_serial == all_parallel  # same values, same order
+    assert best_serial == best_parallel
+    assert best_parallel.params == {"a": 2.0, "b": 0.0}
+
+
+def _square(context, item):
+    return context["scale"] * item * item
+
+
+def test_parallel_map_orders_results():
+    items = list(range(8))
+    serial = parallel_map(_square, items, {"scale": 3})
+    fanned = parallel_map(_square, items, {"scale": 3}, n_jobs=3)
+    assert serial == fanned == [3 * i * i for i in items]
+
+
+def test_parallel_map_rejects_bad_n_jobs():
+    with pytest.raises(ValueError):
+        parallel_map(_square, [1], {"scale": 1}, n_jobs=0)

@@ -1,0 +1,175 @@
+"""Parity and dispatch tests for the tape-free inference fast path.
+
+Every fast kernel must be *bitwise* identical to the Tensor tape path —
+not merely close — because the DeepAR sampler feeds its own outputs
+back in autoregressively, so any ULP difference compounds across the
+horizon and changes the drawn trajectories.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.forecast import DeepARForecaster, TrainingConfig
+from repro.nn import LSTM, Linear, Tensor, fastpath, no_grad
+from repro.nn.rnn import LSTMCell
+
+RNG = np.random.default_rng(42)
+
+
+def _random(shape):
+    return RNG.normal(size=shape)
+
+
+# ---------------------------------------------------------------------------
+# Dispatch
+# ---------------------------------------------------------------------------
+def test_fast_path_requires_no_grad():
+    assert not fastpath.should_use_fast_path()  # grad enabled by default
+    with no_grad():
+        assert fastpath.should_use_fast_path()
+
+
+def test_use_fast_path_pins_the_tape_path():
+    with no_grad():
+        with fastpath.use_fast_path(False):
+            assert not fastpath.should_use_fast_path()
+        assert fastpath.should_use_fast_path()
+
+
+def test_linear_dispatches_to_fast_path_under_no_grad():
+    layer = Linear(4, 3, np.random.default_rng(0))
+    x = _random((5, 4))
+    with no_grad():
+        out = layer(Tensor(x))
+    assert out.data.shape == (5, 3)
+    assert np.array_equal(out.data, layer.fast_forward(x))
+
+
+# ---------------------------------------------------------------------------
+# Elementwise kernels
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("name", ["sigmoid", "tanh", "relu", "softplus"])
+def test_activation_parity_bitwise(name):
+    x = np.concatenate(
+        [_random(1000) * 10, [0.0, -0.0, 1e-300, -1e-300, 600.0, -600.0, np.inf, -np.inf]]
+    )
+    with np.errstate(invalid="ignore"):  # relu(-inf) multiplies 0 * -inf
+        fast = getattr(fastpath, name)(x)
+        tape = getattr(Tensor(x), name)().data
+    # equal_nan: both paths produce NaN for relu(-inf) (0 * -inf).
+    assert np.array_equal(fast, tape, equal_nan=True)
+
+
+def test_sigmoid_extreme_values_match_tape():
+    # The fast sigmoid uses a branch-free max trick; the clip boundary
+    # (±500) and saturation region must agree with the tape op exactly.
+    x = np.array([-1000.0, -500.0, -499.999, 499.999, 500.0, 1000.0])
+    assert np.array_equal(fastpath.sigmoid(x), Tensor(x).sigmoid().data)
+
+
+# ---------------------------------------------------------------------------
+# LSTM kernels
+# ---------------------------------------------------------------------------
+def _tape_cell_step(cell, x, h, c):
+    with no_grad(), fastpath.use_fast_path(False):
+        h_new, c_new = cell(Tensor(x), (Tensor(h), Tensor(c)))
+    return h_new.data, c_new.data
+
+
+def test_lstm_cell_forward_matches_tape_bitwise():
+    cell = LSTMCell(5, 16, np.random.default_rng(1))
+    x, h, c = _random((7, 5)), _random((7, 16)), _random((7, 16))
+    fast_h, fast_c = cell.fast_forward(x, h, c)
+    tape_h, tape_c = _tape_cell_step(cell, x, h, c)
+    assert np.array_equal(fast_h, tape_h)
+    assert np.array_equal(fast_c, tape_c)
+
+
+def test_lstm_cell_permuted_matches_tape_bitwise():
+    hs = 16
+    cell = LSTMCell(5, hs, np.random.default_rng(2))
+    params = [(cell.w_ih.data, cell.w_hh.data, cell.bias.data)]
+    (w_ih, w_hh, bias), = fastpath.prepare_lstm_params(params, hs)
+    x, h, c = _random((9, 5)), _random((9, hs)), _random((9, hs))
+    fast_h, fast_c = fastpath.lstm_cell_permuted(x, h, c, w_ih, w_hh, bias, hs)
+    tape_h, tape_c = _tape_cell_step(cell, x, h, c)
+    assert np.array_equal(fast_h, tape_h)
+    assert np.array_equal(fast_c, tape_c)
+
+
+def test_multilayer_lstm_forward_matches_tape_bitwise():
+    lstm = LSTM(5, 12, np.random.default_rng(3), num_layers=2)
+    x = _random((4, 20, 5))
+    fast_seq, fast_state = lstm.fast_forward(x)
+    with no_grad(), fastpath.use_fast_path(False):
+        tape_seq, tape_state = lstm(Tensor(x))
+    assert np.array_equal(fast_seq, tape_seq.data)
+    for (fh, fc), (th, tc) in zip(fast_state, tape_state):
+        assert np.array_equal(fh, th.data)
+        assert np.array_equal(fc, tc.data)
+
+
+def test_lstm_step_continues_a_forward_state():
+    lstm = LSTM(5, 12, np.random.default_rng(4), num_layers=2)
+    x = _random((4, 21, 5))
+    full_seq, _ = lstm.fast_forward(x)
+    _, state = lstm.fast_forward(x[:, :20, :])
+    top, _ = lstm.fast_step(x[:, 20, :], state)
+    assert np.array_equal(top, full_seq[:, 20, :])
+
+
+# ---------------------------------------------------------------------------
+# DeepAR end-to-end
+# ---------------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def deepar():
+    rng = np.random.default_rng(0)
+    series = 100 + 20 * np.sin(np.arange(500) * 2 * np.pi / 144) + rng.normal(0, 3, 500)
+    return (
+        DeepARForecaster(
+            36, 24, hidden_size=8, num_layers=2, num_samples=30,
+            config=TrainingConfig(epochs=1, seed=0),
+        ).fit(series),
+        series,
+    )
+
+
+def test_deepar_heads_match_tape(deepar):
+    forecaster, _ = deepar
+    net = forecaster.network
+    hidden = _random((6, forecaster.hidden_size))
+    mu, scale, df = net._heads(hidden)
+    with no_grad(), fastpath.use_fast_path(False):
+        top = Tensor(hidden)
+        tape_mu = net.mu_head(top)[..., 0].data
+        tape_scale = (net.scale_head(top)[..., 0].softplus() + 1e-4).data
+        tape_df = (net.df_head(top)[..., 0].softplus() + 2.0).data
+    assert np.array_equal(mu, tape_mu)
+    assert np.array_equal(scale, tape_scale)
+    assert np.array_equal(df, tape_df)
+
+
+def test_sample_paths_fast_vs_tape_identical(deepar):
+    forecaster, series = deepar
+    context = series[-36:]
+    forecaster.reseed_sampler(99)
+    fast = forecaster.sample_paths(context, start_index=464).samples
+    forecaster.reseed_sampler(99)
+    with fastpath.use_fast_path(False):
+        tape = forecaster.sample_paths(context, start_index=464).samples
+    assert fast.shape == (30, 24)
+    assert np.array_equal(fast, tape)
+
+
+def test_predict_quantiles_fast_vs_tape_identical(deepar):
+    forecaster, series = deepar
+    context = series[-36:]
+    forecaster.reseed_sampler(7)
+    fast = forecaster.predict(context, levels=(0.1, 0.5, 0.9), start_index=464)
+    forecaster.reseed_sampler(7)
+    with fastpath.use_fast_path(False):
+        tape = forecaster.predict(context, levels=(0.1, 0.5, 0.9), start_index=464)
+    assert np.array_equal(fast.values, tape.values)
+    assert np.array_equal(fast.point, tape.point)
