@@ -20,7 +20,7 @@ Quick start::
     plan = scaler.plan(train.values[-72:], start_index=len(train) - 72)
 """
 
-from . import obs
+from . import faults, obs
 from .core import (
     AutoscalingRuntime,
     FixedQuantilePolicy,
@@ -91,6 +91,8 @@ __all__ = [
     "SeasonalNaiveForecaster",
     # observability
     "obs",
+    # fault injection
+    "faults",
     # core
     "Planner",
     "ScalingPlan",

@@ -89,6 +89,34 @@ def _parse_shift(spec: str):
         )
 
 
+#: Per-interval Bernoulli rates for the ``chaos`` command's default
+#: schedule — a little of everything, at every layer.
+DEFAULT_CHAOS_RATES = {
+    "nan": 0.02,
+    "spike": 0.01,
+    "drop": 0.01,
+    "duplicate": 0.01,
+    "planner_error": 0.05,
+    "planner_timeout": 0.02,
+    "node_crash": 0.01,
+    "provision_fail": 0.01,
+    "warmup_stall": 0.01,
+}
+
+
+def _parse_faults(args: argparse.Namespace):
+    """The ``--faults`` spec as a FaultSchedule (None when absent)."""
+    spec = getattr(args, "faults", None)
+    if not spec:
+        return None
+    from .faults import FaultSchedule
+
+    try:
+        return FaultSchedule.parse(spec)
+    except ValueError as error:
+        raise SystemExit(str(error))
+
+
 def _build_monitor(args: argparse.Namespace):
     """A ModelHealthMonitor wired to default + user alert rules."""
     from .obs import AlertEngine, ModelHealthMonitor, default_rules, parse_rule
@@ -161,24 +189,38 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     else:
         policy = FixedQuantilePolicy(args.quantile)
     scaler = RobustPredictiveAutoscaler(forecaster, args.threshold, policy)
+    faults = _parse_faults(args)
+    observed = test.values
+    planner = scaler
+    telemetry_faults: dict[str, int] = {}
+    if faults:
+        from .faults import FlakyPlanner, corrupt_series
+
+        # Fault times in the spec are test-relative; the planner sees
+        # absolute indices, so shift its schedule lookups by len(train).
+        observed, telemetry_faults = corrupt_series(test.values, faults)
+        planner = FlakyPlanner(scaler, faults, time_offset=len(train.values))
     runtime = AutoscalingRuntime(
-        planner=scaler,
+        planner=planner,
         context_length=args.context,
         horizon=args.horizon,
         threshold=args.threshold,
         start_index=len(train.values),
+        invalid_policy="impute" if faults else "raise",
     )
     monitor = None
     if args.monitor:
         monitor = _build_monitor(args)
         runtime.monitor = monitor
         runtime.record_provenance = True
-    allocations = runtime.run(test.values)
+    allocations = runtime.run(observed)
     committed = ScalingPlan(
         nodes=allocations, threshold=args.threshold, strategy=scaler.name
     )
+    # QoS is always judged against the *true* workload — corrupted
+    # telemetry changes what the loop believed, not what it had to serve.
     report = evaluate_plan(committed, test.values)
-    replay = replay_plan(committed, test.values)
+    replay = replay_plan(committed, test.values, faults=faults)
     fallback_intervals = min(args.context, len(test.values))
     violations = sum(o.violated for o in replay.outcomes)
     print(f"strategy            : {scaler.name}")
@@ -186,11 +228,27 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     print(f"over-provisioning   : {report.over_provisioning_rate:.4f}")
     print(f"total node-steps    : {report.total_nodes}")
     print(f"minimum node-steps  : {report.minimum_nodes}")
-    print(f"planning decisions  : {len(runtime.decisions)}")
+    predictive_plans = sum(
+        d.source != "reactive-fallback" for d in runtime.decisions
+    )
+    print(f"planning decisions  : {predictive_plans}")
     print(f"fallback intervals  : {fallback_intervals}")
     print(f"QoS violations      : {violations} "
           f"({replay.violation_rate:.1%}, {replay.warmup_limited_violations} warm-up limited)")
     print(f"node-hours consumed : {replay.total_node_seconds / 3600:.0f}")
+    if faults:
+        injected = ", ".join(
+            f"{kind}={count}" for kind, count in sorted(telemetry_faults.items())
+        )
+        print(f"faults injected     : {len(faults)} scheduled "
+              f"(telemetry: {injected or 'none'})")
+        print(f"invalid observations: {runtime.invalid_observations} "
+              f"(imputed)")
+        print(f"planner errors      : {runtime.planner_errors} "
+              f"({runtime.degraded_intervals} degraded intervals)")
+        print(f"actuation failures  : {replay.node_failures} crashes, "
+              f"{replay.provision_failures} provision, "
+              f"{replay.warmup_failures} warm-up")
     if monitor is not None:
         _print_model_health(monitor, runtime.provenance)
     return 0
@@ -360,12 +418,70 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     steps = len(test.values)
     ideal = int(required_nodes(test.values, args.threshold).sum())
     print(f"intervals simulated : {steps}")
-    print(f"planning decisions  : {len(runtime.decisions)}")
+    predictive_plans = sum(
+        d.source != "reactive-fallback" for d in runtime.decisions
+    )
+    print(f"planning decisions  : {predictive_plans}")
     print(f"violations          : {violations} ({violations / steps:.1%})")
     print(f"node-hours consumed : {cluster.total_node_seconds() / 3600:.0f}")
     print(f"oracle node-hours   : {ideal * interval / 3600:.0f}")
     print(f"scale events        : {cluster.scale_out_events} out / "
           f"{cluster.scale_in_events} in")
+    return 0
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Chaos run: the closed loop, clean vs under a fault schedule.
+
+    Scores the graceful-degradation machinery end to end: telemetry
+    corruption is imputed away, planner crashes degrade to the reactive
+    fallback, actuation failures hit the simulated cluster — and the
+    whole faulted run must be bit-identical when repeated.  Exits
+    non-zero if the repeat diverges or the violation-rate regression
+    exceeds ``--max-regression``.
+    """
+    from .evaluation.chaos import chaos_run, format_chaos_report
+    from .faults import FaultSchedule
+
+    train, test = _load_trace(args)
+    forecaster = _build_forecaster(
+        args.model, args.context, args.horizon, args.epochs, args.seed
+    )
+    forecaster.fit(train.values)
+    scaler = RobustPredictiveAutoscaler(
+        forecaster, args.threshold, FixedQuantilePolicy(args.quantile)
+    )
+    faults = _parse_faults(args)
+    if faults is None:
+        faults = FaultSchedule.random(
+            length=len(test.values),
+            rates=DEFAULT_CHAOS_RATES,
+            seed=args.fault_seed,
+        )
+    report = chaos_run(
+        lambda: scaler,
+        test.values,
+        context_length=args.context,
+        horizon=args.horizon,
+        threshold=args.threshold,
+        faults=faults,
+        replan_every=args.replan_every,
+        start_index=len(train.values),
+    )
+    print(format_chaos_report(report))
+    if report.deterministic is False:
+        print("chaos run is non-deterministic", file=sys.stderr)
+        return 1
+    if (
+        args.max_regression is not None
+        and report.violation_regression > args.max_regression
+    ):
+        print(
+            f"violation regression {report.violation_regression:.3f} exceeds "
+            f"--max-regression {args.max_regression:.3f}",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -424,6 +540,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="inject a permanent level shift into the test "
                             "split at test-relative step START (stress the "
                             "monitors with a regime change)")
+    p_eval.add_argument("--faults", metavar="SPEC", default=None,
+                        help="fault schedule, e.g. 'nan@12,spike@30:8,"
+                             "planner_error@90,node_crash@50' (times are "
+                             "test-relative intervals; see repro.faults)")
     p_eval.set_defaults(func=cmd_evaluate)
 
     p_bt = sub.add_parser(
@@ -451,6 +571,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--checkpoint-gb", type=float, default=4.0,
                        help="in-memory state rebuilt on scale-out")
     p_sim.set_defaults(func=cmd_simulate)
+
+    p_chaos = sub.add_parser(
+        "chaos", help="closed-loop run under an injected fault schedule"
+    )
+    common(p_chaos)
+    p_chaos.add_argument("--model", default="naive",
+                         choices=["tft", "deepar", "mlp", "arima", "naive"])
+    p_chaos.add_argument("--quantile", type=float, default=0.9)
+    p_chaos.add_argument("--replan-every", type=int, default=None,
+                         help="re-plan cadence in intervals (default: horizon)")
+    p_chaos.add_argument("--faults", metavar="SPEC", default=None,
+                         help="explicit fault schedule (default: a seeded "
+                              "random schedule with faults at every layer)")
+    p_chaos.add_argument("--fault-seed", type=int, default=0,
+                         help="seed for the default random fault schedule")
+    p_chaos.add_argument("--max-regression", type=float, default=None,
+                         metavar="RATE",
+                         help="fail (exit 1) if the faulted violation rate "
+                              "exceeds the clean one by more than RATE")
+    p_chaos.set_defaults(func=cmd_chaos)
 
     p_report = sub.add_parser(
         "report", help="summarise a telemetry file written with --telemetry"

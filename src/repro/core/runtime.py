@@ -31,6 +31,29 @@ Two opt-in observability extensions ride on the loop:
 Both are zero-cost when unused: with no monitor attached and no sinks
 on the ambient registry, the hot path builds no records and allocates
 nothing beyond the pre-existing counter/gauge updates.
+
+The loop also survives the failure modes a production control loop
+must (see :mod:`repro.faults` for the matching injectors):
+
+* **bad telemetry** — :meth:`~AutoscalingRuntime.observe` validates
+  every observation with ``np.isfinite``; the ``invalid_policy``
+  setting decides whether a NaN/inf/negative value raises (``"raise"``,
+  the default), is imputed from the last valid observation
+  (``"impute"``), or is rejected while the clock still advances
+  (``"reject"``).  Invalid values never reach the context deque or the
+  planner.
+* **crashing planners** — ``planner.plan()`` runs inside a bounded
+  retry loop; when every attempt raises, the runtime *degrades* instead
+  of crashing: it commits a reactive-fallback plan for the next
+  ``replan_every`` intervals, records a :class:`Decision` with
+  ``source="degraded"`` (plus a provenance record naming the error),
+  and re-attempts predictive planning at the next boundary.  Set
+  ``on_planner_error="raise"`` to restore fail-fast behaviour.
+
+Degradation is visible in telemetry: ``runtime.invalid_observations``,
+``runtime.planner_errors``, ``runtime.planner_retries``, and
+``runtime.degraded_intervals`` counters all flow to the ambient
+registry (and therefore to the ``report`` subcommand).
 """
 
 from __future__ import annotations
@@ -57,7 +80,7 @@ class Decision:
 
     time_index: int
     plan: ScalingPlan
-    source: str  # "predictive" or "reactive-fallback"
+    source: str  # "predictive", "reactive-fallback", or "degraded"
 
 
 def _decision_record(
@@ -116,6 +139,23 @@ def _fallback_record(
     }
 
 
+def _degraded_record(
+    time_index: int, plan: ScalingPlan, window_statistic: float, error: BaseException
+) -> dict:
+    """Provenance record for one degraded (planner-failure) decision."""
+    return {
+        "time_index": int(time_index),
+        "source": "degraded",
+        "strategy": plan.strategy,
+        "horizon": int(plan.horizon),
+        "nodes": plan.nodes.tolist(),
+        "nodes_first": int(plan.nodes[0]),
+        "window_statistic": float(window_statistic),
+        "error": type(error).__name__,
+        "ramp_clipped_steps": 0,
+    }
+
+
 @dataclass
 class AutoscalingRuntime:
     """Closed-loop driver around a planning strategy.
@@ -144,10 +184,24 @@ class AutoscalingRuntime:
     monitor:
         Optional :class:`~repro.obs.monitor.ModelHealthMonitor`; when
         attached, every observed interval covered by a predictive plan
-        feeds the monitor its forecast quantiles and realized value.
+        feeds the monitor its forecast quantiles and realized value
+        (degraded intervals feed its degraded-step counter instead).
     record_provenance:
         Keep provenance records on :attr:`provenance` (they are always
         *emitted* when the ambient registry has sinks).
+    invalid_policy:
+        What :meth:`observe` does with a non-finite or negative
+        workload: ``"raise"`` (default) raises :class:`ValueError`,
+        ``"impute"`` substitutes the last valid observation (0.0 before
+        any exists), ``"reject"`` drops the sample but still advances
+        the interval clock.  Invalid values never enter the context.
+    on_planner_error:
+        ``"degrade"`` (default) turns an exhausted planning failure into
+        a reactive-fallback plan recorded with ``source="degraded"``;
+        ``"raise"`` re-raises the planner's exception.
+    max_plan_retries:
+        Immediate re-attempts of ``planner.plan()`` after an exception
+        before degrading (or raising).
     """
 
     planner: Planner
@@ -159,7 +213,13 @@ class AutoscalingRuntime:
     start_index: int = 0
     monitor: "ModelHealthMonitor | None" = None
     record_provenance: bool = False
+    invalid_policy: str = "raise"
+    on_planner_error: str = "degrade"
+    max_plan_retries: int = 1
 
+    planner_errors: int = field(default=0, repr=False)
+    degraded_intervals: int = field(default=0, repr=False)
+    invalid_observations: int = field(default=0, repr=False)
     _history: deque = field(default_factory=deque, repr=False)
     decisions: list[Decision] = field(default_factory=list, repr=False)
     provenance: list[dict] = field(default_factory=list, repr=False)
@@ -175,6 +235,14 @@ class AutoscalingRuntime:
             self.replan_every = self.horizon
         if not 1 <= self.replan_every <= self.horizon:
             raise ValueError("replan_every must be in [1, horizon]")
+        if self.invalid_policy not in ("raise", "impute", "reject"):
+            raise ValueError(
+                "invalid_policy must be 'raise', 'impute', or 'reject'"
+            )
+        if self.on_planner_error not in ("degrade", "raise"):
+            raise ValueError("on_planner_error must be 'degrade' or 'raise'")
+        if self.max_plan_retries < 0:
+            raise ValueError("max_plan_retries must be >= 0")
         if self.fallback is None:
             self.fallback = _default_fallback()
         self._history = deque(maxlen=self.context_length)
@@ -187,20 +255,50 @@ class AutoscalingRuntime:
         return self._time
 
     def observe(self, workload: float) -> None:
-        """Record the workload that materialised in the current interval."""
-        if workload < 0:
-            raise ValueError("workload must be non-negative")
-        if self.monitor is not None:
-            self._feed_monitor(float(workload))
-        self._history.append(float(workload))
+        """Record the workload that materialised in the current interval.
+
+        The value is validated (``NaN < 0`` is False, so a plain sign
+        check would let non-finite values silently poison the context);
+        what happens to an invalid one is governed by
+        :attr:`invalid_policy`.  A rejected sample still advances the
+        interval clock — the interval happened, its measurement didn't.
+        """
+        value = float(workload)
+        if not (np.isfinite(value) and value >= 0):
+            value = self._handle_invalid(value)
+        if value is not None:
+            if self.monitor is not None:
+                self._feed_monitor(value)
+            self._history.append(value)
         self._time += 1
         self._plan_position += 1
         get_registry().counter("runtime.observations").inc()
+
+    def _handle_invalid(self, value: float) -> float | None:
+        """Apply :attr:`invalid_policy` to one invalid observation."""
+        if np.isnan(value):
+            reason = "nan"
+        elif np.isinf(value):
+            reason = "inf"
+        else:
+            reason = "negative"
+        self.invalid_observations += 1
+        get_registry().counter("runtime.invalid_observations", reason=reason).inc()
+        if self.invalid_policy == "raise":
+            raise ValueError(
+                f"workload must be a finite non-negative number, got {value!r}"
+            )
+        if self.invalid_policy == "impute":
+            return self._history[-1] if self._history else 0.0
+        return None  # reject: interval elapses, sample is discarded
 
     def _feed_monitor(self, workload: float) -> None:
         """Hand the interval's (forecast quantiles, realized value) pair over."""
         plan = self._current_plan
         if plan is None:
+            return
+        if plan.metadata.get("degraded"):
+            self.monitor.observe_degraded(self._time)
             return
         levels = plan.metadata.get("forecast_levels")
         values = plan.metadata.get("forecast_values")
@@ -223,6 +321,9 @@ class AutoscalingRuntime:
         if self._current_plan is not None:
             position = min(self._plan_position, self._current_plan.horizon - 1)
             target = int(self._current_plan.nodes[position])
+            if self._current_plan.metadata.get("degraded"):
+                self.degraded_intervals += 1
+                get_registry().counter("runtime.degraded_intervals").inc()
         else:
             metrics = get_registry()
             metrics.counter("runtime.fallback_activations").inc()
@@ -244,10 +345,29 @@ class AutoscalingRuntime:
     def _replan(self) -> None:
         context = np.asarray(self._history, dtype=np.float64)
         metrics = get_registry()
-        with metrics.span("runtime/plan"):
-            plan = self.planner.plan(
-                context, start_index=self._time - self.context_length
-            )
+        plan: ScalingPlan | None = None
+        error: Exception | None = None
+        attempts = 1 + self.max_plan_retries
+        for attempt in range(attempts):
+            try:
+                with metrics.span("runtime/plan"):
+                    plan = self.planner.plan(
+                        context, start_index=self._time - self.context_length
+                    )
+                break
+            except Exception as exc:
+                error = exc
+                self.planner_errors += 1
+                metrics.counter(
+                    "runtime.planner_errors", error=type(exc).__name__
+                ).inc()
+                if attempt + 1 < attempts:
+                    metrics.counter("runtime.planner_retries").inc()
+        if plan is None:
+            if self.on_planner_error == "raise":
+                raise error
+            self._degrade(error)
+            return
         self._current_plan = plan
         self._plan_position = 0
         self.decisions.append(
@@ -260,16 +380,58 @@ class AutoscalingRuntime:
             if self.record_provenance:
                 self.provenance.append(record)
 
-    def _fallback_target(self) -> int:
-        if not self._history:
-            estimate = 0.0
-            target = 1
-        else:
-            recent = np.asarray(self._history, dtype=np.float64)
-            window = recent[-self.fallback.window :]
-            estimate = max(self.fallback.window_statistic(window), 0.0)
-            target = int(required_nodes(np.array([estimate]), self.threshold)[0])
+    def _degrade(self, error: Exception) -> None:
+        """Commit a reactive plan after planning failed — never crash.
+
+        The degraded plan covers exactly ``replan_every`` intervals, so
+        predictive planning is re-attempted at the normal cadence; its
+        metadata carries a ``degraded`` flag that the per-interval
+        counter and the monitor feed key off.
+        """
+        estimate, target = self._fallback_estimate()
+        plan = ScalingPlan(
+            nodes=np.full(self.replan_every, target, dtype=np.int64),
+            threshold=self.threshold,
+            strategy=self.fallback.name,
+            metadata={"degraded": True, "error": type(error).__name__},
+        )
+        self._current_plan = plan
+        self._plan_position = 0
+        self.decisions.append(
+            Decision(time_index=self._time, plan=plan, source="degraded")
+        )
         metrics = get_registry()
+        metrics.counter("runtime.decisions", source="degraded").inc()
+        if self.record_provenance or metrics.active:
+            record = _degraded_record(self._time, plan, estimate, error)
+            metrics.emit_event("provenance", "runtime.decision", **record)
+            if self.record_provenance:
+                self.provenance.append(record)
+
+    def _fallback_estimate(self) -> tuple[float, int]:
+        """Window statistic and node target from the reactive fallback."""
+        if not self._history:
+            return 0.0, 1
+        recent = np.asarray(self._history, dtype=np.float64)
+        window = recent[-self.fallback.window :]
+        estimate = max(self.fallback.window_statistic(window), 0.0)
+        return estimate, int(required_nodes(np.array([estimate]), self.threshold)[0])
+
+    def _fallback_target(self) -> int:
+        estimate, target = self._fallback_estimate()
+        metrics = get_registry()
+        self.decisions.append(
+            Decision(
+                time_index=self._time,
+                plan=ScalingPlan(
+                    nodes=np.array([target], dtype=np.int64),
+                    threshold=self.threshold,
+                    strategy=self.fallback.name,
+                ),
+                source="reactive-fallback",
+            )
+        )
+        metrics.counter("runtime.decisions", source="reactive-fallback").inc()
         if self.record_provenance or metrics.active:
             record = _fallback_record(
                 self._time, target, estimate, self.fallback.name

@@ -1,6 +1,7 @@
 """Forecast evaluation metrics, reports, and backtesting (Section IV)."""
 
 from .backtest import BacktestResult, backtest
+from .chaos import ChaosReport, chaos_run, format_chaos_report
 from .metrics import (
     calibration_table,
     coverage,
@@ -27,4 +28,7 @@ __all__ = [
     "format_table",
     "backtest",
     "BacktestResult",
+    "ChaosReport",
+    "chaos_run",
+    "format_chaos_report",
 ]

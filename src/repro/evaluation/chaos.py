@@ -1,0 +1,284 @@
+"""Chaos harness: score the closed loop under injected faults.
+
+:func:`chaos_run` drives the same closed-loop protocol as the
+``evaluate`` CLI command twice — once clean, once with a
+:class:`~repro.faults.schedule.FaultSchedule` wired into all three
+injection layers — and reports the damage as a
+:class:`ChaosReport`:
+
+* the **telemetry layer** corrupts the observation feed before the
+  runtime sees it (the runtime imputes or rejects the bad samples);
+* the **planner layer** wraps the planner in a
+  :class:`~repro.faults.planner.FlakyPlanner` (the runtime degrades to
+  its reactive fallback when planning fails);
+* the **cluster layer** fires actuation faults during the replay of the
+  committed allocations (failed provisioning, stalled or wedged
+  warm-ups, node crashes).
+
+Violations are always measured against the *true* workload — corrupted
+telemetry changes what the loop believes, not what it must serve.
+
+With ``check_determinism=True`` (the default) the faulted run is
+executed twice and the report's :attr:`~ChaosReport.deterministic` flag
+asserts the two runs were bit-identical — the property that makes a
+chaos failure reproducible from ``(workload, fault schedule)`` alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..core.plan import Planner, ScalingPlan
+from ..core.runtime import AutoscalingRuntime
+from ..faults import FaultSchedule, FlakyPlanner, corrupt_series
+from ..simulator import ReplayResult, replay_plan
+
+__all__ = ["ChaosReport", "chaos_run", "format_chaos_report"]
+
+# Sampler seed for stochastic forecasters (DeepAR): both the baseline
+# and every faulted repetition reseed from this constant so a run is a
+# pure function of (workload, fault schedule).
+_CHAOS_SEED = 0xC7A05
+
+
+@dataclass(frozen=True)
+class ChaosReport:
+    """What a fault schedule did to one closed-loop run."""
+
+    intervals: int
+    fault_counts: dict = field(default_factory=dict)  # scheduled, per kind
+    telemetry_faults: dict = field(default_factory=dict)  # injected, per kind
+    planner_faults: int = 0
+    # QoS, clean vs faulted (both replayed against the true workload).
+    baseline_violation_rate: float = 0.0
+    faulted_violation_rate: float = 0.0
+    baseline_node_steps: int = 0
+    faulted_node_steps: int = 0
+    # How the runtime coped.
+    invalid_observations: int = 0
+    planner_errors: int = 0
+    degraded_intervals: int = 0
+    decisions_by_source: dict = field(default_factory=dict)
+    # Actuation damage during the faulted replay.
+    node_failures: int = 0
+    provision_failures: int = 0
+    warmup_failures: int = 0
+    # Same-schedule repeat produced bit-identical results (None if the
+    # check was skipped).
+    deterministic: "bool | None" = None
+
+    @property
+    def violation_regression(self) -> float:
+        """Extra violation rate attributable to the faults."""
+        return self.faulted_violation_rate - self.baseline_violation_rate
+
+    @property
+    def node_step_overhead(self) -> float:
+        """Relative extra capacity the faulted run provisioned."""
+        if self.baseline_node_steps == 0:
+            return 0.0
+        return (
+            self.faulted_node_steps - self.baseline_node_steps
+        ) / self.baseline_node_steps
+
+
+def _reseed(planner: Planner) -> None:
+    """Reseed a stochastic forecaster so repeats are bit-identical."""
+    for owner in (planner, getattr(planner, "forecaster", None)):
+        reseed = getattr(owner, "reseed_sampler", None)
+        if reseed is not None:
+            reseed(_CHAOS_SEED)
+            return
+
+
+def _closed_loop(
+    planner: Planner,
+    observed: np.ndarray,
+    true_workload: np.ndarray,
+    *,
+    context_length: int,
+    horizon: int,
+    threshold: float,
+    replan_every: "int | None",
+    invalid_policy: str,
+    max_plan_retries: int,
+    start_index: int,
+    interval_seconds: float,
+    faults: "FaultSchedule | None",
+) -> tuple[AutoscalingRuntime, np.ndarray, ReplayResult]:
+    """One full loop: observe ``observed``, get judged on ``true_workload``."""
+    _reseed(planner)
+    runtime = AutoscalingRuntime(
+        planner=planner,
+        context_length=context_length,
+        horizon=horizon,
+        threshold=threshold,
+        replan_every=replan_every,
+        start_index=start_index,
+        invalid_policy=invalid_policy,
+        on_planner_error="degrade",
+        max_plan_retries=max_plan_retries,
+    )
+    allocations = runtime.run(observed)
+    committed = ScalingPlan(
+        nodes=allocations, threshold=threshold, strategy=runtime.planner.name
+    )
+    replay = replay_plan(
+        committed,
+        true_workload,
+        interval_seconds=interval_seconds,
+        faults=faults,
+    )
+    return runtime, allocations, replay
+
+
+def chaos_run(
+    planner_factory: Callable[[], Planner],
+    workload: np.ndarray,
+    *,
+    context_length: int,
+    horizon: int,
+    threshold: float,
+    faults: FaultSchedule,
+    interval_seconds: float = 600.0,
+    replan_every: "int | None" = None,
+    invalid_policy: str = "impute",
+    max_plan_retries: int = 1,
+    start_index: int = 0,
+    check_determinism: bool = True,
+) -> ChaosReport:
+    """Run the closed loop clean and faulted; report the difference.
+
+    Parameters
+    ----------
+    planner_factory:
+        Zero-argument callable returning a (fitted) planner.  Called
+        once per run so the baseline and each faulted repetition start
+        from identical planner state; returning the *same* object is
+        fine when the planner is stateless across runs (stochastic
+        forecasters are reseeded before every run).
+    workload:
+        The true workload series; fault times in ``faults`` are indices
+        into this array.
+    faults:
+        The fault schedule, applied at all three layers.
+    invalid_policy:
+        Passed to the runtime (``"impute"`` by default — a chaos run is
+        about surviving; use :func:`~repro.core.runtime.AutoscalingRuntime`
+        directly to study fail-fast behaviour).
+    start_index:
+        Absolute series index of ``workload[0]`` (e.g. ``len(train)``),
+        forwarded to the planner; fault times stay workload-relative.
+    check_determinism:
+        Repeat the faulted run and verify bit-identical allocations and
+        outcomes.
+    """
+    workload = np.asarray(workload, dtype=np.float64)
+    loop = dict(
+        context_length=context_length,
+        horizon=horizon,
+        threshold=threshold,
+        replan_every=replan_every,
+        invalid_policy=invalid_policy,
+        max_plan_retries=max_plan_retries,
+        start_index=start_index,
+        interval_seconds=interval_seconds,
+    )
+
+    _, base_alloc, base_replay = _closed_loop(
+        planner_factory(), workload, workload, faults=None, **loop
+    )
+
+    corrupted, injected = corrupt_series(workload, faults)
+
+    def faulted_run():
+        planner = FlakyPlanner(
+            planner_factory(), faults, time_offset=start_index
+        )
+        return _closed_loop(planner, corrupted, workload, faults=faults, **loop)
+
+    runtime, alloc, replay = faulted_run()
+    planner_faults = runtime.planner.faults_injected
+
+    deterministic: "bool | None" = None
+    if check_determinism:
+        _, alloc2, replay2 = faulted_run()
+        deterministic = bool(
+            np.array_equal(alloc, alloc2)
+            and [o.violated for o in replay.outcomes]
+            == [o.violated for o in replay2.outcomes]
+            and replay.failures == replay2.failures
+        )
+
+    decisions_by_source: dict[str, int] = {}
+    for decision in runtime.decisions:
+        decisions_by_source[decision.source] = (
+            decisions_by_source.get(decision.source, 0) + 1
+        )
+
+    return ChaosReport(
+        intervals=len(workload),
+        fault_counts=faults.counts(),
+        telemetry_faults=injected,
+        planner_faults=planner_faults,
+        baseline_violation_rate=base_replay.violation_rate,
+        faulted_violation_rate=replay.violation_rate,
+        baseline_node_steps=int(base_alloc.sum()),
+        faulted_node_steps=int(alloc.sum()),
+        invalid_observations=runtime.invalid_observations,
+        planner_errors=runtime.planner_errors,
+        degraded_intervals=runtime.degraded_intervals,
+        decisions_by_source=decisions_by_source,
+        node_failures=replay.node_failures,
+        provision_failures=replay.provision_failures,
+        warmup_failures=replay.warmup_failures,
+        deterministic=deterministic,
+    )
+
+
+def format_chaos_report(report: ChaosReport) -> str:
+    """Render a :class:`ChaosReport` as an aligned plain-text block."""
+    lines = [f"chaos report ({report.intervals} intervals)"]
+
+    if report.fault_counts:
+        scheduled = ", ".join(
+            f"{kind}={count}" for kind, count in sorted(report.fault_counts.items())
+        )
+        lines.append(f"  faults scheduled    : {scheduled}")
+    injected = ", ".join(
+        f"{kind}={count}" for kind, count in sorted(report.telemetry_faults.items())
+    )
+    lines.append(f"  telemetry injected  : {injected or 'none'}")
+    lines.append(f"  planner faults hit  : {report.planner_faults}")
+    lines.append("")
+    lines.append(
+        f"  violations          : {report.baseline_violation_rate:.1%} clean"
+        f" -> {report.faulted_violation_rate:.1%} faulted"
+        f" (+{report.violation_regression:.1%})"
+    )
+    lines.append(
+        f"  node-steps          : {report.baseline_node_steps} clean"
+        f" -> {report.faulted_node_steps} faulted"
+        f" ({report.node_step_overhead:+.1%})"
+    )
+    lines.append("")
+    lines.append(f"  invalid observations: {report.invalid_observations}")
+    lines.append(f"  planner errors      : {report.planner_errors}")
+    lines.append(f"  degraded intervals  : {report.degraded_intervals}")
+    sources = ", ".join(
+        f"{source}={count}"
+        for source, count in sorted(report.decisions_by_source.items())
+    )
+    lines.append(f"  decisions by source : {sources or 'none'}")
+    lines.append(
+        f"  actuation failures  : {report.node_failures} crashes, "
+        f"{report.provision_failures} provision, "
+        f"{report.warmup_failures} warm-up"
+    )
+    if report.deterministic is not None:
+        verdict = "bit-identical" if report.deterministic else "DIVERGED"
+        lines.append(f"  determinism         : repeat run {verdict}")
+    return "\n".join(lines)

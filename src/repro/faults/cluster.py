@@ -1,0 +1,83 @@
+"""Cluster-layer fault injection: actuation failures on the simulator.
+
+The cluster consults a :class:`ClusterFaultInjector` at the points
+where real control planes fail:
+
+* ``provision_fail`` — an attach request during the faulted interval is
+  rejected (capacity shortage, API error); the cluster stays short and
+  retries naturally on the next ``scale_to``;
+* ``warmup_stall`` — warm-ups started during the faulted interval take
+  ``param`` times longer (default x10: a slow checkpoint read);
+* ``warmup_fail`` — a node whose warm-up started during the faulted
+  interval never activates; it is released when the warm-up would have
+  completed (a wedged rebuild);
+* ``node_crash`` — consumed by :func:`~repro.simulator.replay.replay_plan`,
+  which kills a serving node at the interval boundary via
+  :meth:`~repro.simulator.cluster.DisaggregatedCluster.fail_node`.
+
+Fault times are interval indices; the injector converts the cluster's
+simulation clock (seconds) into intervals itself.
+"""
+
+from __future__ import annotations
+
+from .schedule import FaultSchedule
+
+__all__ = ["ClusterFaultInjector"]
+
+
+class ClusterFaultInjector:
+    """Schedule-driven actuation faults, looked up by simulation time.
+
+    Parameters
+    ----------
+    schedule:
+        Fault schedule (only its cluster-layer events matter).
+    interval_seconds:
+        Length of one workload interval; converts the simulation clock
+        into the schedule's interval indices.
+    """
+
+    def __init__(
+        self, schedule: FaultSchedule, interval_seconds: float = 600.0
+    ) -> None:
+        if interval_seconds <= 0:
+            raise ValueError("interval_seconds must be positive")
+        self.schedule = schedule.cluster
+        self.interval_seconds = float(interval_seconds)
+        self._provision_fail: set[int] = set()
+        self._warmup_stall: dict[int, float] = {}
+        self._warmup_fail: set[int] = set()
+        self._node_crash: dict[int, int] = {}
+        for event in self.schedule:
+            if event.kind == "provision_fail":
+                self._provision_fail.add(event.time_index)
+            elif event.kind == "warmup_stall":
+                self._warmup_stall[event.time_index] = event.parameter
+            elif event.kind == "warmup_fail":
+                self._warmup_fail.add(event.time_index)
+            elif event.kind == "node_crash":
+                self._node_crash[event.time_index] = (
+                    self._node_crash.get(event.time_index, 0) + 1
+                )
+
+    def interval_of(self, now: float) -> int:
+        """Interval index containing simulation instant ``now``."""
+        # Attaches happen exactly at interval boundaries; the epsilon
+        # keeps float drift from assigning them to the previous interval.
+        return int(now / self.interval_seconds + 1e-9)
+
+    # -- hooks consulted by DisaggregatedCluster -----------------------
+    def provision_fails(self, now: float) -> bool:
+        return self.interval_of(now) in self._provision_fail
+
+    def warmup_multiplier(self, now: float) -> float:
+        return self._warmup_stall.get(self.interval_of(now), 1.0)
+
+    def warmup_fails(self, now: float) -> bool:
+        return self.interval_of(now) in self._warmup_fail
+
+    # -- hook consulted by replay_plan ---------------------------------
+    def crashes_at(self, interval_index: int) -> int:
+        """How many node crashes are scheduled for one interval."""
+        return self._node_crash.get(interval_index, 0)

@@ -1,0 +1,106 @@
+"""Planner-layer fault injection: crashing and deadline-blowing planners.
+
+:class:`FlakyPlanner` wraps any :class:`~repro.core.plan.Planner` and
+raises on schedule — an :class:`InjectedPlannerError` for
+``planner_error`` events (a forecaster crash: bad weights, a numerical
+blow-up, an OOM) and a :class:`PlannerTimeoutError` for
+``planner_timeout`` events (the plan missed its decision deadline, so
+its output is useless even if it eventually arrives).  Timeouts are
+*simulated* by raising rather than sleeping, keeping chaos runs fast
+and deterministic.
+
+Planning only happens at decision boundaries (every ``replan_every``
+intervals), so a fault scheduled at interval ``t`` **latches**: it
+fires on the next planning attempt whose decision interval is at or
+after ``t``.  Immediate retries of the same decision hit the same
+latched fault — a deterministic crash keeps crashing until the runtime
+gives up and degrades — and the fault clears once a *later* decision
+begins, so the loop recovers at the next boundary.  Decision intervals
+are computed as ``start_index + len(context) - time_offset`` in
+schedule-relative terms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.plan import Planner, ScalingPlan
+from ..obs import get_registry
+from .schedule import FaultEvent, FaultSchedule
+
+__all__ = ["InjectedPlannerError", "PlannerTimeoutError", "FlakyPlanner"]
+
+
+class InjectedPlannerError(RuntimeError):
+    """A scheduled forecaster/planner crash."""
+
+
+class PlannerTimeoutError(RuntimeError):
+    """A scheduled planning-deadline overrun (simulated, not slept)."""
+
+
+class FlakyPlanner:
+    """Wrap a planner; raise at the schedule's planner-fault intervals.
+
+    Parameters
+    ----------
+    inner:
+        The real planner; its :attr:`name` and plans pass through
+        untouched on fault-free decisions.
+    schedule:
+        Fault schedule (only its planner-layer events matter).
+    time_offset:
+        Subtracted from the absolute decision index before the schedule
+        lookup.  The CLI passes ``len(train)`` so spec times stay
+        test-relative, matching the telemetry and cluster layers.
+    """
+
+    def __init__(
+        self, inner: Planner, schedule: FaultSchedule, time_offset: int = 0
+    ) -> None:
+        self.inner = inner
+        self.schedule = schedule.planner
+        self.time_offset = time_offset
+        self.faults_injected = 0
+        self._pending = sorted(
+            self.schedule.events,
+            key=lambda e: (e.time_index, e.kind),
+            reverse=True,
+        )
+        self._latched: FaultEvent | None = None
+        self._last_decision: int | None = None
+
+    @property
+    def name(self) -> str:
+        return self.inner.name
+
+    def plan(self, context: np.ndarray, start_index: int = 0) -> ScalingPlan:
+        decision_index = start_index + len(context) - self.time_offset
+        if decision_index != self._last_decision:
+            # A new decision: latch the earliest not-yet-consumed fault
+            # scheduled at or before it (later ones wait their turn).
+            self._last_decision = decision_index
+            self._latched = None
+            if self._pending and self._pending[-1].time_index <= decision_index:
+                self._latched = self._pending.pop()
+        event = self._latched
+        if event is not None:
+            # A retry of the same decision re-raises the same fault.
+            self.faults_injected += 1
+            get_registry().counter("faults.planner", kind=event.kind).inc()
+            if event.kind == "planner_timeout":
+                raise PlannerTimeoutError(
+                    f"injected planning-deadline overrun at decision "
+                    f"interval {decision_index} "
+                    f"(scheduled at {event.time_index})"
+                )
+            raise InjectedPlannerError(
+                f"injected planner crash at decision interval "
+                f"{decision_index} (scheduled at {event.time_index})"
+            )
+        return self.inner.plan(context, start_index=start_index)
+
+    def __getattr__(self, attribute: str):
+        # Delegate everything else (fit, forecaster, ...) to the inner
+        # planner so the wrapper is drop-in.
+        return getattr(self.inner, attribute)

@@ -1,0 +1,90 @@
+"""Telemetry-layer fault injection: corrupt the workload feed.
+
+The runtime's :meth:`~repro.core.runtime.AutoscalingRuntime.observe`
+ingests one workload value per interval.  This injector sits between
+the (clean) trace and the runtime, applying the schedule's telemetry
+faults the way broken metric pipelines actually break:
+
+* ``nan`` — the sample arrives as NaN (collector emitted garbage);
+* ``inf`` — an overflowed counter rolls up to infinity;
+* ``negative`` — a miscomputed rate goes negative;
+* ``drop`` — the sample never arrives (surfaces as NaN to the
+  consumer, but is counted separately as a delivery failure);
+* ``duplicate`` — a stale repeat of the previous interval's value;
+* ``spike`` — the value is multiplied by the event's parameter
+  (default x10) — a metrics-pipeline glitch, not real demand.
+
+Injected faults are counted per kind into the ambient registry
+(``faults.telemetry{kind=...}``) and on :attr:`injected`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..obs import get_registry
+from .schedule import FaultSchedule
+
+__all__ = ["TelemetryFaultInjector", "corrupt_series"]
+
+
+class TelemetryFaultInjector:
+    """Applies a schedule's telemetry faults to a stream of observations.
+
+    Feed values in interval order through :meth:`apply`; the injector
+    keeps the last *clean* value so ``duplicate`` events can replay it.
+    """
+
+    def __init__(self, schedule: FaultSchedule) -> None:
+        self.schedule = schedule.telemetry
+        self.injected: dict[str, int] = {}
+        self._last_clean: float | None = None
+
+    def apply(self, value: float, time_index: int) -> float:
+        """Corrupt one observation according to the schedule.
+
+        ``time_index`` is the interval index in the schedule's frame.
+        Multiple events on the same interval apply in (time, kind)
+        order, each transforming the previous result.
+        """
+        clean = float(value)
+        corrupted = clean
+        for event in self.schedule.at(time_index):
+            corrupted = self._corrupt(corrupted, event.kind, event.parameter)
+            self.injected[event.kind] = self.injected.get(event.kind, 0) + 1
+            get_registry().counter("faults.telemetry", kind=event.kind).inc()
+        self._last_clean = clean
+        return corrupted
+
+    def _corrupt(self, value: float, kind: str, param: float) -> float:
+        if kind == "nan" or kind == "drop":
+            return float("nan")
+        if kind == "inf":
+            return float("inf")
+        if kind == "negative":
+            return -(abs(value) + 1.0)
+        if kind == "duplicate":
+            return self._last_clean if self._last_clean is not None else value
+        if kind == "spike":
+            return value * param
+        raise AssertionError(f"unhandled telemetry fault {kind!r}")
+
+    @property
+    def total_injected(self) -> int:
+        return sum(self.injected.values())
+
+
+def corrupt_series(
+    workload: np.ndarray, schedule: FaultSchedule
+) -> tuple[np.ndarray, dict[str, int]]:
+    """Corrupt a whole workload series; index i gets interval i's faults.
+
+    Returns the corrupted copy (the input is untouched) and the per-kind
+    injection counts.
+    """
+    workload = np.asarray(workload, dtype=np.float64)
+    injector = TelemetryFaultInjector(schedule)
+    corrupted = np.empty_like(workload)
+    for i, value in enumerate(workload):
+        corrupted[i] = injector.apply(value, i)
+    return corrupted, dict(injector.injected)

@@ -37,7 +37,14 @@ Instrumented modules (``core.runtime``, ``simulator``, ``forecast``,
         obs.read_jsonl("run.jsonl"))))
 """
 
-from .alerts import Alert, AlertEngine, AlertRule, default_rules, parse_rule
+from .alerts import (
+    Alert,
+    AlertEngine,
+    AlertRule,
+    default_rules,
+    degradation_rules,
+    parse_rule,
+)
 from .monitor import (
     CUSUM,
     DriftDetector,
@@ -91,6 +98,7 @@ __all__ = [
     "AlertEngine",
     "parse_rule",
     "default_rules",
+    "degradation_rules",
     "TelemetrySummary",
     "SpanSummary",
     "DistributionSummary",

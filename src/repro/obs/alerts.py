@@ -32,7 +32,14 @@ from dataclasses import dataclass
 
 from .registry import get_registry
 
-__all__ = ["Alert", "AlertRule", "AlertEngine", "parse_rule", "default_rules"]
+__all__ = [
+    "Alert",
+    "AlertRule",
+    "AlertEngine",
+    "parse_rule",
+    "default_rules",
+    "degradation_rules",
+]
 
 _OPS = {
     "<": lambda value, threshold: value < threshold,
@@ -212,6 +219,36 @@ def default_rules(
             op=">",
             threshold=0.2,
             for_windows=2,
+            severity="critical",
+        ),
+    ]
+
+
+def degradation_rules(max_degraded_rate: float = 0.5) -> list[AlertRule]:
+    """Rules that surface graceful degradation in the runtime loop.
+
+    Degraded intervals (planner failures served by the reactive
+    fallback) reach the monitor's window records via
+    :meth:`~repro.obs.monitor.ModelHealthMonitor.observe_degraded`:
+
+    * any degraded interval in a window — the loop is running on its
+      fallback (warning);
+    * more than ``max_degraded_rate`` of a window degraded — the
+      predictive planner is effectively down (critical).
+    """
+    if not 0.0 <= max_degraded_rate <= 1.0:
+        raise ValueError("max_degraded_rate must be in [0, 1]")
+    return [
+        AlertRule(
+            metric="degraded_intervals",
+            op=">",
+            threshold=0.0,
+            severity="warning",
+        ),
+        AlertRule(
+            metric="degraded_rate",
+            op=">",
+            threshold=max_degraded_rate,
             severity="critical",
         ),
     ]

@@ -257,6 +257,8 @@ class WindowStats:
     drift_score: float  # max detector statistic at window close
     drift_events: int  # firings inside this window
     violation_rate: float | None = None  # when allocations were observed
+    degraded_intervals: int = 0  # intervals served by a degraded plan
+    degraded_rate: float = 0.0  # degraded_intervals / steps
 
     def as_record(self) -> dict:
         record = {
@@ -274,6 +276,8 @@ class WindowStats:
             "mean_residual": self.mean_residual,
             "drift_score": self.drift_score,
             "drift_events": self.drift_events,
+            "degraded_intervals": self.degraded_intervals,
+            "degraded_rate": self.degraded_rate,
         }
         if self.violation_rate is not None:
             record["violation_rate"] = self.violation_rate
@@ -344,6 +348,8 @@ class ModelHealthMonitor:
         self._buf_ql: dict[str, float] = {}
         self._buf_violations: list[bool] = []
         self._window_drift_events = 0
+        self._window_steps = 0
+        self._window_degraded = 0
 
     # -- feeding -------------------------------------------------------
     def observe(
@@ -412,7 +418,25 @@ class ModelHealthMonitor:
                 ).inc()
 
         self.steps_observed += 1
-        if len(self._buf_actuals) >= self.window:
+        self._window_steps += 1
+        if self._window_steps >= self.window:
+            self._finalize_window()
+
+    def observe_degraded(self, time_index: int) -> None:
+        """Ingest one interval served by a degraded (fallback) plan.
+
+        Degraded intervals carry no forecast quantiles, so they cannot
+        feed calibration — but they must still advance the window and be
+        visible to alerting: the per-window ``degraded_intervals`` /
+        ``degraded_rate`` fields count them, and rules from
+        :func:`~repro.obs.alerts.degradation_rules` fire on them.
+        """
+        self._buf_indices.append(int(time_index))
+        self._window_degraded += 1
+        self._window_steps += 1
+        self.steps_observed += 1
+        get_registry().counter("monitor.degraded_steps").inc()
+        if self._window_steps >= self.window:
             self._finalize_window()
 
     def observe_forecast(
@@ -436,7 +460,7 @@ class ModelHealthMonitor:
     def _finalize_window(self) -> None:
         actuals = np.asarray(self._buf_actuals, dtype=np.float64)
         medians = np.asarray(self._buf_medians, dtype=np.float64)
-        steps = len(actuals)
+        steps = self._window_steps
         coverage = {
             key: float(np.mean(flags)) for key, flags in self._buf_covered.items()
         }
@@ -454,8 +478,16 @@ class ModelHealthMonitor:
             wql = {k: 2.0 * ql / abs_sum for k, ql in self._buf_ql.items()}
         else:
             wql = {k: 0.0 for k in self._buf_ql}
-        mape = float(
-            np.mean(np.abs(medians - actuals) / np.maximum(np.abs(actuals), self.eps))
+        # A fully degraded window has no forecasted steps at all — the
+        # accuracy aggregates are defined as 0 rather than NaN.
+        mape = (
+            float(
+                np.mean(
+                    np.abs(medians - actuals) / np.maximum(np.abs(actuals), self.eps)
+                )
+            )
+            if len(actuals)
+            else 0.0
         )
         stats = WindowStats(
             window=self._window_count,
@@ -467,7 +499,9 @@ class ModelHealthMonitor:
             wql=wql,
             mean_wql=float(np.mean(list(wql.values()))) if wql else 0.0,
             mape=mape,
-            mean_residual=float(np.mean(actuals - medians)),
+            mean_residual=(
+                float(np.mean(actuals - medians)) if len(actuals) else 0.0
+            ),
             drift_score=max((d.score for d in self.detectors), default=0.0),
             drift_events=self._window_drift_events,
             violation_rate=(
@@ -475,6 +509,8 @@ class ModelHealthMonitor:
                 if self._buf_violations
                 else None
             ),
+            degraded_intervals=self._window_degraded,
+            degraded_rate=self._window_degraded / steps if steps else 0.0,
         )
         self.windows.append(stats)
         self._window_count += 1
@@ -489,6 +525,7 @@ class ModelHealthMonitor:
         registry.gauge("monitor.mean_wql").set(stats.mean_wql)
         registry.gauge("monitor.mape").set(mape)
         registry.gauge("monitor.drift_score").set(stats.drift_score)
+        registry.gauge("monitor.degraded_rate").set(stats.degraded_rate)
         registry.counter("monitor.windows").inc()
 
         if self.alerts is not None:

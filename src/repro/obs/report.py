@@ -185,6 +185,9 @@ def format_model_health(
         header += f" {'cal.err':>8} {'mean_wQL':>9} {'MAPE':>7} {'drift':>6}"
         if any("violation_rate" in w for w in health.windows):
             header += f" {'viol.':>6}"
+        show_degraded = any(w.get("degraded_intervals") for w in health.windows)
+        if show_degraded:
+            header += f" {'degr.':>6}"
         lines.append(header)
         for window in health.windows:
             row = (
@@ -205,6 +208,8 @@ def format_model_health(
                 row += f" {window['violation_rate']:>6.2f}"
             elif any("violation_rate" in w for w in health.windows):
                 row += f" {'-':>6}"
+            if show_degraded:
+                row += f" {window.get('degraded_intervals', 0):>6}"
             lines.append(row)
 
     if health.drifts:

@@ -6,14 +6,30 @@ in-flight work drains within the same instant at this model's
 granularity).  The cluster exposes exactly what the auto-scaling problem
 needs: how many nodes are *serving* at a given time and the node-seconds
 consumed.
+
+Actuation is allowed to fail: pass a
+:class:`~repro.faults.cluster.ClusterFaultInjector` (any object with
+``provision_fails``/``warmup_multiplier``/``warmup_fails`` hooks) and
+attach requests can be rejected, warm-ups stalled, or warm-ups wedged
+outright — on top of the abrupt :meth:`DisaggregatedCluster.fail_node`
+crashes.  Every fault of any kind increments :attr:`failures`, with
+per-kind splits on :attr:`node_crashes`, :attr:`provision_failures`,
+and :attr:`warmup_failures` (mirrored to the ``simulator.node_failures``
+/ ``simulator.provision_failures`` / ``simulator.warmup_failures``
+counters).
 """
 
 from __future__ import annotations
+
+from typing import TYPE_CHECKING
 
 from ..obs import get_registry
 from .engine import Simulation
 from .node import ComputeNode, NodeState
 from .storage import SharedStorage
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..faults.cluster import ClusterFaultInjector
 
 __all__ = ["DisaggregatedCluster"]
 
@@ -29,6 +45,10 @@ class DisaggregatedCluster:
         Shared storage pool (supplies warm-up durations).
     initial_nodes:
         Nodes serving at t=0 (pre-warmed).
+    fault_injector:
+        Optional actuation-fault source (see
+        :class:`~repro.faults.cluster.ClusterFaultInjector`); ``None``
+        means every attach succeeds and every warm-up completes.
     """
 
     def __init__(
@@ -36,16 +56,22 @@ class DisaggregatedCluster:
         simulation: Simulation,
         storage: SharedStorage,
         initial_nodes: int = 1,
+        fault_injector: "ClusterFaultInjector | None" = None,
     ) -> None:
         if initial_nodes < 1:
             raise ValueError("cluster needs at least one initial node")
         self.simulation = simulation
         self.storage = storage
+        self.fault_injector = fault_injector
         self._nodes: list[ComputeNode] = []
         self._next_id = 0
         self.scale_out_events = 0
         self.scale_in_events = 0
+        #: Total faults of every kind (crashes + provisioning + warm-up).
         self.failures = 0
+        self.node_crashes = 0
+        self.provision_failures = 0
+        self.warmup_failures = 0
         for _ in range(initial_nodes):
             node = ComputeNode(
                 node_id=self._next_id, attached_at=simulation.now, warmup_seconds=0.0
@@ -89,27 +115,51 @@ class DisaggregatedCluster:
             self.scale_in_events += 1
             get_registry().counter("simulator.scale_events", direction="in").inc()
 
-    def _attach_node(self) -> None:
+    def _attach_node(self) -> "ComputeNode | None":
+        now = self.simulation.now
+        injector = self.fault_injector
+        metrics = get_registry()
+        if injector is not None and injector.provision_fails(now):
+            # The control plane rejected the attach (capacity shortage,
+            # API failure).  The cluster stays short; the next scale_to
+            # sees the shortfall and retries.
+            self.failures += 1
+            self.provision_failures += 1
+            metrics.counter("simulator.provision_failures").inc()
+            return None
         warmup = self.storage.warmup_seconds()
+        fails_warmup = False
+        if injector is not None:
+            warmup *= injector.warmup_multiplier(now)
+            fails_warmup = injector.warmup_fails(now)
         node = ComputeNode(
             node_id=self._next_id,
-            attached_at=self.simulation.now,
+            attached_at=now,
             warmup_seconds=warmup,
         )
         self._next_id += 1
         self._nodes.append(node)
 
-        metrics = get_registry()
         metrics.counter("simulator.node_attaches").inc()
         metrics.histogram("simulator.warmup_seconds").observe(warmup)
 
-        def finish_warmup(n: ComputeNode = node) -> None:
+        def finish_warmup(n: ComputeNode = node, fails: bool = fails_warmup) -> None:
             # A node released mid-warm-up never activates.
-            if n.state is NodeState.WARMING:
-                n.activate(self.simulation.now)
-                get_registry().counter("simulator.warmup_completions").inc()
+            if n.state is not NodeState.WARMING:
+                return
+            if fails:
+                # Wedged rebuild: the node never serves, but it was
+                # attached (and billed) until the failure is noticed.
+                n.release(self.simulation.now)
+                self.failures += 1
+                self.warmup_failures += 1
+                get_registry().counter("simulator.warmup_failures").inc()
+                return
+            n.activate(self.simulation.now)
+            get_registry().counter("simulator.warmup_completions").inc()
 
         self.simulation.schedule(warmup, finish_warmup, label=f"warmup-{node.node_id}")
+        return node
 
     def _release_nodes(self, count: int) -> None:
         alive = [n for n in self._nodes if n.state is not NodeState.RELEASED]
@@ -152,6 +202,7 @@ class DisaggregatedCluster:
             victim = matches[0]
         victim.release(now)
         self.failures += 1
+        self.node_crashes += 1
         get_registry().counter("simulator.node_failures").inc()
         if replace:
             self._attach_node()

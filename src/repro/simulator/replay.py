@@ -14,6 +14,7 @@ quantifies that claim by shrinking the interval.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -22,6 +23,9 @@ from ..obs import get_registry
 from .cluster import DisaggregatedCluster
 from .engine import Simulation
 from .storage import SharedStorage
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..faults.schedule import FaultSchedule
 
 __all__ = ["IntervalOutcome", "ReplayResult", "replay_plan"]
 
@@ -56,6 +60,14 @@ class ReplayResult:
     scale_out_events: int = 0
     scale_in_events: int = 0
     total_attaches: int = 0
+    # Actuation faults observed during the replay (all zero without a
+    # fault schedule): node_failures counts abrupt crashes,
+    # provision/warmup failures count rejected attaches and wedged
+    # warm-ups, failures is their total.
+    failures: int = 0
+    node_failures: int = 0
+    provision_failures: int = 0
+    warmup_failures: int = 0
 
     @property
     def violation_rate(self) -> float:
@@ -74,6 +86,7 @@ def replay_plan(
     interval_seconds: float = 600.0,
     storage: SharedStorage | None = None,
     initial_nodes: int | None = None,
+    faults: "FaultSchedule | None" = None,
 ) -> ReplayResult:
     """Execute ``plan`` on a simulated cluster under ``actual_workload``.
 
@@ -89,6 +102,12 @@ def replay_plan(
     initial_nodes:
         Pre-warmed nodes at t=0; defaults to the plan's first target
         (steady-state start).
+    faults:
+        Optional :class:`~repro.faults.schedule.FaultSchedule`; its
+        cluster-layer events fire during the replay — ``node_crash``
+        kills a serving node at that interval's boundary (the control
+        plane auto-replaces it), ``provision_fail`` / ``warmup_stall``
+        / ``warmup_fail`` degrade the attaches attempted then.
     """
     actual_workload = np.asarray(actual_workload, dtype=np.float64)
     if actual_workload.shape != plan.nodes.shape:
@@ -96,10 +115,17 @@ def replay_plan(
     if interval_seconds <= 0:
         raise ValueError("interval_seconds must be positive")
 
+    injector = None
+    if faults is not None:
+        from ..faults.cluster import ClusterFaultInjector
+
+        injector = ClusterFaultInjector(faults, interval_seconds=interval_seconds)
     storage = storage if storage is not None else SharedStorage()
     simulation = Simulation()
     start_nodes = initial_nodes if initial_nodes is not None else int(plan.nodes[0])
-    cluster = DisaggregatedCluster(simulation, storage, initial_nodes=start_nodes)
+    cluster = DisaggregatedCluster(
+        simulation, storage, initial_nodes=start_nodes, fault_injector=injector
+    )
     threshold = np.broadcast_to(
         np.asarray(plan.threshold, dtype=np.float64), actual_workload.shape
     )
@@ -109,6 +135,11 @@ def replay_plan(
     for index, (target, workload) in enumerate(zip(plan.nodes, actual_workload)):
         interval_start = simulation.now
         cluster.scale_to(int(target))
+        if injector is not None:
+            for _ in range(injector.crashes_at(index)):
+                if cluster.serving_nodes() == 0:
+                    break  # nothing left to kill this interval
+                cluster.fail_node(replace=True)
         serving_start = cluster.serving_nodes()
         simulation.run(until=interval_start + interval_seconds)
         interval_stop = simulation.now
@@ -145,4 +176,8 @@ def replay_plan(
     result.scale_out_events = cluster.scale_out_events
     result.scale_in_events = cluster.scale_in_events
     result.total_attaches = storage.total_attaches
+    result.failures = cluster.failures
+    result.node_failures = cluster.node_crashes
+    result.provision_failures = cluster.provision_failures
+    result.warmup_failures = cluster.warmup_failures
     return result

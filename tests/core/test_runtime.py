@@ -87,12 +87,29 @@ class TestPredictivePhase:
 
     def test_decisions_logged(self):
         series = np.full(30, 300.0)
-        runtime, _ = make_runtime(series)
+        runtime, planner = make_runtime(series)
         runtime.run(series)
         assert runtime.decisions
-        assert all(d.source == "predictive" for d in runtime.decisions)
+        # The docstring promises "records every decision": the 6
+        # cold-start fallback activations AND every predictive plan.
+        fallback = [d for d in runtime.decisions if d.source == "reactive-fallback"]
+        predictive = [d for d in runtime.decisions if d.source == "predictive"]
+        assert len(fallback) == 6
+        assert len(predictive) == len(planner.calls)
+        assert len(runtime.decisions) == len(fallback) + len(predictive)
         times = [d.time_index for d in runtime.decisions]
         assert times == sorted(times)
+
+    def test_fallback_decisions_carry_a_plan(self):
+        series = np.full(20, 600.0)
+        runtime, _ = make_runtime(series)
+        runtime.target_nodes()
+        runtime.observe(600.0)
+        runtime.target_nodes()
+        decision = runtime.decisions[-1]
+        assert decision.source == "reactive-fallback"
+        assert decision.plan.nodes.tolist() == [10]
+        assert decision.plan.strategy == "Reactive-Max"
 
 
 class TestValidation:
@@ -167,7 +184,10 @@ class TestProvenance:
         # One fallback record per warm-up interval, one predictive record
         # per plan: every planning decision is accounted for.
         assert len(fallback) == 6
-        assert len(predictive) == len(planner.calls) == len(runtime.decisions)
+        predictive_decisions = [
+            d for d in runtime.decisions if d.source == "predictive"
+        ]
+        assert len(predictive) == len(planner.calls) == len(predictive_decisions)
         assert len(runtime.provenance) == len(fallback) + len(predictive)
 
     def test_predictive_record_fields(self):

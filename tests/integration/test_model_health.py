@@ -84,10 +84,11 @@ class TestProvenanceCompleteness:
         provenance = by_name(records, "runtime.decision")
         assert provenance
 
-        def counter_total(name):
+        def counter_total(name, **labels):
             values = [
                 r["value"] for r in records
                 if r["kind"] == "counter" and r["name"] == name
+                and (r.get("labels") or {}) == labels
             ]
             return max(values) if values else 0
 
@@ -96,7 +97,9 @@ class TestProvenanceCompleteness:
         # Cross-check against the runtime's own counters: every fallback
         # activation and every predictive plan has exactly one record.
         assert len(fallback) == counter_total("runtime.fallback_activations")
-        assert len(predictive) == counter_total("runtime.decisions")
+        assert len(predictive) == counter_total(
+            "runtime.decisions", source="predictive"
+        )
         assert len(predictive) >= 1
 
     def test_predictive_records_carry_decision_inputs(self, telemetry):
