@@ -201,6 +201,7 @@ def bench_backtest(
 
         return fn
 
+    run(jobs)()  # warm the persistent pool: time steady state, not spawn
     times = interleaved_times(
         {"serial": run(None), "jobs1": run(1), f"jobs{jobs}": run(jobs)}, repeats
     )

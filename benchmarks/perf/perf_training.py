@@ -1,0 +1,261 @@
+"""Training fast-path micro-benchmarks -> BENCH_training.json.
+
+Three measurements around the analytic training kernels
+(:mod:`repro.nn.fastgrad`) and the persistent evaluation pool:
+
+* **epoch_deepar / epoch_mlp** — wall-clock of one training epoch with
+  ``train_fast_path=True`` (fused analytic forward+backward) vs
+  ``False`` (the autograd tape), on freshly built networks so both
+  variants optimise from the same weights;
+* **parity** — the two paths must follow the same loss trajectory; the
+  max relative divergence over a short multi-epoch fit is recorded and
+  gated;
+* **pool_reuse** — repeated ``backtest(n_jobs=2)`` calls on the shared
+  persistent pool, against serial and against a fresh throwaway pool
+  per call (the historical regression: per-call pool spawn made small
+  parallel backtests ~14x slower than serial).
+
+Variants are timed interleaved (fast, tape, fast, tape, ...) so clock
+drift hits both equally — ratios are stable where absolute numbers are
+not.
+
+Usage::
+
+    PYTHONPATH=src python -m benchmarks.perf.perf_training --quick \
+        --output BENCH_training.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+import numpy as np
+
+from repro.evaluation.backtest import backtest
+from repro.forecast import DeepARForecaster, MLPForecaster, TrainingConfig
+from repro.parallel import shutdown_shared_pool
+from repro.traces import STEPS_PER_DAY, alibaba_like_trace
+
+from .perf_inference import interleaved_times
+
+LEVELS = (0.1, 0.5, 0.9)
+
+# Loss trajectories are mathematically identical; summation order
+# differs, so allow accumulated float drift but nothing structural.
+PARITY_RTOL = 1e-6
+
+
+def _fit_config(fast: bool, epochs: int, seed: int = 0) -> TrainingConfig:
+    return TrainingConfig(
+        epochs=epochs,
+        batch_size=64,
+        window_stride=3,
+        seed=seed,
+        patience=0,  # fixed-length runs: timing must not depend on early stopping
+        train_fast_path=fast,
+    )
+
+
+def _make_deepar(fast: bool, epochs: int, context_length: int, horizon: int):
+    return DeepARForecaster(
+        context_length, horizon, hidden_size=32, num_layers=2, num_samples=100,
+        config=_fit_config(fast, epochs),
+    )
+
+
+def _make_mlp(fast: bool, epochs: int, context_length: int, horizon: int):
+    return MLPForecaster(
+        context_length, horizon, hidden_size=64, config=_fit_config(fast, epochs)
+    )
+
+
+def bench_epoch(factory, train_values: np.ndarray, repeats: int) -> dict:
+    """One-epoch fit wall-clock, analytic fast path vs tape.
+
+    Each timed call builds and fits a fresh forecaster (same seed, same
+    data) — that includes dataset/scaler setup, so the ratio slightly
+    *understates* the pure backward-pass speedup.
+    """
+
+    def run(fast: bool):
+        def fn() -> None:
+            factory(fast, 1).fit(train_values)
+
+        return fn
+
+    times = interleaved_times({"fast": run(True), "tape": run(False)}, repeats)
+    return {
+        **times,
+        "speedup": times["tape"]["best_ms"] / times["fast"]["best_ms"],
+    }
+
+
+def bench_parity(factory, train_values: np.ndarray, epochs: int) -> dict:
+    """Max relative train-loss divergence between the two paths."""
+    fast = factory(True, epochs).fit(train_values)
+    tape = factory(False, epochs).fit(train_values)
+    fast_losses = np.array([r["train_loss"] for r in fast.history])
+    tape_losses = np.array([r["train_loss"] for r in tape.history])
+    rel = np.abs(fast_losses - tape_losses) / np.maximum(np.abs(tape_losses), 1e-12)
+    return {
+        "epochs": epochs,
+        "max_rel_loss_diff": float(rel.max()),
+        "fast_losses": [float(v) for v in fast_losses],
+        "tape_losses": [float(v) for v in tape_losses],
+        "ok": bool(rel.max() < PARITY_RTOL),
+    }
+
+
+def bench_pool_reuse(
+    forecaster, test_values: np.ndarray, train_length: int, repeats: int, jobs: int
+) -> dict:
+    """Repeated parallel backtests: persistent pool vs spawn-per-call.
+
+    ``reused`` calls hit the shared pool (already warm after the first
+    call); ``fresh_pool`` forces a throwaway pool per call, which is the
+    pre-fix behaviour.  ``serial`` (n_jobs=1) is the floor a small
+    workload should stay near.
+    """
+    kwargs = dict(
+        context_length=forecaster.context_length,
+        horizon=forecaster.horizon,
+        levels=LEVELS,
+        series_start_index=train_length,
+    )
+
+    def serial() -> None:
+        backtest(forecaster, test_values, n_jobs=1, **kwargs)
+
+    def reused() -> None:
+        backtest(forecaster, test_values, n_jobs=jobs, **kwargs)
+
+    # Warm the shared pool so `reused` times steady-state, and measure
+    # the one-time startup separately.
+    shutdown_shared_pool()
+    start = time.perf_counter()
+    reused()
+    startup_ms = (time.perf_counter() - start) * 1e3
+
+    times = interleaved_times({"serial": serial, "reused": reused}, repeats)
+
+    # Pre-fix behaviour: spawn (and tear down) a pool every call.
+    fresh: list[float] = []
+    for _ in range(max(2, repeats // 2)):
+        shutdown_shared_pool()
+        start = time.perf_counter()
+        reused()
+        fresh.append((time.perf_counter() - start) * 1e3)
+    shutdown_shared_pool()
+
+    # Determinism across reuse: pooled calls must equal n_jobs=1.
+    base = backtest(forecaster, test_values, n_jobs=1, **kwargs)
+    pooled = [backtest(forecaster, test_values, n_jobs=jobs, **kwargs) for _ in range(2)]
+    identical = all(
+        np.array_equal(a.values, b.values)
+        for run in pooled
+        for a, b in zip(base.forecasts, run.forecasts)
+    )
+    shutdown_shared_pool()
+
+    return {
+        **times,
+        "fresh_pool": {"best_ms": float(np.min(fresh)), "median_ms": float(np.median(fresh))},
+        "pool_startup_ms": startup_ms,
+        "reuse_speedup_vs_fresh": float(np.min(fresh)) / times["reused"]["best_ms"],
+        "jobs": jobs,
+        "deterministic": bool(identical),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="perf_training")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-scale run: fewer repeats, shorter trace")
+    parser.add_argument("--output", default="BENCH_training.json")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="timing repeats per variant (overrides --quick)")
+    parser.add_argument("--jobs", type=int, default=2,
+                        help="worker count for the pool-reuse benchmark")
+    args = parser.parse_args(argv)
+
+    repeats = args.repeats if args.repeats is not None else (3 if args.quick else 5)
+    parity_epochs = 2 if args.quick else 4
+    days = 8 if args.quick else 12
+    context_length, horizon = 72, 72
+
+    print(f"generating {days}-day trace...", file=sys.stderr)
+    trace = alibaba_like_trace(num_steps=days * STEPS_PER_DAY, seed=3)
+    train, test = trace.split(test_fraction=0.25)
+
+    def deepar_factory(fast: bool, epochs: int):
+        return _make_deepar(fast, epochs, context_length, horizon)
+
+    def mlp_factory(fast: bool, epochs: int):
+        return _make_mlp(fast, epochs, context_length, horizon)
+
+    print(f"timing epochs ({repeats} repeats/variant, interleaved)...", file=sys.stderr)
+    report = {
+        "benchmark": "training",
+        "config": {
+            "quick": args.quick,
+            "repeats": repeats,
+            "context_length": context_length,
+            "horizon": horizon,
+            "hidden_size": 32,
+            "num_layers": 2,
+            "batch_size": 64,
+            "window_stride": 3,
+        },
+        "epoch_deepar": bench_epoch(deepar_factory, train.values, repeats),
+        "epoch_mlp": bench_epoch(mlp_factory, train.values, repeats),
+        "parity": {
+            "deepar": bench_parity(deepar_factory, train.values, parity_epochs),
+            "mlp": bench_parity(mlp_factory, train.values, parity_epochs),
+        },
+    }
+
+    print("timing pool reuse...", file=sys.stderr)
+    eval_forecaster = _make_deepar(True, 1, context_length, horizon).fit(train.values)
+    report["pool_reuse"] = bench_pool_reuse(
+        eval_forecaster, test.values, len(train.values), repeats, args.jobs
+    )
+
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+
+    for key in ("epoch_deepar", "epoch_mlp"):
+        e = report[key]
+        print(
+            f"{key:12s}: fast {e['fast']['best_ms']:.0f}ms  "
+            f"tape {e['tape']['best_ms']:.0f}ms  -> {e['speedup']:.2f}x"
+        )
+    for model, p in report["parity"].items():
+        print(
+            f"parity {model:6s}: max rel loss diff {p['max_rel_loss_diff']:.2e} "
+            f"({'ok' if p['ok'] else 'FAIL'})"
+        )
+    pr = report["pool_reuse"]
+    print(
+        f"pool_reuse  : serial {pr['serial']['best_ms']:.0f}ms  "
+        f"reused {pr['reused']['best_ms']:.0f}ms  "
+        f"fresh {pr['fresh_pool']['best_ms']:.0f}ms  "
+        f"-> {pr['reuse_speedup_vs_fresh']:.1f}x, deterministic={pr['deterministic']}"
+    )
+    print(f"wrote {args.output}")
+
+    failed = [m for m, p in report["parity"].items() if not p["ok"]]
+    if failed:
+        print(f"PARITY FAILURE: {', '.join(failed)} trajectories diverge", file=sys.stderr)
+        return 1
+    if not pr["deterministic"]:
+        print("DETERMINISM FAILURE: pooled backtests disagree with serial", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,7 +21,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..distributions import Empirical
-from ..nn import LSTM, Linear, Module, Tensor, fastpath, no_grad
+from ..nn import LSTM, Linear, Module, Tensor, fastgrad, fastpath, no_grad
 from ..nn import functional as F
 from .base import QuantileForecast
 from .features import NUM_CALENDAR_FEATURES, calendar_features, calendar_window
@@ -31,6 +31,8 @@ __all__ = ["DeepARForecaster"]
 
 _MIN_DF = 2.0  # keep the Student-t variance finite
 _MIN_SCALE = 1e-4
+
+_accumulate = fastgrad.accumulate_grad
 
 
 class _DeepARNetwork(Module):
@@ -132,6 +134,81 @@ class DeepARForecaster(NeuralForecaster):
         if self.likelihood == "student_t":
             return F.student_t_nll(mu, scale, df, targets)
         return F.gaussian_nll(mu, scale, targets)
+
+    def _supports_fastgrad(self) -> bool:
+        return True
+
+    def _fastgrad_loss_backward(
+        self, context: np.ndarray, horizon: np.ndarray, start_indices: np.ndarray
+    ) -> float:
+        """Analytic teacher-forced loss + backward (no autograd tape).
+
+        One batched scan over ``(batch, seq)``: a cached-activations
+        LSTM forward, dense heads on the flattened hidden sequence, the
+        closed-form NLL gradient, then fused BPTT
+        (:func:`repro.nn.fastgrad.lstm_backward`).  Gradients are
+        accumulated straight into ``param.grad`` so the surrounding
+        clip/Adam/early-stopping loop is unchanged.
+        """
+        assert self.network is not None
+        net = self.network
+        full = np.concatenate([context, horizon], axis=1)  # (B, T+H)
+        lagged = full[:, :-1]
+        targets = full[:, 1:]
+        batch, steps = lagged.shape
+        indices = start_indices[:, None] + 1 + np.arange(steps)[None, :]
+        inputs = self._inputs(lagged, indices)
+
+        hs = self.hidden_size
+        hidden, caches = fastgrad.lstm_forward_train(
+            inputs, net.lstm._layer_params(), hs
+        )
+        flat = hidden.reshape(-1, hs)
+        mu = (flat @ net.mu_head.weight.data + net.mu_head.bias.data)[:, 0]
+        scale_pre = flat @ net.scale_head.weight.data + net.scale_head.bias.data
+        scale = fastpath.softplus(scale_pre[:, 0]) + _MIN_SCALE
+        target_flat = targets.reshape(-1)
+
+        if self.likelihood == "student_t":
+            df_pre = flat @ net.df_head.weight.data + net.df_head.bias.data
+            df = fastpath.softplus(df_pre[:, 0]) + _MIN_DF
+            loss, dmu, dscale, ddf = fastgrad.student_t_nll_grads(
+                mu, scale, df, target_flat
+            )
+            ddf_pre = fastgrad.softplus_backward(df_pre[:, 0], ddf)
+        else:
+            loss, dmu, dscale = fastgrad.gaussian_nll_grads(mu, scale, target_flat)
+            df_pre = None
+            ddf_pre = None
+        dscale_pre = fastgrad.softplus_backward(scale_pre[:, 0], dscale)
+
+        dhidden, dw_mu, db_mu = fastgrad.linear_backward(
+            flat, net.mu_head.weight.data, dmu[:, None]
+        )
+        _accumulate(net.mu_head.weight, dw_mu)
+        _accumulate(net.mu_head.bias, db_mu)
+        dh_scale, dw_scale, db_scale = fastgrad.linear_backward(
+            flat, net.scale_head.weight.data, dscale_pre[:, None]
+        )
+        dhidden += dh_scale
+        _accumulate(net.scale_head.weight, dw_scale)
+        _accumulate(net.scale_head.bias, db_scale)
+        if ddf_pre is not None:
+            dh_df, dw_df, db_df = fastgrad.linear_backward(
+                flat, net.df_head.weight.data, ddf_pre[:, None]
+            )
+            dhidden += dh_df
+            _accumulate(net.df_head.weight, dw_df)
+            _accumulate(net.df_head.bias, db_df)
+
+        lstm_grads, _ = fastgrad.lstm_backward(
+            dhidden.reshape(batch, steps, hs), caches, hs
+        )
+        for cell, (dw_ih, dw_hh, db) in zip(net.lstm._cells, lstm_grads):
+            _accumulate(cell.w_ih, dw_ih)
+            _accumulate(cell.w_hh, dw_hh)
+            _accumulate(cell.bias, db)
+        return loss
 
     def predict(
         self,

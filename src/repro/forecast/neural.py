@@ -41,6 +41,10 @@ class TrainingConfig:
     validation_fraction: float = 0.15
     patience: int = 5  # early-stopping patience in epochs; 0 disables
     seed: int = 0
+    # Train through the analytic fused kernels of repro.nn.fastgrad when
+    # the model supports them (DeepAR, MLP).  False pins the autograd
+    # tape — the parity oracle the fast path is verified against.
+    train_fast_path: bool = True
 
     def __post_init__(self) -> None:
         if self.epochs < 1:
@@ -78,6 +82,23 @@ class NeuralForecaster(Forecaster):
     def _loss(
         self, context: np.ndarray, horizon: np.ndarray, start_indices: np.ndarray
     ) -> Tensor:
+        raise NotImplementedError
+
+    def _supports_fastgrad(self) -> bool:
+        """Whether this model has an analytic fast training path.
+
+        Subclasses that implement :meth:`_fastgrad_loss_backward` (a
+        tape-free equivalent of ``_loss(...).backward()``) return True;
+        the default keeps the autograd tape (e.g. the TFT's attention
+        stack, where per-op autograd earns its keep).
+        """
+        return False
+
+    def _fastgrad_loss_backward(
+        self, context: np.ndarray, horizon: np.ndarray, start_indices: np.ndarray
+    ) -> float:
+        """Compute one minibatch's loss and accumulate ``param.grad``
+        analytically (no tape).  Returns the loss value."""
         raise NotImplementedError
 
     # -- shared training loop -------------------------------------------
@@ -134,6 +155,14 @@ class NeuralForecaster(Forecaster):
         best_state: dict[str, np.ndarray] | None = None
         bad_epochs = 0
         self.history = []
+        use_fastgrad = self.config.train_fast_path and self._supports_fastgrad()
+        path_label = "fastgrad" if use_fastgrad else "tape"
+        batch_seconds = metrics.histogram(
+            "forecast.batch_seconds", model=model, path=path_label
+        )
+        batch_counter = metrics.counter(
+            "forecast.fastgrad_batches", model=model, path=path_label
+        )
         with metrics.span("forecast/fit", model=model):
             for epoch in range(self.config.epochs):
                 epoch_start = time.perf_counter()
@@ -141,20 +170,36 @@ class NeuralForecaster(Forecaster):
                 total_loss = 0.0
                 batches = 0
                 for contexts, horizons, starts in loader:
+                    batch_start = time.perf_counter()
                     optimizer.zero_grad()
-                    loss = self._loss(contexts, horizons, starts)
-                    loss.backward()
+                    if use_fastgrad:
+                        loss_value = self._fastgrad_loss_backward(
+                            contexts, horizons, starts
+                        )
+                    else:
+                        loss = self._loss(contexts, horizons, starts)
+                        loss.backward()
+                        loss_value = loss.item()
                     clip_grad_norm(self.network.parameters(), self.config.grad_clip)
                     optimizer.step()
-                    total_loss += loss.item()
+                    total_loss += loss_value
                     batches += 1
+                    batch_seconds.observe(time.perf_counter() - batch_start)
+                    batch_counter.inc()
                 record = {"epoch": epoch, "train_loss": total_loss / max(batches, 1)}
 
                 if use_validation:
                     record["val_loss"] = self._validation_loss(val_parts, val_offsets)
                     if record["val_loss"] < best_val - 1e-9:
                         best_val = record["val_loss"]
-                        best_state = self.network.state_dict()
+                        # Copy weights in place after the first improving
+                        # epoch — no fresh deep-copy per improvement, and
+                        # nothing at all on epochs that don't improve.
+                        if best_state is None:
+                            best_state = self.network.state_dict()
+                        else:
+                            for name, param in self.network.named_parameters():
+                                np.copyto(best_state[name], param.data)
                         bad_epochs = 0
                     else:
                         bad_epochs += 1
@@ -173,7 +218,10 @@ class NeuralForecaster(Forecaster):
                 if use_validation and bad_epochs >= self.config.patience:
                     break
 
-        if best_state is not None:
+        # Restore the best weights only if later epochs regressed past
+        # them — when the final epoch *is* the best, the network already
+        # holds those weights and the copy-back would be a no-op.
+        if best_state is not None and bad_epochs > 0:
             self.network.load_state_dict(best_state)
         self.network.eval()
         self._fitted = True

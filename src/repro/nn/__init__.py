@@ -5,7 +5,7 @@ implementation — it is the training and inference engine underneath the
 probabilistic forecasters in :mod:`repro.forecast`.
 """
 
-from . import fastpath, functional, init
+from . import fastgrad, fastpath, functional, init
 from .fastpath import fast_path_enabled, use_fast_path
 from .attention import InterpretableMultiHeadAttention, causal_mask, scaled_dot_product_attention
 from .data import DataLoader, WindowDataset, train_validation_split
@@ -31,6 +31,7 @@ __all__ = [
     "use_fast_path",
     "fast_path_enabled",
     "fastpath",
+    "fastgrad",
     "Module",
     "Parameter",
     "Linear",

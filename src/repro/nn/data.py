@@ -76,9 +76,46 @@ class WindowDataset:
                 f"no windows fit: need at least {window} points, "
                 f"longest series has {max((len(s) for s in self._series), default=0)}"
             )
+        # Zero-copy view of every window per series: row i is
+        # series[i : i + window].  batch() gathers straight from these
+        # views instead of slicing + stacking window-by-window.
+        self._views = [
+            np.lib.stride_tricks.sliding_window_view(s, window) for s in self._series
+        ]
+        self._sid_arr = np.array([sid for sid, _ in self._index])
+        self._start_arr = np.array([start for _, start in self._index])
+        self._abs_start_arr = self._start_arr + np.array(
+            [self._offsets[sid] for sid, _ in self._index]
+        )
 
     def __len__(self) -> int:
         return len(self._index)
+
+    def batch(self, indices: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Gather windows ``indices`` as ``(contexts, horizons, starts)``.
+
+        One fancy-indexed copy from the sliding-window views replaces a
+        Python loop of per-window slices and a ``np.stack`` — the same
+        arrays, materialised in a single gather.
+        """
+        indices = np.asarray(indices)
+        split = self.context_length
+        if len(self._series) == 1:
+            full = self._views[0][self._start_arr[indices]]
+        else:
+            full = np.empty(
+                (len(indices), split + self.horizon), dtype=np.float64
+            )
+            sids = self._sid_arr[indices]
+            starts = self._start_arr[indices]
+            for sid in np.unique(sids):
+                mask = sids == sid
+                full[mask] = self._views[sid][starts[mask]]
+        return (
+            np.ascontiguousarray(full[:, :split]),
+            np.ascontiguousarray(full[:, split:]),
+            self._abs_start_arr[indices],
+        )
 
     def __getitem__(self, item: int) -> Window:
         sid, start = self._index[item]
@@ -126,11 +163,9 @@ class DataLoader:
             chunk = order[start : start + self.batch_size]
             if self.drop_last and len(chunk) < self.batch_size:
                 return
-            windows = [self.dataset[i] for i in chunk]
-            contexts = np.stack([w.context for w in windows])
-            horizons = np.stack([w.horizon for w in windows])
+            contexts, horizons, starts = self.dataset.batch(chunk)
             if self.yield_positions:
-                yield contexts, horizons, np.array([w.start for w in windows])
+                yield contexts, horizons, starts
             else:
                 yield contexts, horizons
 

@@ -1,0 +1,389 @@
+"""Analytic training kernels: fused forward+backward for the hot loop.
+
+:mod:`repro.nn.fastpath` removed the Tensor tape from *inference*; this
+module removes it from *training*.  The per-op autograd tape is the
+right tool for odd architectures (the TFT's attention stack still uses
+it), but for the teacher-forced LSTM/MLP losses that dominate retraining
+wall-clock the gradients are known in closed form, so the whole backward
+pass collapses into a handful of fused numpy sweeps:
+
+* **LSTM BPTT** — one cached-activations forward over the entire
+  teacher-forced sequence (the input gemm ``x @ W_ih`` is hoisted out of
+  the time loop and done for all timesteps at once), then a single
+  reverse sweep that accumulates per-step gate deltas into a
+  ``(batch, time, 4*hidden)`` buffer.  The weight gradients
+  ``dW_ih / dW_hh / db`` then fall out of *one* matmul each over the
+  flattened ``(batch*time)`` axis — instead of the thousands of taped
+  micro-ops (slice, sigmoid-backward, outer-product accumulate, ...)
+  the tape replays per timestep.
+* **Head kernels** — linear/activation backwards and closed-form
+  gradients of the Gaussian and Student-t negative log-likelihoods
+  (the ``df`` gradient differentiates the same shifted-Stirling
+  ``log Gamma`` series the tape uses, so both paths optimise the same
+  approximate objective).
+
+The forward computes the same float64 operations in the same
+association order as the tape (it reuses :mod:`fastpath`'s
+``[i, f, o, g]`` permuted-weight layout, which is a bitwise-neutral
+column permutation), so loss values match the tape to machine rounding.
+Backward values are mathematically identical but summed in a different
+order, so individual gradients agree to ~1e-12 relative rather than bit
+for bit; the parity suite (``tests/nn/test_fastgrad.py``) checks every
+kernel against both finite differences and the tape.
+
+Dispatch is opt-in per training run via
+``TrainingConfig(train_fast_path=True)`` (the default); the tape remains
+the parity oracle and is selected with ``train_fast_path=False``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from . import fastpath
+
+__all__ = [
+    "accumulate_grad",
+    "gate_permutation",
+    "permute_gate_columns",
+    "linear_backward",
+    "sigmoid_backward",
+    "tanh_backward",
+    "relu_backward",
+    "softplus_backward",
+    "log_gamma",
+    "digamma",
+    "gaussian_nll_grads",
+    "student_t_nll_grads",
+    "LSTMLayerCache",
+    "lstm_forward_train",
+    "lstm_backward",
+]
+
+
+def accumulate_grad(param, grad: np.ndarray) -> None:
+    """Add ``grad`` into a Parameter's ``.grad`` buffer, creating it if unset.
+
+    Mirrors ``Tensor._accumulate`` for raw arrays (shapes already match,
+    so no unbroadcasting is needed); the optimizer and
+    ``clip_grad_norm`` then see exactly what the tape would have left.
+    """
+    if param.grad is None:
+        param.grad = np.ascontiguousarray(grad)
+    else:
+        param.grad += grad
+
+
+# ---------------------------------------------------------------------------
+# Gate layout
+# ---------------------------------------------------------------------------
+def gate_permutation(hidden_size: int) -> np.ndarray:
+    """Column permutation mapping [i, f, g, o] to [i, f, o, g].
+
+    This is the layout :func:`fastpath.prepare_lstm_params` uses so the
+    three sigmoid gates are adjacent.  The permutation swaps the g and o
+    blocks and is therefore its own inverse — applying it to a permuted
+    gradient returns it to the standard layout.
+    """
+    hs = hidden_size
+    return np.concatenate(
+        [np.arange(0, 2 * hs), np.arange(3 * hs, 4 * hs), np.arange(2 * hs, 3 * hs)]
+    )
+
+
+def permute_gate_columns(array: np.ndarray, hidden_size: int) -> np.ndarray:
+    """Apply the (involutive) gate permutation along the last axis."""
+    return np.ascontiguousarray(array[..., gate_permutation(hidden_size)])
+
+
+# ---------------------------------------------------------------------------
+# Elementwise / dense backward kernels
+# ---------------------------------------------------------------------------
+def linear_backward(
+    x: np.ndarray, weight: np.ndarray, dout: np.ndarray, need_dx: bool = True
+) -> tuple[np.ndarray | None, np.ndarray, np.ndarray]:
+    """Backward of ``y = x @ W + b`` for ``x`` of shape (..., in).
+
+    Returns ``(dx, dW, db)``; leading axes of ``x``/``dout`` are
+    flattened for the weight gradient so a (batch, time, features)
+    sequence costs one gemm, not time-many.
+    """
+    in_features = weight.shape[0]
+    out_features = weight.shape[1]
+    x2 = x.reshape(-1, in_features)
+    d2 = dout.reshape(-1, out_features)
+    dw = x2.T @ d2
+    db = d2.sum(axis=0)
+    dx = (d2 @ weight.T).reshape(x.shape) if need_dx else None
+    return dx, dw, db
+
+
+def sigmoid_backward(out: np.ndarray, dout: np.ndarray) -> np.ndarray:
+    """d/dx sigmoid from the forward *output* (matches the tape's rule)."""
+    return dout * out * (1.0 - out)
+
+
+def tanh_backward(out: np.ndarray, dout: np.ndarray) -> np.ndarray:
+    """d/dx tanh from the forward *output*."""
+    return dout * (1.0 - out * out)
+
+
+def relu_backward(x: np.ndarray, dout: np.ndarray) -> np.ndarray:
+    """d/dx relu from the forward *input* (gradient zero at x <= 0)."""
+    return dout * (x > 0)
+
+
+def softplus_backward(x: np.ndarray, dout: np.ndarray) -> np.ndarray:
+    """d/dx softplus = sigmoid(x), using the stable fastpath sigmoid."""
+    return dout * fastpath.sigmoid(x)
+
+
+# ---------------------------------------------------------------------------
+# Likelihood kernels
+# ---------------------------------------------------------------------------
+def log_gamma(x: np.ndarray) -> np.ndarray:
+    """Raw-numpy replica of ``functional._log_gamma`` (shifted Stirling)."""
+    shifted = x + 2.0
+    correction = np.log(x) + np.log(x + 1.0)
+    series = (
+        (shifted - 0.5) * np.log(shifted)
+        - shifted
+        + 0.5 * np.log(2.0 * np.pi)
+        + 1.0 / (shifted * 12.0)
+        - 1.0 / (shifted * shifted * shifted * 360.0)
+    )
+    return series - correction
+
+
+def digamma(x: np.ndarray) -> np.ndarray:
+    """Exact derivative of :func:`log_gamma` (not of the true digamma).
+
+    Differentiating the same approximation the tape composes means the
+    fast path optimises the identical objective: for
+    ``s = x + 2``,
+
+    ``d/dx log_gamma(x) = log s - 1/(2s) - 1/(12 s^2) + 1/(120 s^4)
+    - 1/x - 1/(x+1)``.
+    """
+    s = x + 2.0
+    s2 = s * s
+    return (
+        np.log(s)
+        - 0.5 / s
+        - 1.0 / (12.0 * s2)
+        + 1.0 / (120.0 * s2 * s2)
+        - 1.0 / x
+        - 1.0 / (x + 1.0)
+    )
+
+
+def gaussian_nll_grads(
+    mean: np.ndarray, std: np.ndarray, target: np.ndarray
+) -> tuple[float, np.ndarray, np.ndarray]:
+    """Mean Gaussian NLL and its gradients w.r.t. ``mean`` and ``std``.
+
+    Forward matches ``functional.gaussian_nll`` term for term:
+    ``mean(0.5 log var + (y - mu)^2 / (2 var)) + 0.5 log 2 pi``.
+    """
+    var = std * std
+    diff = target - mean
+    loss = float(np.mean(0.5 * np.log(var) + diff * diff / (var * 2.0))) + 0.5 * np.log(
+        2.0 * np.pi
+    )
+    n = mean.size
+    dmean = -diff / var / n
+    dstd = (1.0 / std - diff * diff / (var * std)) / n
+    return loss, dmean, dstd
+
+
+def student_t_nll_grads(
+    mean: np.ndarray, scale: np.ndarray, df: np.ndarray, target: np.ndarray
+) -> tuple[float, np.ndarray, np.ndarray, np.ndarray]:
+    """Mean Student-t NLL and gradients w.r.t. ``mean``, ``scale``, ``df``.
+
+    Forward replicates ``functional.student_t_nll`` (with the same
+    Stirling ``log Gamma``); the gradients are the closed forms
+
+    * ``dL/dmu    = -(nu+1) z / (s (nu + z^2)) / N``
+    * ``dL/ds     = (1 - (nu+1) z^2 / (nu + z^2)) / s / N``
+    * ``dL/dnu    = [psi(nu/2) - psi((nu+1)/2)] / 2 + 1/(2 nu)
+      + log(1 + z^2/nu)/2 - (nu+1) z^2 / (2 nu (nu + z^2)) / 1 / N``
+
+    with ``z = (y - mu)/s`` and ``psi`` the derivative of the same
+    approximation (:func:`digamma`).
+    """
+    z = (target - mean) / scale
+    z2 = z * z
+    nu = df
+    kernel = z2 / nu + 1.0  # (nu + z^2) / nu
+    log_norm = (
+        log_gamma((nu + 1.0) * 0.5)
+        - log_gamma(nu * 0.5)
+        - np.log(nu * np.pi) * 0.5
+        - np.log(scale)
+    )
+    log_kernel = np.log(kernel) * ((nu + 1.0) * (-0.5))
+    loss = float(-np.mean(log_norm + log_kernel))
+
+    n = mean.size
+    denom = nu + z2
+    dmean = -(nu + 1.0) * z / (denom * scale) / n
+    dscale = (1.0 - (nu + 1.0) * z2 / denom) / scale / n
+    ddf = (
+        0.5 * (digamma(nu * 0.5) - digamma((nu + 1.0) * 0.5))
+        + 0.5 / nu
+        + 0.5 * np.log(kernel)
+        - 0.5 * (nu + 1.0) * z2 / (nu * denom)
+    ) / n
+    return loss, dmean, dscale, ddf
+
+
+# ---------------------------------------------------------------------------
+# Fused LSTM BPTT
+# ---------------------------------------------------------------------------
+@dataclass
+class LSTMLayerCache:
+    """Activations of one LSTM layer's teacher-forced forward.
+
+    Everything the reverse sweep needs, laid out as whole-sequence
+    buffers: inputs and previous hidden states feed the final weight
+    gemms; gates (permuted ``[i, f, o, g]``, post-activation), cell
+    states, and their tanh feed the per-step delta computation.
+    """
+
+    inputs: np.ndarray  # (B, T, F_in) — this layer's input sequence
+    h_prev: np.ndarray  # (B, T, H) — hidden state *entering* each step
+    gates: np.ndarray  # (B, T, 4H) — [i, f, o, g] post-activation
+    c_prev: np.ndarray  # (B, T, H) — cell state entering each step
+    tanh_c: np.ndarray  # (B, T, H) — tanh of the new cell state
+    w_ih: np.ndarray  # permuted weights used in the forward
+    w_hh: np.ndarray
+
+
+def lstm_forward_train(
+    x: np.ndarray,
+    layer_params: list[tuple[np.ndarray, np.ndarray, np.ndarray]],
+    hidden_size: int,
+) -> tuple[np.ndarray, list[LSTMLayerCache]]:
+    """Teacher-forced multi-layer LSTM forward with cached activations.
+
+    Parameters mirror :func:`fastpath.lstm_forward` (standard-layout
+    ``(w_ih, w_hh, bias)`` per layer; zero initial state, as training
+    always uses).  Returns the top layer's hidden sequence
+    ``(batch, time, hidden)`` plus per-layer caches for
+    :func:`lstm_backward`.
+
+    The input gemm is hoisted: ``x @ W_ih`` runs once over the flattened
+    ``(batch*time)`` axis per layer, so the time loop only pays the
+    recurrent ``h @ W_hh`` matmul plus elementwise gate math — the same
+    values, associated in the same order, as the tape's per-step
+    ``(x @ W_ih + h @ W_hh) + b``.
+    """
+    batch, steps, _ = x.shape
+    hs = hidden_size
+    prepared = fastpath.prepare_lstm_params(layer_params, hs)
+    caches: list[LSTMLayerCache] = []
+    layer_input = x
+    for w_ih, w_hh, bias in prepared:
+        in_features = layer_input.shape[-1]
+        # Hoisted input gemm: one (B*T, F) @ (F, 4H) for the whole sequence.
+        xg = (layer_input.reshape(-1, in_features) @ w_ih).reshape(batch, steps, 4 * hs)
+        gates = np.empty((batch, steps, 4 * hs))
+        h_prev = np.empty((batch, steps, hs))
+        c_prev = np.empty((batch, steps, hs))
+        tanh_c = np.empty((batch, steps, hs))
+        outputs = np.empty((batch, steps, hs))
+        h = np.zeros((batch, hs))
+        c = np.zeros((batch, hs))
+        for t in range(steps):
+            h_prev[:, t] = h
+            c_prev[:, t] = c
+            z = xg[:, t] + h @ w_hh + bias
+            ifo = fastpath.sigmoid(z[:, : 3 * hs])
+            g = np.tanh(z[:, 3 * hs :])
+            gates[:, t, : 3 * hs] = ifo
+            gates[:, t, 3 * hs :] = g
+            c = ifo[:, hs : 2 * hs] * c + ifo[:, :hs] * g
+            tc = np.tanh(c)
+            tanh_c[:, t] = tc
+            h = ifo[:, 2 * hs :] * tc
+            outputs[:, t] = h
+        caches.append(
+            LSTMLayerCache(
+                inputs=layer_input,
+                h_prev=h_prev,
+                gates=gates,
+                c_prev=c_prev,
+                tanh_c=tanh_c,
+                w_ih=w_ih,
+                w_hh=w_hh,
+            )
+        )
+        layer_input = outputs
+    return layer_input, caches
+
+
+def lstm_backward(
+    dout: np.ndarray,
+    caches: list[LSTMLayerCache],
+    hidden_size: int,
+    need_dx: bool = False,
+) -> tuple[list[tuple[np.ndarray, np.ndarray, np.ndarray]], np.ndarray | None]:
+    """Fused BPTT through every layer of :func:`lstm_forward_train`.
+
+    ``dout`` is the loss gradient w.r.t. the top layer's hidden sequence
+    ``(batch, time, hidden)``.  Returns per-layer standard-layout
+    ``(dW_ih, dW_hh, db)`` gradients (ready to drop into the tape's
+    parameter buffers) and, when ``need_dx``, the gradient w.r.t. the
+    bottom layer's input.
+
+    The reverse time sweep only computes the per-step gate deltas and
+    the two recurrences (``dh`` through ``W_hh``, ``dc`` through the
+    forget gate); all weight gradients are deferred to three
+    whole-sequence matmuls at the end.
+    """
+    hs = hidden_size
+    perm = gate_permutation(hs)
+    grads: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = [None] * len(caches)  # type: ignore[list-item]
+    dh_seq = dout
+    dx: np.ndarray | None = None
+    for layer in range(len(caches) - 1, -1, -1):
+        cache = caches[layer]
+        batch, steps, _ = cache.inputs.shape
+        dz = np.empty((batch, steps, 4 * hs))
+        dh_carry = np.zeros((batch, hs))
+        dc_carry = np.zeros((batch, hs))
+        w_hh_t = cache.w_hh.T
+        for t in range(steps - 1, -1, -1):
+            gates_t = cache.gates[:, t]
+            i = gates_t[:, :hs]
+            f = gates_t[:, hs : 2 * hs]
+            o = gates_t[:, 2 * hs : 3 * hs]
+            g = gates_t[:, 3 * hs :]
+            tc = cache.tanh_c[:, t]
+            dh = dh_seq[:, t] + dh_carry
+            do = dh * tc
+            dc = dc_carry + dh * o * (1.0 - tc * tc)
+            dz_t = dz[:, t]
+            dz_t[:, :hs] = (dc * g) * i * (1.0 - i)
+            dz_t[:, hs : 2 * hs] = (dc * cache.c_prev[:, t]) * f * (1.0 - f)
+            dz_t[:, 2 * hs : 3 * hs] = do * o * (1.0 - o)
+            dz_t[:, 3 * hs :] = (dc * i) * (1.0 - g * g)
+            dh_carry = dz_t @ w_hh_t
+            dc_carry = dc * f
+        dz2 = dz.reshape(-1, 4 * hs)
+        in_features = cache.inputs.shape[-1]
+        dw_ih = cache.inputs.reshape(-1, in_features).T @ dz2
+        dw_hh = cache.h_prev.reshape(-1, hs).T @ dz2
+        db = dz2.sum(axis=0)
+        # Forward used permuted columns; the involution maps back to the
+        # standard [i, f, g, o] parameter layout.
+        grads[layer] = (dw_ih[:, perm], dw_hh[:, perm], db[perm])
+        if layer > 0 or need_dx:
+            dx = (dz2 @ cache.w_ih.T).reshape(batch, steps, in_features)
+            dh_seq = dx
+        else:
+            dx = None
+    return grads, dx

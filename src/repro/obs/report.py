@@ -286,9 +286,62 @@ def read_jsonl(path: str | Path) -> list[dict]:
     return records
 
 
+def _parse_metric_key(key: str) -> tuple[str, dict[str, str]]:
+    """Invert :func:`format_metric_key`: ``name{k=v,...}`` -> (name, labels)."""
+    if "{" not in key:
+        return key, {}
+    name, _, inner = key.partition("{")
+    labels = dict(part.split("=", 1) for part in inner.rstrip("}").split(",") if part)
+    return name, labels
+
+
+def _training_section(summary: TelemetrySummary) -> list[str]:
+    """Per-model training table: which grad path ran, and how fast.
+
+    Groups the fit-loop metrics (``forecast.fastgrad_batches`` counts
+    batches per path, ``forecast.batch_seconds`` times them) by
+    (model, path) so a run that mixed tape and fast-path training shows
+    one row per combination.
+    """
+    rows: dict[tuple[str, str], dict] = {}
+    for key, value in summary.counters.items():
+        name, labels = _parse_metric_key(key)
+        if name == "forecast.fastgrad_batches":
+            rows.setdefault(
+                (labels.get("model", "?"), labels.get("path", "?")), {}
+            )["batches"] = value
+    for key, hist in summary.histograms.items():
+        name, labels = _parse_metric_key(key)
+        if name == "forecast.batch_seconds":
+            rows.setdefault(
+                (labels.get("model", "?"), labels.get("path", "?")), {}
+            )["hist"] = hist
+    if not rows:
+        return []
+
+    lines = ["", "training (per grad path)"]
+    lines.append(
+        f"  {'model':<24} {'path':<10} {'batches':>8} "
+        f"{'mean ms':>9} {'p50 ms':>9} {'max ms':>9}"
+    )
+    for (model, path), row in sorted(rows.items()):
+        hist = row.get("hist")
+        batches = int(row.get("batches", hist.count if hist else 0))
+        if hist is not None:
+            stats = (
+                f"{hist.mean * 1e3:>9.2f} {hist.quantile(0.5) * 1e3:>9.2f} "
+                f"{hist.max * 1e3:>9.2f}"
+            )
+        else:
+            stats = f"{'-':>9} {'-':>9} {'-':>9}"
+        lines.append(f"  {model:<24} {path:<10} {batches:>8} {stats}")
+    return lines
+
+
 def format_summary(summary: TelemetrySummary) -> str:
     """Render the aggregate view as an aligned plain-text table."""
     lines: list[str] = [f"telemetry summary ({summary.records} records)"]
+    lines.extend(_training_section(summary))
 
     if summary.spans:
         lines.append("")

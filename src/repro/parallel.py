@@ -9,11 +9,21 @@ run.  :func:`parallel_map` provides exactly that:
 * ``spawn`` start method — no inherited state, so results cannot depend
   on what the parent process happened to have touched (and it works the
   same on platforms where fork is unavailable or unsafe);
-* the shared context is pickled **once** per worker (pool initializer),
-  not once per item — a fitted neural forecaster is megabytes of
-  weights;
-* ``Pool.map`` keeps results in item order regardless of which worker
-  finished first;
+* a **persistent worker pool** — workers are spawned lazily on first
+  use and reused across calls, so repeated small fan-outs (a backtest
+  per decision epoch, a tuning loop) pay interpreter start-up and
+  ``import numpy`` once per process, not once per call;
+* the shared context is pickled **once** per call and shipped to each
+  worker only when it *changed* (payloads are keyed by digest) — a
+  fitted neural forecaster is megabytes of weights, and a worker that
+  already holds the right payload receives only the task items;
+* tasks are submitted in contiguous **chunks** (one message per worker,
+  not one per item) and results carry their item index, so they are
+  reassembled in item order regardless of which worker finished first;
+* an **auto-serial threshold**: workloads of ``serial_threshold`` or
+  fewer items run in-process — fanning two items across processes can
+  never win back the IPC cost, and the determinism contract makes the
+  two paths indistinguishable;
 * telemetry recorded inside workers (counters, spans, histograms — see
   :mod:`repro.obs`) is captured in a per-task registry, shipped back
   with the result, and merged into the parent registry in item order,
@@ -31,33 +41,251 @@ reference) taking ``(context, item)``.
 
 from __future__ import annotations
 
+import atexit
+import hashlib
 import multiprocessing
 import pickle
+import queue as queue_module
+from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Sequence
 
-__all__ = ["parallel_map"]
+__all__ = ["parallel_map", "WorkerPool", "get_shared_pool", "shutdown_shared_pool"]
 
-# Worker-process slot for the shared (fn, context) payload, populated by
-# the pool initializer so it is unpickled once per worker, not per item.
-_WORKER_PAYLOAD: dict | None = None
+# Items-or-fewer run serially: shipping one or two tasks across process
+# boundaries costs more IPC than the parallelism can recover.
+DEFAULT_SERIAL_THRESHOLD = 2
 
-
-def _init_worker(payload: bytes) -> None:
-    global _WORKER_PAYLOAD
-    _WORKER_PAYLOAD = pickle.loads(payload)
+# Seconds between liveness checks while waiting on worker results.
+_POLL_INTERVAL_S = 1.0
 
 
-def _run_task(item: Any) -> tuple[Any, dict]:
-    """Run one item under a fresh registry; return (result, telemetry)."""
+def _worker_main(inbox, outbox) -> None:
+    """Worker loop: cache the (fn, context) payload, run task chunks.
+
+    Messages (all pre-pickled by the parent where needed):
+
+    * ``("payload", digest, payload_bytes)`` — cache the pickled shared
+      ``{"fn", "context"}`` payload; replaces any previous one.
+    * ``("tasks", digest, [(index, item), ...])`` — run each item under
+      a fresh telemetry registry and ship back one message per item.
+    * ``("stop",)`` — exit the loop.
+
+    The payload is cached as *bytes* and unpickled once per task chunk
+    (one chunk per call), so every :func:`parallel_map` call sees a
+    pristine context even if the task function mutates it — the same
+    isolation a throwaway pool gave, without re-shipping the bytes.
+
+    Every result message is pickled *synchronously* here (bytes are
+    always safe to put on the queue) so an unpicklable result or
+    exception surfaces as an error message instead of hanging the
+    parent's collection loop.
+    """
     from .obs.registry import MetricsRegistry, using_registry
 
-    assert _WORKER_PAYLOAD is not None, "worker initializer did not run"
-    fn: Callable[[Any, Any], Any] = _WORKER_PAYLOAD["fn"]
-    context = _WORKER_PAYLOAD["context"]
-    registry = MetricsRegistry()
-    with using_registry(registry):
-        result = fn(context, item)
-    return result, registry.state_dict()
+    payload_bytes: bytes | None = None
+    payload_digest: str | None = None
+    while True:
+        message = inbox.get()
+        kind = message[0]
+        if kind == "stop":
+            return
+        if kind == "payload":
+            payload_digest = message[1]
+            payload_bytes = message[2]
+            continue
+        expected_digest, chunk = message[1], message[2]
+        payload: dict | None = None
+        for index, item in chunk:
+            try:
+                if payload_bytes is None or payload_digest != expected_digest:
+                    raise RuntimeError("worker received tasks before their payload")
+                if payload is None:
+                    payload = pickle.loads(payload_bytes)
+                fn: Callable[[Any, Any], Any] = payload["fn"]
+                context = payload["context"]
+                registry = MetricsRegistry()
+                with using_registry(registry):
+                    result = fn(context, item)
+                reply = ("ok", index, result, registry.state_dict())
+            except BaseException as exc:  # ship the failure, keep serving
+                reply = ("error", index, exc)
+            try:
+                data = pickle.dumps(reply)
+            except Exception as exc:
+                data = pickle.dumps(
+                    ("error", index, RuntimeError(f"unpicklable worker reply: {exc!r}"))
+                )
+            outbox.put(data)
+
+
+@dataclass
+class _Worker:
+    process: Any
+    inbox: Any
+    payload_digest: str | None = None
+
+
+class WorkerPool:
+    """Persistent, lazily-spawned pool of ``spawn`` worker processes.
+
+    Context-managed (``with WorkerPool(4) as pool``) or long-lived via
+    :func:`get_shared_pool`.  Workers are started on first :meth:`run`
+    and kept alive between calls; the shared payload is re-shipped only
+    when its pickled bytes change.  Workers are daemonic, so they can
+    never outlive the parent even on an unclean exit.
+    """
+
+    def __init__(self, processes: int) -> None:
+        if processes < 1:
+            raise ValueError(f"processes must be >= 1, got {processes}")
+        self.processes = processes
+        self._ctx = multiprocessing.get_context("spawn")
+        self._workers: list[_Worker] = []
+        self._outbox = None
+        self._closed = False
+
+    # -- lifecycle -------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def worker_pids(self) -> list[int]:
+        """PIDs of the currently live workers (for tests/introspection)."""
+        return [w.process.pid for w in self._workers]
+
+    def _ensure_workers(self, count: int) -> list[_Worker]:
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        if self._outbox is None:
+            self._outbox = self._ctx.Queue()
+        while len(self._workers) < count:
+            inbox = self._ctx.Queue()
+            process = self._ctx.Process(
+                target=_worker_main, args=(inbox, self._outbox), daemon=True
+            )
+            process.start()
+            self._workers.append(_Worker(process=process, inbox=inbox))
+        return self._workers[:count]
+
+    def close(self, force: bool = False) -> None:
+        """Shut the workers down (gracefully unless ``force``)."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers:
+            if not force:
+                try:
+                    worker.inbox.put(("stop",))
+                except Exception:
+                    pass
+        for worker in self._workers:
+            worker.process.join(timeout=None if not force else 0.1)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=1.0)
+        for worker in self._workers:
+            try:
+                worker.inbox.cancel_join_thread()
+                worker.inbox.close()
+            except Exception:
+                pass
+        if self._outbox is not None:
+            try:
+                self._outbox.cancel_join_thread()
+                self._outbox.close()
+            except Exception:
+                pass
+        self._workers = []
+        self._outbox = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- execution -------------------------------------------------------
+    def run(
+        self, fn: Callable[[Any, Any], Any], items: Sequence[Any], context: Any
+    ) -> list[tuple[Any, dict]]:
+        """Map ``fn(context, item)`` over ``items`` on the pool.
+
+        Returns ``[(result, telemetry_state), ...]`` in item order.  The
+        first worker exception (by item index) is re-raised, after every
+        outstanding task has been drained so the pool stays reusable.
+        """
+        payload = pickle.dumps({"fn": fn, "context": context})
+        digest = hashlib.sha256(payload).hexdigest()
+        count = min(self.processes, len(items))
+        workers = self._ensure_workers(count)
+        for worker in workers:
+            if worker.payload_digest != digest:
+                worker.inbox.put(("payload", digest, payload))
+                worker.payload_digest = digest
+
+        # Contiguous chunks, one submission message per worker.
+        indexed = list(enumerate(items))
+        base, extra = divmod(len(indexed), count)
+        start = 0
+        for rank, worker in enumerate(workers):
+            size = base + (1 if rank < extra else 0)
+            if size:
+                worker.inbox.put(("tasks", digest, indexed[start : start + size]))
+            start += size
+
+        results: list[tuple[Any, dict] | None] = [None] * len(indexed)
+        errors: list[tuple[int, BaseException]] = []
+        received = 0
+        while received < len(indexed):
+            try:
+                data = self._outbox.get(timeout=_POLL_INTERVAL_S)
+            except queue_module.Empty:
+                dead = [w for w in workers if not w.process.is_alive()]
+                if dead:
+                    pids = [w.process.pid for w in dead]
+                    self.close(force=True)
+                    raise RuntimeError(
+                        f"worker process(es) {pids} died while running tasks"
+                    )
+                continue
+            reply = pickle.loads(data)
+            received += 1
+            if reply[0] == "ok":
+                results[reply[1]] = (reply[2], reply[3])
+            else:
+                errors.append((reply[1], reply[2]))
+        if errors:
+            errors.sort(key=lambda pair: pair[0])
+            raise errors[0][1]
+        return results  # type: ignore[return-value]
+
+
+_SHARED_POOL: WorkerPool | None = None
+
+
+def get_shared_pool(processes: int) -> WorkerPool:
+    """The long-lived pool :func:`parallel_map` reuses across calls.
+
+    Grows (never shrinks) to the largest ``processes`` requested;
+    workers beyond a call's needs simply stay idle.
+    """
+    global _SHARED_POOL
+    if _SHARED_POOL is None or _SHARED_POOL.closed:
+        _SHARED_POOL = WorkerPool(processes)
+    elif _SHARED_POOL.processes < processes:
+        _SHARED_POOL.processes = processes
+    return _SHARED_POOL
+
+
+def shutdown_shared_pool() -> None:
+    """Stop the shared pool's workers (tests; registered atexit)."""
+    global _SHARED_POOL
+    if _SHARED_POOL is not None:
+        _SHARED_POOL.close()
+        _SHARED_POOL = None
+
+
+atexit.register(shutdown_shared_pool)
 
 
 def parallel_map(
@@ -66,6 +294,8 @@ def parallel_map(
     context: Any = None,
     n_jobs: int | None = None,
     merge_into=None,
+    serial_threshold: int = DEFAULT_SERIAL_THRESHOLD,
+    reuse_pool: bool = True,
 ) -> list[Any]:
     """Map ``fn(context, item)`` over ``items``, optionally in parallel.
 
@@ -76,33 +306,42 @@ def parallel_map(
         it must be picklable by reference and must derive any randomness
         from its arguments only.
     context:
-        Shared read-only payload, pickled once per worker.
+        Shared read-only payload; pickled once per call and shipped to a
+        worker only when it differs from what that worker already holds.
     n_jobs:
         ``None`` or ``1`` runs serially in-process (no pool, ambient
         registry used directly).  ``>= 2`` fans out over that many
-        spawn-context workers.
+        persistent spawn-context workers.
     merge_into:
         Registry receiving worker telemetry (default: the ambient
         registry at call time).
+    serial_threshold:
+        Workloads of this many items or fewer run serially even when
+        ``n_jobs >= 2`` — the determinism contract makes the result
+        identical, and tiny fan-outs never win back the IPC cost.
+        Set to 0 to force the pool for any multi-item workload.
+    reuse_pool:
+        ``True`` (default) runs on the shared persistent pool.
+        ``False`` spawns a throwaway pool for this call only (isolation
+        at the old spawn-per-call cost).
 
     Returns results in item order.
     """
     work: Sequence[Any] = list(items)
     if n_jobs is not None and n_jobs < 1:
         raise ValueError(f"n_jobs must be >= 1, got {n_jobs}")
-    if n_jobs is None or n_jobs == 1 or len(work) <= 1:
+    if n_jobs is None or n_jobs == 1 or len(work) <= max(1, serial_threshold):
         return [fn(context, item) for item in work]
 
     from .obs import get_registry
 
     registry = merge_into if merge_into is not None else get_registry()
-    payload = pickle.dumps({"fn": fn, "context": context})
-    spawn = multiprocessing.get_context("spawn")
     processes = min(n_jobs, len(work))
-    with spawn.Pool(
-        processes=processes, initializer=_init_worker, initargs=(payload,)
-    ) as pool:
-        pairs = pool.map(_run_task, work)
+    if reuse_pool:
+        pairs = get_shared_pool(processes).run(fn, work, context)
+    else:
+        with WorkerPool(processes) as pool:
+            pairs = pool.run(fn, work, context)
     # Merge in item order -> deterministic; re-root worker spans under
     # whatever spans are open here (e.g. a worker's "predict" becomes
     # "backtest/predict", matching what a serial run records).

@@ -84,3 +84,85 @@ def test_parallel_map_orders_results():
 def test_parallel_map_rejects_bad_n_jobs():
     with pytest.raises(ValueError):
         parallel_map(_square, [1], {"scale": 1}, n_jobs=0)
+
+
+# -- persistent pool ------------------------------------------------------
+
+
+def _pid_task(context, item):
+    import os
+
+    return os.getpid()
+
+
+def _mutate_context(context, item):
+    context["log"].append(item)
+    return len(context["log"])
+
+
+def _fail_on_three(context, item):
+    if item == 3:
+        raise ValueError("item three is cursed")
+    return item * 10
+
+
+def test_parallel_map_reuses_worker_processes():
+    """Repeated calls run on the same workers — no per-call pool spawn."""
+    from repro.parallel import get_shared_pool
+
+    first = set(parallel_map(_pid_task, range(6), None, n_jobs=2, serial_threshold=0))
+    pids = set(get_shared_pool(2).worker_pids())
+    second = set(parallel_map(_pid_task, range(6), None, n_jobs=2, serial_threshold=0))
+    assert first and first == second
+    assert first <= pids
+
+
+def test_parallel_map_pool_reuse_amortises_startup():
+    """After the first call, a pooled call costs ~milliseconds, not the
+    seconds a fresh spawn-pool costs: the 14x-slower-than-serial backtest
+    regression.  The bound is deliberately loose for CI noise."""
+    import time
+
+    items = list(range(8))
+    parallel_map(_square, items, {"scale": 2}, n_jobs=2, serial_threshold=0)  # warm
+    start = time.perf_counter()
+    for _ in range(3):
+        parallel_map(_square, items, {"scale": 2}, n_jobs=2, serial_threshold=0)
+    per_call = (time.perf_counter() - start) / 3
+    assert per_call < 1.0, f"pooled call took {per_call:.2f}s — pool not reused?"
+
+
+def test_parallel_map_auto_serial_threshold():
+    """At or below the threshold no workers are involved at all."""
+    from repro import parallel
+
+    pool_before = parallel._SHARED_POOL
+    pids = parallel_map(_pid_task, [1, 2], None, n_jobs=4, serial_threshold=2)
+    import os
+
+    assert pids == [os.getpid()] * 2
+    assert parallel._SHARED_POOL is pool_before  # untouched by the call
+
+
+def test_parallel_map_context_isolated_between_calls():
+    """Task-side context mutations never leak into the next call."""
+    context = {"log": []}
+    first = parallel_map(_mutate_context, range(4), context, n_jobs=2, serial_threshold=0)
+    second = parallel_map(_mutate_context, range(4), context, n_jobs=2, serial_threshold=0)
+    assert first == second  # each call starts from the pristine payload
+    assert context["log"] == []  # parent copy untouched
+
+
+def test_parallel_map_worker_error_propagates_and_pool_survives():
+    with pytest.raises(ValueError, match="cursed"):
+        parallel_map(_fail_on_three, range(6), None, n_jobs=2, serial_threshold=0)
+    # The failed call drained cleanly; the pool keeps working.
+    assert parallel_map(_square, [1, 2, 3], {"scale": 1}, n_jobs=2, serial_threshold=0) == [1, 4, 9]
+
+
+def test_backtest_repeated_parallel_calls_stay_deterministic(fitted):
+    forecaster, test_values = fitted
+    runs = [_run(forecaster, test_values, n_jobs=2) for _ in range(3)]
+    for other in runs[1:]:
+        for a, b in zip(runs[0].forecasts, other.forecasts):
+            assert np.array_equal(a.values, b.values)

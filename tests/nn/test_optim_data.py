@@ -154,6 +154,40 @@ class TestWindowDataset:
         with pytest.raises(ValueError):
             WindowDataset(np.ones((4, 2)), context_length=2, horizon=1)
 
+    def test_batch_matches_getitem_single_series(self):
+        ds = WindowDataset(np.arange(30.0), context_length=4, horizon=3, stride=2)
+        indices = np.array([5, 0, 3, 5])  # out of order, with a repeat
+        contexts, horizons, starts = ds.batch(indices)
+        assert contexts.flags["C_CONTIGUOUS"] and horizons.flags["C_CONTIGUOUS"]
+        for row, i in enumerate(indices):
+            w = ds[int(i)]
+            np.testing.assert_array_equal(contexts[row], w.context)
+            np.testing.assert_array_equal(horizons[row], w.horizon)
+            assert starts[row] == w.start
+
+    def test_batch_matches_getitem_multi_series_with_offsets(self):
+        rng = np.random.default_rng(3)
+        ds = WindowDataset(
+            [rng.normal(size=15), rng.normal(size=11), rng.normal(size=20)],
+            context_length=3,
+            horizon=2,
+            start_offsets=[0, 7, 19],
+        )
+        indices = rng.permutation(len(ds))
+        contexts, horizons, starts = ds.batch(indices)
+        for row, i in enumerate(indices):
+            w = ds[int(i)]
+            np.testing.assert_array_equal(contexts[row], w.context)
+            np.testing.assert_array_equal(horizons[row], w.horizon)
+            assert starts[row] == w.start
+
+    def test_batch_rows_are_writable_copies(self):
+        base = np.arange(12.0)
+        ds = WindowDataset(base, context_length=3, horizon=1)
+        contexts, _, _ = ds.batch(np.array([0, 1]))
+        contexts[0, 0] = -99.0  # must not write through to the series
+        assert base[0] == 0.0
+
 
 class TestDataLoader:
     def test_batches_cover_everything(self):

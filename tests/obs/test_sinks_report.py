@@ -199,6 +199,30 @@ class TestSummarizeRecords:
         summary = summarize_records(encoded)
         assert summary.counters["c{k=v}"] == 1.0
 
+    def test_training_section_groups_by_model_and_path(self):
+        registry, sink = self._capture()
+        for path, seconds in (("fastgrad", 0.010), ("tape", 0.030)):
+            registry.counter(
+                "forecast.fastgrad_batches", model="DeepARForecaster", path=path
+            ).inc(2)
+            hist = registry.histogram(
+                "forecast.batch_seconds", model="DeepARForecaster", path=path
+            )
+            hist.observe(seconds)
+            hist.observe(seconds)
+        text = format_summary(summarize_records(sink.records))
+        assert "training (per grad path)" in text
+        fast_line = next(l for l in text.splitlines() if "fastgrad" in l and "DeepAR" in l)
+        tape_line = next(l for l in text.splitlines() if "tape" in l and "DeepAR" in l)
+        assert "2" in fast_line and "10.00" in fast_line
+        assert "30.00" in tape_line
+
+    def test_training_section_absent_without_fit_metrics(self):
+        registry, sink = self._capture()
+        registry.counter("c").inc()
+        text = format_summary(summarize_records(sink.records))
+        assert "training (per grad path)" not in text
+
 
 def health_stream():
     """A minimal but complete model-health event stream."""
