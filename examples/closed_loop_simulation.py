@@ -43,7 +43,7 @@ runtime = AutoscalingRuntime(
     horizon=HORIZON,
     threshold=THETA,
     replan_every=36,  # receding horizon: re-plan every 6 hours
-    start_index=len(train.values),
+    start_tick=len(train.values),
 )
 
 simulation = Simulation()

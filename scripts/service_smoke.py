@@ -1,0 +1,191 @@
+#!/usr/bin/env python
+"""End-to-end smoke test for ``repro-autoscale serve`` (CI gate).
+
+Two phases, both against real subprocesses:
+
+1. **Live control plane** — start the daemon paced like a live feed,
+   poll every GET endpoint while it steps, force a replan and a
+   checkpoint over HTTP, and fail on any non-200 (or non-JSON body).
+2. **Crash/restore divergence** — run an uninterrupted session to
+   completion, repeat it with a mid-trace checkpoint + early stop (the
+   simulated crash), restore from the checkpoint, and require the
+   restored session's decision stream to be bit-identical to the
+   uninterrupted run's tail.
+
+Stdlib only; exits non-zero on the first failure.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SERVE = [sys.executable, "-m", "repro.cli", "serve",
+         "--model", "naive", "--days", "6", "--context", "144",
+         "--horizon", "36", "--replan-every", "12", "--monitor",
+         "--seed", "3"]
+CHECKPOINT_AT = 150
+MAX_TICKS = 165
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def env() -> dict:
+    merged = dict(os.environ)
+    merged["PYTHONPATH"] = str(REPO / "src")
+    return merged
+
+
+def request(port: int, method: str, path: str):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+    try:
+        conn.request(method, path)
+        response = conn.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        conn.close()
+
+
+def wait_for_port(port_file: Path, process, timeout: float = 60.0) -> int:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if process.poll() is not None:
+            fail(f"daemon exited early with code {process.returncode}")
+        if port_file.exists() and port_file.read_text().strip():
+            return int(port_file.read_text().strip())
+        time.sleep(0.05)
+    fail("daemon never wrote its port file")
+
+
+def run_serve(args: list[str], cwd: Path) -> None:
+    result = subprocess.run(SERVE + args, cwd=cwd, env=env(),
+                            capture_output=True, text=True)
+    if result.returncode != 0:
+        fail(f"serve {' '.join(args)} exited {result.returncode}:\n"
+             f"{result.stdout}\n{result.stderr}")
+
+
+def read_decisions(path: Path) -> list[dict]:
+    return [json.loads(line) for line in path.read_text().splitlines()
+            if line.strip()]
+
+
+def phase_live_control_plane(workdir: Path) -> None:
+    print("== phase 1: live control plane ==")
+    port_file = workdir / "port.txt"
+    process = subprocess.Popen(
+        SERVE + ["--tick-interval", "0.02", "--linger", "60",
+                 "--port-file", str(port_file),
+                 "--checkpoint-dir", str(workdir / "live-ckpt")],
+        cwd=workdir, env=env(),
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+    try:
+        port = wait_for_port(port_file, process)
+        print(f"daemon on port {port}")
+
+        deadline = time.monotonic() + 60
+        while True:
+            status, health = request(port, "GET", "/health")
+            if status != 200:
+                fail(f"/health returned {status}")
+            if health["ticks_processed"] >= 150:
+                break
+            if time.monotonic() > deadline:
+                fail("daemon never reached 150 ticks")
+            time.sleep(0.2)
+        print(f"health OK at tick {health['tick']} "
+              f"({health['decisions']} decisions)")
+
+        status, metrics = request(port, "GET", "/metrics")
+        if status != 200 or metrics["counters"].get("service.ticks", 0) < 150:
+            fail(f"/metrics returned {status} or missing service.ticks")
+        status, forecast = request(port, "GET", "/forecast")
+        if status != 200 or len(forecast["nodes"]) != 36:
+            fail(f"/forecast returned {status}")
+        status, decisions = request(port, "GET", "/decisions?limit=5")
+        if status != 200 or not decisions["decisions"]:
+            fail(f"/decisions returned {status}")
+        status, planned = request(port, "POST", "/plan")
+        if status != 200 or planned["source"] != "predictive":
+            fail(f"POST /plan returned {status}: {planned}")
+        status, checkpoint = request(port, "POST", "/checkpoint")
+        if status != 200:
+            fail(f"POST /checkpoint returned {status}: {checkpoint}")
+        if not (Path(checkpoint["path"]) / "state.json").exists():
+            fail("checkpoint path has no state.json")
+        status, _ = request(port, "GET", "/bogus")
+        if status != 404:
+            fail(f"unknown path returned {status}, expected 404")
+        print("live endpoints OK (health/metrics/forecast/decisions"
+              "/plan/checkpoint/404)")
+    finally:
+        process.send_signal(signal.SIGINT)
+        try:
+            process.wait(timeout=15)
+        except subprocess.TimeoutExpired:
+            process.kill()
+
+
+def phase_crash_restore(workdir: Path) -> None:
+    print("== phase 2: crash/restore bit-identity ==")
+    ckpt = workdir / "ckpt"
+
+    run_serve(["--decisions-out", str(workdir / "full.jsonl")], workdir)
+    run_serve(["--checkpoint-at", str(CHECKPOINT_AT),
+               "--max-ticks", str(MAX_TICKS),
+               "--checkpoint-dir", str(ckpt),
+               "--decisions-out", str(workdir / "crashed.jsonl")], workdir)
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "serve",
+         "--restore", str(ckpt),
+         "--decisions-out", str(workdir / "restored.jsonl")],
+        cwd=workdir, env=env(), capture_output=True, text=True,
+    )
+    if result.returncode != 0:
+        fail(f"restore exited {result.returncode}:\n{result.stderr}")
+
+    full = read_decisions(workdir / "full.jsonl")
+    restored = read_decisions(workdir / "restored.jsonl")
+    checkpoint_tick = json.loads(
+        (ckpt / "state.json").read_text()
+    )["runtime"]["tick"]
+    tail = [d for d in full if d["tick"] >= checkpoint_tick]
+
+    if not full:
+        fail("uninterrupted run produced no decisions")
+    if tail != restored:
+        fail(f"decision streams diverged after restore "
+             f"(tail {len(tail)} vs restored {len(restored)}):\n"
+             f"{json.dumps(tail[:3], indent=2)}\nvs\n"
+             f"{json.dumps(restored[:3], indent=2)}")
+    sources = {d["source"] for d in full}
+    if "predictive" not in sources:
+        fail(f"no predictive decisions committed (sources: {sources})")
+    print(f"restore OK: {len(restored)} post-checkpoint decisions "
+          f"bit-identical to the uninterrupted run "
+          f"({len(full)} total, sources: {sorted(sources)})")
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="service-smoke-") as tmp:
+        workdir = Path(tmp)
+        phase_live_control_plane(workdir)
+        phase_crash_restore(workdir)
+    print("service smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

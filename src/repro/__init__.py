@@ -23,6 +23,7 @@ Quick start::
 from . import faults, obs
 from .core import (
     AutoscalingRuntime,
+    Decision,
     FixedQuantilePolicy,
     Planner,
     PointForecastScaler,
@@ -35,6 +36,7 @@ from .core import (
     RollingEvaluation,
     ScalingPlan,
     StaircasePolicy,
+    StepResult,
     UncertaintyAwarePolicy,
     evaluate_plan,
     evaluate_strategy,
@@ -62,6 +64,9 @@ from .forecast import (
     TFTPointForecaster,
     TrainingConfig,
 )
+from .evaluation import ChaosReport, backtest, chaos_run
+from .faults import FaultSchedule
+from .service import ServiceRuntime
 from .traces import Trace, alibaba_like_trace, google_like_trace
 
 __version__ = "1.0.0"
@@ -93,6 +98,11 @@ __all__ = [
     "obs",
     # fault injection
     "faults",
+    "FaultSchedule",
+    # evaluation harnesses
+    "backtest",
+    "chaos_run",
+    "ChaosReport",
     # core
     "Planner",
     "ScalingPlan",
@@ -115,4 +125,8 @@ __all__ = [
     "evaluate_strategy",
     "RollingEvaluation",
     "AutoscalingRuntime",
+    "Decision",
+    "StepResult",
+    # service daemon
+    "ServiceRuntime",
 ]

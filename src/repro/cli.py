@@ -205,7 +205,7 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
         context_length=args.context,
         horizon=args.horizon,
         threshold=args.threshold,
-        start_index=len(train.values),
+        start_tick=len(train.values),
         invalid_policy="impute" if faults else "raise",
     )
     monitor = None
@@ -268,6 +268,7 @@ def cmd_backtest(args: argparse.Namespace) -> int:
     forecaster = _build_forecaster(args.model, args.context, args.horizon, args.epochs, args.seed)
     forecaster.fit(train.values)
     levels = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9)
+    monitor = _build_monitor(args) if args.monitor else None
     result = backtest(
         forecaster,
         test.values,
@@ -276,10 +277,13 @@ def cmd_backtest(args: argparse.Namespace) -> int:
         levels,
         series_start_index=len(train.values),
         n_jobs=args.jobs,
+        monitor=monitor,
     )
     print(f"windows evaluated   : {result.num_windows}")
     print(f"steps scored        : {len(result.merged_actual)}")
     print(format_table([result.report(args.model, args.trace)]))
+    if monitor is not None:
+        _print_model_health(monitor, [])
     return 0
 
 
@@ -395,7 +399,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         horizon=args.horizon,
         threshold=args.threshold,
         replan_every=args.replan_every,
-        start_index=len(train.values),
+        start_tick=len(train.values),
     )
     simulation = Simulation()
     cluster = DisaggregatedCluster(
@@ -467,6 +471,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         faults=faults,
         replan_every=args.replan_every,
         start_index=len(train.values),
+        monitor_factory=(lambda: _build_monitor(args)) if args.monitor else None,
     )
     print(format_chaos_report(report))
     if report.deterministic is False:
@@ -485,6 +490,196 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Args embedded into every checkpoint so ``serve --restore`` rebuilds
+#: the planner, monitor, and default source identically.
+_SERVE_CONFIG_KEYS = (
+    "trace", "days", "seed", "context", "horizon", "epochs", "threshold",
+    "model", "quantile", "replan_every", "monitor", "monitor_window",
+    "alert", "faults", "source", "follow",
+)
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the closed loop as an always-on daemon.
+
+    Telemetry ticks stream in (from a file, or an in-process replay of
+    the synthetic trace's test split), every tick drives one
+    :meth:`~repro.core.runtime.AutoscalingRuntime.step`, and a
+    stdlib HTTP control plane serves live state.  ``--restore`` resumes
+    from a checkpoint: the planner is rebuilt from the checkpoint's
+    embedded config (so CLI trace/model flags are ignored), dynamic
+    state is loaded, and the source is fast-forwarded — subsequent
+    decisions are bit-identical to an uninterrupted run.
+    """
+    import asyncio
+    from pathlib import Path
+
+    from .core import AutoscalingRuntime
+    from .service import (
+        FileTailSource,
+        GeneratorSource,
+        ServiceRuntime,
+        load_checkpoint,
+        restore_from_checkpoint,
+    )
+
+    state = None
+    if args.restore:
+        try:
+            state = load_checkpoint(args.restore)
+        except (FileNotFoundError, ValueError) as error:
+            print(str(error), file=sys.stderr)
+            return 2
+        # The checkpoint's config is authoritative for everything that
+        # shapes the planner/monitor/source — mixing a restored loop
+        # with different flags would silently break bit-identity.
+        for key, value in state.get("config", {}).items():
+            setattr(args, key, value)
+
+    config = {key: getattr(args, key, None) for key in _SERVE_CONFIG_KEYS}
+
+    train, test = _load_trace(args)
+    forecaster = _build_forecaster(
+        args.model, args.context, args.horizon, args.epochs, args.seed
+    )
+    # With checkpointed weights the (expensive) fit is skipped; models
+    # without weight persistence refit deterministically from the seed.
+    has_weights = (
+        state is not None
+        and state.get("model_file")
+        and hasattr(forecaster, "load")
+    )
+    if not has_weights:
+        forecaster.fit(train.values)
+    scaler = RobustPredictiveAutoscaler(
+        forecaster, args.threshold, FixedQuantilePolicy(args.quantile)
+    )
+    faults = _parse_faults(args)
+    planner = scaler
+    observed = test.values
+    if faults:
+        from .faults import FlakyPlanner, corrupt_series
+
+        observed, _ = corrupt_series(test.values, faults)
+        planner = FlakyPlanner(scaler, faults, time_offset=len(train.values))
+    runtime = AutoscalingRuntime(
+        planner=planner,
+        context_length=args.context,
+        horizon=args.horizon,
+        threshold=args.threshold,
+        replan_every=args.replan_every,
+        start_tick=len(train.values),
+        invalid_policy="impute" if faults else "raise",
+    )
+    if args.monitor:
+        runtime.monitor = _build_monitor(args)
+        runtime.record_provenance = True
+
+    if args.source:
+        source = FileTailSource(args.source, follow=args.follow)
+    else:
+        source = GeneratorSource(observed)
+
+    if state is not None:
+        try:
+            position = restore_from_checkpoint(
+                args.restore, runtime=runtime, planner=planner
+            )
+        except ValueError as error:
+            print(str(error), file=sys.stderr)
+            return 2
+        source.seek(position)
+        print(f"restored from {args.restore} at tick {runtime.tick} "
+              f"(source position {position})", file=sys.stderr)
+
+    service = ServiceRuntime(
+        runtime,
+        source,
+        port=args.port,
+        tick_interval=args.tick_interval,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_at=args.checkpoint_at,
+        max_ticks=args.max_ticks,
+        config=config,
+        decision_log=args.decisions_out,
+        linger=args.linger,
+    )
+
+    async def _serve() -> None:
+        task = asyncio.ensure_future(service.run())
+        while service.port is None and not task.done():
+            await asyncio.sleep(0.01)
+        if service.port is not None:
+            print(f"serving on http://127.0.0.1:{service.port}", flush=True)
+            if args.port_file:
+                Path(args.port_file).write_text(str(service.port))
+        await task
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    print(f"processed {service.ticks_processed} ticks "
+          f"({len(runtime.decisions)} decisions, "
+          f"{service.checkpoints_written} checkpoints, "
+          f"{service.alert_replans} alert replans)", file=sys.stderr)
+    return 0
+
+
+_MODELS = ["tft", "deepar", "mlp", "arima", "naive"]
+
+
+def _common_parent() -> argparse.ArgumentParser:
+    """Trace/model-shape/telemetry flags shared by every loop command.
+
+    Parent parsers (``add_help=False``) keep the flag surface identical
+    across ``evaluate``/``backtest``/``chaos``/``serve`` — one
+    definition, one help text, one default.
+    """
+    p = argparse.ArgumentParser(add_help=False)
+    p.add_argument("--trace", choices=sorted(TRACES), default="alibaba")
+    p.add_argument("--days", type=int, default=14, help="trace length in days")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--context", type=int, default=72, help="context steps (10 min each)")
+    p.add_argument("--horizon", type=int, default=72, help="forecast steps")
+    p.add_argument("--epochs", type=int, default=10)
+    p.add_argument("--threshold", type=float, default=60.0, help="per-node workload threshold")
+    p.add_argument("--telemetry", metavar="PATH", default=None,
+                   help="stream telemetry events (spans, counters, gauges, "
+                        "histograms) to PATH as JSON lines")
+    p.add_argument("--jobs", type=int, default=None, metavar="N",
+                   help="worker processes for commands that fan out "
+                        "(backtest); results are bit-identical to a "
+                        "serial run and worker telemetry is merged")
+    return p
+
+
+def _monitoring_parent() -> argparse.ArgumentParser:
+    """Model-health monitoring flags (evaluate/backtest/compare/chaos/serve)."""
+    p = argparse.ArgumentParser(add_help=False)
+    p.add_argument("--monitor", action="store_true",
+                   help="track model health online: windowed quantile "
+                        "calibration, rolling wQL/MAPE, drift detection, "
+                        "alerts, and per-decision provenance")
+    p.add_argument("--monitor-window", type=int, default=24,
+                   help="steps per calibration window (default 24)")
+    p.add_argument("--alert", action="append", metavar="RULE",
+                   help="extra alert rule, e.g. 'coverage@0.9 < 0.8 for 12' "
+                        "or 'drift_score > 25' (repeatable)")
+    return p
+
+
+def _faults_parent() -> argparse.ArgumentParser:
+    """Fault-injection flag (evaluate/chaos/serve)."""
+    p = argparse.ArgumentParser(add_help=False)
+    p.add_argument("--faults", metavar="SPEC", default=None,
+                   help="fault schedule, e.g. 'nan@12,spike@30:8,"
+                        "planner_error@90,node_crash@50' (times are "
+                        "test-relative intervals; see repro.faults)")
+    return p
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-autoscale",
@@ -492,44 +687,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def common(p: argparse.ArgumentParser) -> None:
-        p.add_argument("--trace", choices=sorted(TRACES), default="alibaba")
-        p.add_argument("--days", type=int, default=14, help="trace length in days")
-        p.add_argument("--seed", type=int, default=0)
-        p.add_argument("--context", type=int, default=72, help="context steps (10 min each)")
-        p.add_argument("--horizon", type=int, default=72, help="forecast steps")
-        p.add_argument("--epochs", type=int, default=10)
-        p.add_argument("--threshold", type=float, default=60.0, help="per-node workload threshold")
-        p.add_argument("--telemetry", metavar="PATH", default=None,
-                       help="stream telemetry events (spans, counters, gauges, "
-                            "histograms) to PATH as JSON lines")
-        p.add_argument("--jobs", type=int, default=None, metavar="N",
-                       help="worker processes for commands that fan out "
-                            "(backtest); results are bit-identical to a "
-                            "serial run and worker telemetry is merged")
+    common = _common_parent()
+    monitoring = _monitoring_parent()
+    faults = _faults_parent()
 
-    def monitoring(p: argparse.ArgumentParser) -> None:
-        p.add_argument("--monitor", action="store_true",
-                       help="track model health online: windowed quantile "
-                            "calibration, rolling wQL/MAPE, drift detection, "
-                            "alerts, and per-decision provenance")
-        p.add_argument("--monitor-window", type=int, default=24,
-                       help="steps per calibration window (default 24)")
-        p.add_argument("--alert", action="append", metavar="RULE",
-                       help="extra alert rule, e.g. 'coverage@0.9 < 0.8 for 12' "
-                            "or 'drift_score > 25' (repeatable)")
-
-    p_forecast = sub.add_parser("forecast", help="print a quantile forecast vs actuals")
-    common(p_forecast)
-    p_forecast.add_argument("--model", default="tft",
-                            choices=["tft", "deepar", "mlp", "arima", "naive"])
+    p_forecast = sub.add_parser(
+        "forecast", help="print a quantile forecast vs actuals",
+        parents=[common],
+    )
+    p_forecast.add_argument("--model", default="tft", choices=_MODELS)
     p_forecast.set_defaults(func=cmd_forecast)
 
-    p_eval = sub.add_parser("evaluate", help="evaluate one robust scaling strategy")
-    common(p_eval)
-    monitoring(p_eval)
-    p_eval.add_argument("--model", default="tft",
-                        choices=["tft", "deepar", "mlp", "arima", "naive"])
+    p_eval = sub.add_parser(
+        "evaluate", help="evaluate one robust scaling strategy",
+        parents=[common, monitoring, faults],
+    )
+    p_eval.add_argument("--model", default="tft", choices=_MODELS)
     p_eval.add_argument("--quantile", type=float, default=0.9)
     p_eval.add_argument("--adaptive", action="store_true",
                         help="use the uncertainty-aware adaptive policy")
@@ -540,31 +713,26 @@ def build_parser() -> argparse.ArgumentParser:
                         help="inject a permanent level shift into the test "
                             "split at test-relative step START (stress the "
                             "monitors with a regime change)")
-    p_eval.add_argument("--faults", metavar="SPEC", default=None,
-                        help="fault schedule, e.g. 'nan@12,spike@30:8,"
-                             "planner_error@90,node_crash@50' (times are "
-                             "test-relative intervals; see repro.faults)")
     p_eval.set_defaults(func=cmd_evaluate)
 
     p_bt = sub.add_parser(
-        "backtest", help="rolling-origin forecast evaluation (Table I metrics)"
+        "backtest", help="rolling-origin forecast evaluation (Table I metrics)",
+        parents=[common, monitoring],
     )
-    common(p_bt)
-    p_bt.add_argument("--model", default="deepar",
-                      choices=["tft", "deepar", "mlp", "arima", "naive"])
+    p_bt.add_argument("--model", default="deepar", choices=_MODELS)
     p_bt.set_defaults(func=cmd_backtest)
 
-    p_cmp = sub.add_parser("compare", help="compare reactive and robust strategies")
-    common(p_cmp)
-    monitoring(p_cmp)
+    p_cmp = sub.add_parser(
+        "compare", help="compare reactive and robust strategies",
+        parents=[common, monitoring],
+    )
     p_cmp.set_defaults(func=cmd_compare)
 
     p_sim = sub.add_parser(
-        "simulate", help="closed-loop run on the simulated cluster"
+        "simulate", help="closed-loop run on the simulated cluster",
+        parents=[common],
     )
-    common(p_sim)
-    p_sim.add_argument("--model", default="naive",
-                       choices=["tft", "deepar", "mlp", "arima", "naive"])
+    p_sim.add_argument("--model", default="naive", choices=_MODELS)
     p_sim.add_argument("--quantile", type=float, default=0.9)
     p_sim.add_argument("--replan-every", type=int, default=None,
                        help="re-plan cadence in intervals (default: horizon)")
@@ -573,24 +741,67 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.set_defaults(func=cmd_simulate)
 
     p_chaos = sub.add_parser(
-        "chaos", help="closed-loop run under an injected fault schedule"
+        "chaos", help="closed-loop run under an injected fault schedule",
+        parents=[common, monitoring, faults],
     )
-    common(p_chaos)
-    p_chaos.add_argument("--model", default="naive",
-                         choices=["tft", "deepar", "mlp", "arima", "naive"])
+    p_chaos.add_argument("--model", default="naive", choices=_MODELS)
     p_chaos.add_argument("--quantile", type=float, default=0.9)
     p_chaos.add_argument("--replan-every", type=int, default=None,
                          help="re-plan cadence in intervals (default: horizon)")
-    p_chaos.add_argument("--faults", metavar="SPEC", default=None,
-                         help="explicit fault schedule (default: a seeded "
-                              "random schedule with faults at every layer)")
     p_chaos.add_argument("--fault-seed", type=int, default=0,
-                         help="seed for the default random fault schedule")
+                         help="seed for the default random fault schedule "
+                              "(used when --faults is not given)")
     p_chaos.add_argument("--max-regression", type=float, default=None,
                          metavar="RATE",
                          help="fail (exit 1) if the faulted violation rate "
                               "exceeds the clean one by more than RATE")
     p_chaos.set_defaults(func=cmd_chaos)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the closed loop as a daemon with an HTTP control plane",
+        parents=[common, monitoring, faults],
+    )
+    p_serve.add_argument("--model", default="naive", choices=_MODELS)
+    p_serve.add_argument("--quantile", type=float, default=0.9)
+    p_serve.add_argument("--replan-every", type=int, default=None,
+                         help="re-plan cadence in intervals (default: horizon)")
+    p_serve.add_argument("--source", metavar="PATH", default=None,
+                         help="telemetry tick file (bare numbers or "
+                              "{\"value\": ...} JSONL); default: replay the "
+                              "synthetic trace's test split in-process")
+    p_serve.add_argument("--follow", action="store_true",
+                         help="with --source, keep tailing the file for "
+                              "appended ticks instead of stopping at EOF")
+    p_serve.add_argument("--port", type=int, default=0,
+                         help="control-plane port (default 0: ephemeral)")
+    p_serve.add_argument("--port-file", metavar="PATH", default=None,
+                         help="write the bound port to PATH once serving "
+                              "(lets scripts find an ephemeral port)")
+    p_serve.add_argument("--tick-interval", type=float, default=0.0,
+                         help="seconds between steps (0: replay at full speed)")
+    p_serve.add_argument("--max-ticks", type=int, default=None,
+                         help="stop after processing N ticks this session")
+    p_serve.add_argument("--checkpoint-dir", metavar="DIR", default=None,
+                         help="where POST /checkpoint and automatic "
+                              "checkpoints write")
+    p_serve.add_argument("--checkpoint-every", type=int, default=None,
+                         metavar="N", help="checkpoint every N ticks")
+    p_serve.add_argument("--checkpoint-at", type=int, default=None,
+                         metavar="N",
+                         help="checkpoint once after the Nth tick of this "
+                              "session (deterministic restore-test hook)")
+    p_serve.add_argument("--restore", metavar="CKPT", default=None,
+                         help="resume from a checkpoint directory; planner "
+                              "config is taken from the checkpoint and "
+                              "subsequent decisions are bit-identical to an "
+                              "uninterrupted run")
+    p_serve.add_argument("--decisions-out", metavar="PATH", default=None,
+                         help="append every committed decision to PATH as "
+                              "crash-safe JSON lines")
+    p_serve.add_argument("--linger", type=float, default=0.0,
+                         help="keep the control plane up N seconds after "
+                              "the tick stream ends")
+    p_serve.set_defaults(func=cmd_serve)
 
     p_report = sub.add_parser(
         "report", help="summarise a telemetry file written with --telemetry"

@@ -26,7 +26,7 @@ from .policies import (
 )
 from .predictive import PointForecastScaler
 from .reactive import ReactiveAvgScaler, ReactiveMaxScaler, ReactiveScaler
-from .runtime import AutoscalingRuntime, Decision
+from .runtime import AutoscalingRuntime, Decision, StepResult
 from .uncertainty import (
     distribution_uncertainty,
     forecast_uncertainty,
@@ -61,4 +61,5 @@ __all__ = [
     "decision_points",
     "AutoscalingRuntime",
     "Decision",
+    "StepResult",
 ]

@@ -84,6 +84,58 @@ class ScalingPlan:
         """The objective of Definition 3/4: total node-steps allocated."""
         return int(self.nodes.sum())
 
+    def to_state(self) -> dict:
+        """JSON-safe snapshot of the plan, losslessly reversible.
+
+        Numpy arrays (including arrays inside :attr:`metadata`, such as
+        the ``forecast_values`` grid the health monitor feeds from) are
+        tagged so :meth:`from_state` restores them with their dtype —
+        the checkpoint/restore path depends on the round trip being
+        exact.
+        """
+        return {
+            "nodes": self.nodes.tolist(),
+            "threshold": _encode_value(self.threshold),
+            "strategy": self.strategy,
+            "quantile_levels": (
+                np.asarray(self.quantile_levels, dtype=np.float64).tolist()
+                if self.quantile_levels is not None
+                else None
+            ),
+            "metadata": {k: _encode_value(v) for k, v in self.metadata.items()},
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "ScalingPlan":
+        """Rebuild a plan written by :meth:`to_state`."""
+        levels = state["quantile_levels"]
+        return cls(
+            nodes=np.asarray(state["nodes"], dtype=np.int64),
+            threshold=_decode_value(state["threshold"]),
+            strategy=state["strategy"],
+            quantile_levels=(
+                np.asarray(levels, dtype=np.float64) if levels is not None else None
+            ),
+            metadata={
+                k: _decode_value(v) for k, v in state["metadata"].items()
+            },
+        )
+
+
+def _encode_value(value):
+    """JSON-safe encoding for plan fields: tag ndarrays, unwrap scalars."""
+    if isinstance(value, np.ndarray):
+        return {"__ndarray__": value.tolist(), "dtype": str(value.dtype)}
+    if isinstance(value, np.generic):
+        return value.item()
+    return value
+
+
+def _decode_value(value):
+    if isinstance(value, dict) and "__ndarray__" in value:
+        return np.asarray(value["__ndarray__"], dtype=np.dtype(value["dtype"]))
+    return value
+
 
 @runtime_checkable
 class Planner(Protocol):

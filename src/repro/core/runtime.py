@@ -7,6 +7,35 @@ re-plans every ``replan_every`` intervals from the trailing context, and
 exposes the node target for the *next* interval — the object one would
 wire to a real cluster's scaling API.
 
+The loop is decomposed into an event-driven **step API**: one interval
+is exactly one :meth:`~AutoscalingRuntime.step` call, which runs the
+four phases in order —
+
+1. **maybe-plan** (:meth:`~AutoscalingRuntime.maybe_plan`) — commit a
+   new plan when the cadence or an explicit
+   :meth:`~AutoscalingRuntime.request_replan` demands one;
+2. **actuate** (:meth:`~AutoscalingRuntime.actuate`) — read the node
+   target for the current interval off the committed plan (or the
+   reactive fallback during cold start);
+3. **observe** (:meth:`~AutoscalingRuntime.observe`) — validate and
+   ingest the workload that materialised;
+4. **monitor** — feed the interval's ``(forecast quantiles, realized
+   value)`` pair to the attached health monitor.
+
+and returns a :class:`StepResult` carrying the interval's **tick** (the
+single authoritative interval counter — provenance records, monitor
+feeds, and decisions all stamp this same value, so they can never skew
+by one step).  :meth:`~AutoscalingRuntime.run` is a thin loop over
+:meth:`step`, so batch callers are unchanged; the phases are also
+separately callable for drivers that interleave their own work (the
+``simulate`` CLI command, :class:`repro.service.ServiceRuntime`).
+
+The full loop state — clock, context window, committed plan, audit log,
+degradation counters — round-trips through
+:meth:`~AutoscalingRuntime.state_dict` /
+:meth:`~AutoscalingRuntime.load_state_dict`, the foundation of the
+service layer's lossless checkpoint/restore.
+
 It also supports an optional reactive fallback for the cold-start phase
 (before enough history exists to form a context window) and records
 every decision for audit.  The loop is instrumented through
@@ -58,8 +87,9 @@ registry (and therefore to the ``report`` subcommand).
 
 from __future__ import annotations
 
+import warnings
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -71,7 +101,11 @@ from .reactive import ReactiveScaler
 if TYPE_CHECKING:  # pragma: no cover
     from ..obs.monitor import ModelHealthMonitor
 
-__all__ = ["Decision", "AutoscalingRuntime"]
+__all__ = ["Decision", "StepResult", "AutoscalingRuntime"]
+
+#: Old constructor keyword -> new name; old names keep working through
+#: one release with a DeprecationWarning.
+_DEPRECATED_KWARGS = {"start_index": "start_tick"}
 
 
 @dataclass(frozen=True)
@@ -82,9 +116,70 @@ class Decision:
     plan: ScalingPlan
     source: str  # "predictive", "reactive-fallback", or "degraded"
 
+    @property
+    def tick(self) -> int:
+        """Alias for :attr:`time_index` in the step API's vocabulary."""
+        return self.time_index
+
+    def to_state(self) -> dict:
+        return {
+            "time_index": int(self.time_index),
+            "source": self.source,
+            "plan": self.plan.to_state(),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "Decision":
+        return cls(
+            time_index=int(state["time_index"]),
+            plan=ScalingPlan.from_state(state["plan"]),
+            source=state["source"],
+        )
+
+
+@dataclass(frozen=True)
+class StepResult:
+    """Everything one interval of the closed loop produced.
+
+    Attributes
+    ----------
+    tick:
+        Absolute index of the interval that was just served — the one
+        authoritative counter.  The decision audit log, provenance
+        records, and monitor feeds for this interval all carry exactly
+        this value.
+    target_nodes:
+        The allocation committed for the interval (decided before the
+        workload was observed).
+    source:
+        Where the allocation came from: ``"predictive"``,
+        ``"reactive-fallback"``, or ``"degraded"``.
+    planned:
+        True when a new plan was committed at this tick (a planning
+        boundary); the committed :class:`Decision` is then
+        ``decision``.
+    decision:
+        The :class:`Decision` committed at this tick, or None when the
+        interval ran off a previously committed plan.
+    observed:
+        The workload value actually ingested (after validation /
+        imputation), or None when the sample was rejected.
+    degraded:
+        True when the interval was served by a degraded (planner
+        failure) plan.
+    """
+
+    tick: int
+    target_nodes: int
+    source: str
+    planned: bool = False
+    decision: Decision | None = None
+    observed: float | None = None
+    degraded: bool = False
+
 
 def _decision_record(
-    time_index: int, plan: ScalingPlan, source: str
+    tick: int, plan: ScalingPlan, source: str
 ) -> dict:
     """Build the provenance record for one predictive planning step.
 
@@ -94,7 +189,7 @@ def _decision_record(
     """
     meta = plan.metadata
     record: dict = {
-        "time_index": int(time_index),
+        "time_index": int(tick),
         "source": source,
         "strategy": plan.strategy,
         "horizon": int(plan.horizon),
@@ -124,11 +219,11 @@ def _decision_record(
 
 
 def _fallback_record(
-    time_index: int, target: int, window_statistic: float, fallback_name: str
+    tick: int, target: int, window_statistic: float, fallback_name: str
 ) -> dict:
     """Provenance record for one reactive-fallback activation."""
     return {
-        "time_index": int(time_index),
+        "time_index": int(tick),
         "source": "reactive-fallback",
         "strategy": fallback_name,
         "horizon": 1,
@@ -140,11 +235,11 @@ def _fallback_record(
 
 
 def _degraded_record(
-    time_index: int, plan: ScalingPlan, window_statistic: float, error: BaseException
+    tick: int, plan: ScalingPlan, window_statistic: float, error: BaseException
 ) -> dict:
     """Provenance record for one degraded (planner-failure) decision."""
     return {
-        "time_index": int(time_index),
+        "time_index": int(tick),
         "source": "degraded",
         "strategy": plan.strategy,
         "horizon": int(plan.horizon),
@@ -156,7 +251,6 @@ def _degraded_record(
     }
 
 
-@dataclass
 class AutoscalingRuntime:
     """Closed-loop driver around a planning strategy.
 
@@ -181,6 +275,10 @@ class AutoscalingRuntime:
         cannot refuse to scale during warm-up.
     threshold:
         Per-node workload threshold for the fallback's allocations.
+    start_tick:
+        Absolute index of the first interval (e.g. ``len(train)`` when
+        driving a test split); formerly ``start_index``, which is still
+        accepted with a :class:`DeprecationWarning`.
     monitor:
         Optional :class:`~repro.obs.monitor.ModelHealthMonitor`; when
         attached, every observed interval covered by a predictive plan
@@ -204,57 +302,176 @@ class AutoscalingRuntime:
         before degrading (or raising).
     """
 
-    planner: Planner
-    context_length: int
-    horizon: int
-    threshold: float
-    replan_every: int | None = None
-    fallback: ReactiveScaler | None = None
-    start_index: int = 0
-    monitor: "ModelHealthMonitor | None" = None
-    record_provenance: bool = False
-    invalid_policy: str = "raise"
-    on_planner_error: str = "degrade"
-    max_plan_retries: int = 1
-
-    planner_errors: int = field(default=0, repr=False)
-    degraded_intervals: int = field(default=0, repr=False)
-    invalid_observations: int = field(default=0, repr=False)
-    _history: deque = field(default_factory=deque, repr=False)
-    decisions: list[Decision] = field(default_factory=list, repr=False)
-    provenance: list[dict] = field(default_factory=list, repr=False)
-    _current_plan: ScalingPlan | None = field(default=None, repr=False)
-    _plan_position: int = field(default=0, repr=False)
-    _time: int = field(default=0, repr=False)
-    _last_target: int | None = field(default=None, repr=False)
-
-    def __post_init__(self) -> None:
-        if self.context_length < 1 or self.horizon < 1:
+    def __init__(
+        self,
+        planner: Planner,
+        context_length: int,
+        horizon: int,
+        threshold: float,
+        replan_every: int | None = None,
+        fallback: ReactiveScaler | None = None,
+        start_tick: int = 0,
+        monitor: "ModelHealthMonitor | None" = None,
+        record_provenance: bool = False,
+        invalid_policy: str = "raise",
+        on_planner_error: str = "degrade",
+        max_plan_retries: int = 1,
+        **deprecated,
+    ) -> None:
+        for old, new in _DEPRECATED_KWARGS.items():
+            if old in deprecated:
+                warnings.warn(
+                    f"AutoscalingRuntime({old}=...) is deprecated; "
+                    f"use {new}=...",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+                start_tick = deprecated.pop(old)
+        if deprecated:
+            unknown = ", ".join(sorted(deprecated))
+            raise TypeError(
+                f"AutoscalingRuntime() got unexpected keyword argument(s): "
+                f"{unknown}"
+            )
+        if context_length < 1 or horizon < 1:
             raise ValueError("context_length and horizon must be >= 1")
-        if self.replan_every is None:
-            self.replan_every = self.horizon
-        if not 1 <= self.replan_every <= self.horizon:
+        if replan_every is None:
+            replan_every = horizon
+        if not 1 <= replan_every <= horizon:
             raise ValueError("replan_every must be in [1, horizon]")
-        if self.invalid_policy not in ("raise", "impute", "reject"):
+        if invalid_policy not in ("raise", "impute", "reject"):
             raise ValueError(
                 "invalid_policy must be 'raise', 'impute', or 'reject'"
             )
-        if self.on_planner_error not in ("degrade", "raise"):
+        if on_planner_error not in ("degrade", "raise"):
             raise ValueError("on_planner_error must be 'degrade' or 'raise'")
-        if self.max_plan_retries < 0:
+        if max_plan_retries < 0:
             raise ValueError("max_plan_retries must be >= 0")
-        if self.fallback is None:
-            self.fallback = _default_fallback()
-        self._history = deque(maxlen=self.context_length)
-        self._time = self.start_index
+
+        self.planner = planner
+        self.context_length = context_length
+        self.horizon = horizon
+        self.threshold = threshold
+        self.replan_every = replan_every
+        self.fallback = fallback if fallback is not None else _default_fallback()
+        self.start_tick = start_tick
+        self.monitor = monitor
+        self.record_provenance = record_provenance
+        self.invalid_policy = invalid_policy
+        self.on_planner_error = on_planner_error
+        self.max_plan_retries = max_plan_retries
+
+        self.planner_errors = 0
+        self.degraded_intervals = 0
+        self.invalid_observations = 0
+        self.decisions: list[Decision] = []
+        self.provenance: list[dict] = []
+        self._history: deque = deque(maxlen=context_length)
+        self._current_plan: ScalingPlan | None = None
+        self._plan_position = 0
+        self._tick = start_tick
+        self._last_target: int | None = None
+        self._replan_requested = False
+
+    def __repr__(self) -> str:  # keep the old dataclass-style repr surface
+        return (
+            f"AutoscalingRuntime(planner={self.planner!r}, "
+            f"context_length={self.context_length!r}, "
+            f"horizon={self.horizon!r}, threshold={self.threshold!r}, "
+            f"replan_every={self.replan_every!r}, "
+            f"fallback={self.fallback!r}, start_tick={self.start_tick!r}, "
+            f"monitor={self.monitor!r}, "
+            f"record_provenance={self.record_provenance!r}, "
+            f"invalid_policy={self.invalid_policy!r}, "
+            f"on_planner_error={self.on_planner_error!r}, "
+            f"max_plan_retries={self.max_plan_retries!r})"
+        )
 
     # ------------------------------------------------------------------
     @property
-    def time_index(self) -> int:
+    def tick(self) -> int:
         """Absolute index of the next interval to be provisioned."""
-        return self._time
+        return self._tick
 
-    def observe(self, workload: float) -> None:
+    @property
+    def time_index(self) -> int:
+        """Back-compat alias for :attr:`tick`."""
+        return self._tick
+
+    @property
+    def start_index(self) -> int:
+        """Back-compat alias for :attr:`start_tick`."""
+        return self.start_tick
+
+    # -- phase 1: maybe-plan -------------------------------------------
+    def maybe_plan(self, force: bool = False) -> Decision | None:
+        """Commit a new plan if one is due; return the committed decision.
+
+        A plan is *due* when a full context window exists and the
+        current plan is exhausted (or the replan cadence has elapsed, or
+        a replan was explicitly requested via :meth:`request_replan` /
+        ``force=True``).  Planner failures follow the runtime's
+        ``on_planner_error`` policy, so the returned decision may carry
+        ``source="degraded"``.  Returns None when no planning happened.
+        """
+        if len(self._history) < self.context_length:
+            return None
+        if not (force or self._needs_replan()):
+            return None
+        before = len(self.decisions)
+        self._replan()
+        self._replan_requested = False
+        return self.decisions[-1] if len(self.decisions) > before else None
+
+    def request_replan(self) -> None:
+        """Ask for a fresh plan at the next planning opportunity.
+
+        Used by alert-driven control (the service layer re-plans when
+        the health monitor's alert engine fires) and the control plane's
+        ``POST /plan``.  No-op effect until a full context exists.
+        """
+        self._replan_requested = True
+
+    def _needs_replan(self) -> bool:
+        if self._replan_requested:
+            return True
+        if self._current_plan is None:
+            return True
+        return (
+            self._plan_position >= self.replan_every
+            or self._plan_position >= self._current_plan.horizon
+        )
+
+    # -- phase 2: actuate ----------------------------------------------
+    def actuate(self) -> int:
+        """Node target for the current interval off the committed plan.
+
+        Does *not* plan — callers wanting the classic lazy behaviour use
+        :meth:`target_nodes` (= :meth:`maybe_plan` + :meth:`actuate`).
+        Falls back to the reactive scaler when no plan exists (cold
+        start).
+        """
+        if self._current_plan is not None:
+            position = min(self._plan_position, self._current_plan.horizon - 1)
+            target = int(self._current_plan.nodes[position])
+            if self._current_plan.metadata.get("degraded"):
+                self.degraded_intervals += 1
+                get_registry().counter("runtime.degraded_intervals").inc()
+        else:
+            metrics = get_registry()
+            metrics.counter("runtime.fallback_activations").inc()
+            target = self._fallback_target()
+        get_registry().gauge("runtime.nodes_requested").set(target)
+        self._last_target = target
+        return target
+
+    def target_nodes(self) -> int:
+        """Node target for the upcoming interval (plans lazily)."""
+        self.maybe_plan()
+        return self.actuate()
+
+    # -- phase 3 + 4: observe and monitor ------------------------------
+    def observe(self, workload: float) -> float | None:
         """Record the workload that materialised in the current interval.
 
         The value is validated (``NaN < 0`` is False, so a plain sign
@@ -262,17 +479,24 @@ class AutoscalingRuntime:
         what happens to an invalid one is governed by
         :attr:`invalid_policy`.  A rejected sample still advances the
         interval clock — the interval happened, its measurement didn't.
+
+        Returns the value actually ingested (after imputation), or None
+        when the sample was rejected.  The attached health monitor is
+        fed with the *same tick* the interval was actuated under, so
+        monitor windows and provenance records can never skew.
         """
+        tick = self._tick
         value = float(workload)
         if not (np.isfinite(value) and value >= 0):
             value = self._handle_invalid(value)
         if value is not None:
             if self.monitor is not None:
-                self._feed_monitor(value)
+                self._feed_monitor(tick, value)
             self._history.append(value)
-        self._time += 1
+        self._tick += 1
         self._plan_position += 1
         get_registry().counter("runtime.observations").inc()
+        return value
 
     def _handle_invalid(self, value: float) -> float | None:
         """Apply :attr:`invalid_policy` to one invalid observation."""
@@ -292,13 +516,19 @@ class AutoscalingRuntime:
             return self._history[-1] if self._history else 0.0
         return None  # reject: interval elapses, sample is discarded
 
-    def _feed_monitor(self, workload: float) -> None:
-        """Hand the interval's (forecast quantiles, realized value) pair over."""
+    def _feed_monitor(self, tick: int, workload: float) -> None:
+        """Hand the interval's (forecast quantiles, realized value) pair over.
+
+        ``tick`` is the step's authoritative interval index, captured
+        once in :meth:`observe` — the monitor and the decision log can
+        therefore never disagree about which interval a residual
+        belongs to.
+        """
         plan = self._current_plan
         if plan is None:
             return
         if plan.metadata.get("degraded"):
-            self.monitor.observe_degraded(self._time)
+            self.monitor.observe_degraded(tick)
             return
         levels = plan.metadata.get("forecast_levels")
         values = plan.metadata.get("forecast_values")
@@ -309,39 +539,56 @@ class AutoscalingRuntime:
             levels,
             values[:, position],
             workload,
-            time_index=self._time,
+            time_index=tick,
             nodes=self._last_target,
             threshold=self.threshold,
         )
 
-    def target_nodes(self) -> int:
-        """Node target for the upcoming interval (plans lazily)."""
-        if self._needs_replan():
-            self._replan()
-        if self._current_plan is not None:
-            position = min(self._plan_position, self._current_plan.horizon - 1)
-            target = int(self._current_plan.nodes[position])
-            if self._current_plan.metadata.get("degraded"):
-                self.degraded_intervals += 1
-                get_registry().counter("runtime.degraded_intervals").inc()
-        else:
-            metrics = get_registry()
-            metrics.counter("runtime.fallback_activations").inc()
-            target = self._fallback_target()
-        get_registry().gauge("runtime.nodes_requested").set(target)
-        self._last_target = target
-        return target
+    # -- the step API ---------------------------------------------------
+    def step(self, workload: float) -> StepResult:
+        """One interval of the closed loop: plan if due, actuate, observe.
 
-    def _needs_replan(self) -> bool:
-        if len(self._history) < self.context_length:
-            return False
-        if self._current_plan is None:
-            return True
-        return (
-            self._plan_position >= self.replan_every
-            or self._plan_position >= self._current_plan.horizon
+        Exactly equivalent to the classic ``target_nodes()`` /
+        ``observe()`` pair, but returns a :class:`StepResult` stamped
+        with the interval's tick.  :meth:`run` is a thin loop over this
+        method.
+        """
+        tick = self._tick
+        decision = self.maybe_plan()
+        target = self.actuate()
+        degraded = bool(
+            self._current_plan is not None
+            and self._current_plan.metadata.get("degraded")
+        )
+        if self._current_plan is not None:
+            source = "degraded" if degraded else "predictive"
+        else:
+            source = "reactive-fallback"
+        observed = self.observe(workload)
+        return StepResult(
+            tick=tick,
+            target_nodes=target,
+            source=source,
+            planned=decision is not None,
+            decision=decision,
+            observed=observed,
+            degraded=degraded,
         )
 
+    def run(self, workload: np.ndarray) -> np.ndarray:
+        """Convenience: drive the loop over a whole series.
+
+        For each interval the runtime first commits a node target (using
+        only past observations), then observes the interval's actual
+        workload.  Returns the allocation series.
+        """
+        workload = np.asarray(workload, dtype=np.float64)
+        allocations = np.empty(len(workload), dtype=np.int64)
+        for i, value in enumerate(workload):
+            allocations[i] = self.step(value).target_nodes
+        return allocations
+
+    # -- planning internals ---------------------------------------------
     def _replan(self) -> None:
         context = np.asarray(self._history, dtype=np.float64)
         metrics = get_registry()
@@ -352,7 +599,7 @@ class AutoscalingRuntime:
             try:
                 with metrics.span("runtime/plan"):
                     plan = self.planner.plan(
-                        context, start_index=self._time - self.context_length
+                        context, start_index=self._tick - self.context_length
                     )
                 break
             except Exception as exc:
@@ -371,11 +618,11 @@ class AutoscalingRuntime:
         self._current_plan = plan
         self._plan_position = 0
         self.decisions.append(
-            Decision(time_index=self._time, plan=plan, source="predictive")
+            Decision(time_index=self._tick, plan=plan, source="predictive")
         )
         metrics.counter("runtime.decisions", source="predictive").inc()
         if self.record_provenance or metrics.active:
-            record = _decision_record(self._time, plan, "predictive")
+            record = _decision_record(self._tick, plan, "predictive")
             metrics.emit_event("provenance", "runtime.decision", **record)
             if self.record_provenance:
                 self.provenance.append(record)
@@ -398,12 +645,12 @@ class AutoscalingRuntime:
         self._current_plan = plan
         self._plan_position = 0
         self.decisions.append(
-            Decision(time_index=self._time, plan=plan, source="degraded")
+            Decision(time_index=self._tick, plan=plan, source="degraded")
         )
         metrics = get_registry()
         metrics.counter("runtime.decisions", source="degraded").inc()
         if self.record_provenance or metrics.active:
-            record = _degraded_record(self._time, plan, estimate, error)
+            record = _degraded_record(self._tick, plan, estimate, error)
             metrics.emit_event("provenance", "runtime.decision", **record)
             if self.record_provenance:
                 self.provenance.append(record)
@@ -422,7 +669,7 @@ class AutoscalingRuntime:
         metrics = get_registry()
         self.decisions.append(
             Decision(
-                time_index=self._time,
+                time_index=self._tick,
                 plan=ScalingPlan(
                     nodes=np.array([target], dtype=np.int64),
                     threshold=self.threshold,
@@ -434,27 +681,67 @@ class AutoscalingRuntime:
         metrics.counter("runtime.decisions", source="reactive-fallback").inc()
         if self.record_provenance or metrics.active:
             record = _fallback_record(
-                self._time, target, estimate, self.fallback.name
+                self._tick, target, estimate, self.fallback.name
             )
             metrics.emit_event("provenance", "runtime.decision", **record)
             if self.record_provenance:
                 self.provenance.append(record)
         return target
 
-    # ------------------------------------------------------------------
-    def run(self, workload: np.ndarray) -> np.ndarray:
-        """Convenience: drive the loop over a whole series.
+    # -- checkpoint/restore ---------------------------------------------
+    def state_dict(self) -> dict:
+        """The complete loop state as JSON-safe plain containers.
 
-        For each interval the runtime first commits a node target (using
-        only past observations), then observes the interval's actual
-        workload.  Returns the allocation series.
+        Captures everything :meth:`load_state_dict` needs to resume the
+        loop mid-trace with bit-identical subsequent decisions: the
+        tick clock, the context window, the committed plan (including
+        its forecast metadata, so monitor feeds continue seamlessly),
+        the audit log, and every degradation counter.  Planner/model
+        weights are *not* included — the service layer persists those
+        through :mod:`repro.nn.serialization`.
         """
-        workload = np.asarray(workload, dtype=np.float64)
-        allocations = np.empty(len(workload), dtype=np.int64)
-        for i, value in enumerate(workload):
-            allocations[i] = self.target_nodes()
-            self.observe(value)
-        return allocations
+        return {
+            "tick": int(self._tick),
+            "start_tick": int(self.start_tick),
+            "plan_position": int(self._plan_position),
+            "history": [float(v) for v in self._history],
+            "last_target": (
+                int(self._last_target) if self._last_target is not None else None
+            ),
+            "replan_requested": bool(self._replan_requested),
+            "planner_errors": int(self.planner_errors),
+            "degraded_intervals": int(self.degraded_intervals),
+            "invalid_observations": int(self.invalid_observations),
+            "current_plan": (
+                self._current_plan.to_state()
+                if self._current_plan is not None
+                else None
+            ),
+            "decisions": [d.to_state() for d in self.decisions],
+            "provenance": list(self.provenance),
+        }
+
+    def load_state_dict(self, state: dict) -> "AutoscalingRuntime":
+        """Restore loop state captured by :meth:`state_dict` in place."""
+        self._tick = int(state["tick"])
+        self.start_tick = int(state["start_tick"])
+        self._plan_position = int(state["plan_position"])
+        self._history = deque(
+            (float(v) for v in state["history"]), maxlen=self.context_length
+        )
+        last_target = state["last_target"]
+        self._last_target = int(last_target) if last_target is not None else None
+        self._replan_requested = bool(state["replan_requested"])
+        self.planner_errors = int(state["planner_errors"])
+        self.degraded_intervals = int(state["degraded_intervals"])
+        self.invalid_observations = int(state["invalid_observations"])
+        plan_state = state["current_plan"]
+        self._current_plan = (
+            ScalingPlan.from_state(plan_state) if plan_state is not None else None
+        )
+        self.decisions = [Decision.from_state(d) for d in state["decisions"]]
+        self.provenance = list(state["provenance"])
+        return self
 
 
 def _default_fallback() -> ReactiveScaler:

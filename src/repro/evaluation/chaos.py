@@ -69,6 +69,12 @@ class ChaosReport:
     # Same-schedule repeat produced bit-identical results (None if the
     # check was skipped).
     deterministic: "bool | None" = None
+    # Model health during the faulted run (zero unless a monitor_factory
+    # was supplied).
+    monitored: bool = False
+    monitor_windows: int = 0
+    drift_events: int = 0
+    alerts_fired: int = 0
 
     @property
     def violation_regression(self) -> float:
@@ -108,6 +114,7 @@ def _closed_loop(
     start_index: int,
     interval_seconds: float,
     faults: "FaultSchedule | None",
+    monitor_factory: "Callable[[], object] | None" = None,
 ) -> tuple[AutoscalingRuntime, np.ndarray, ReplayResult]:
     """One full loop: observe ``observed``, get judged on ``true_workload``."""
     _reseed(planner)
@@ -117,11 +124,16 @@ def _closed_loop(
         horizon=horizon,
         threshold=threshold,
         replan_every=replan_every,
-        start_index=start_index,
+        start_tick=start_index,
         invalid_policy=invalid_policy,
         on_planner_error="degrade",
         max_plan_retries=max_plan_retries,
     )
+    if monitor_factory is not None:
+        # A fresh monitor per run: the baseline and every faulted
+        # repetition must start from identical (empty) health state or
+        # the determinism check would compare different universes.
+        runtime.monitor = monitor_factory()
     allocations = runtime.run(observed)
     committed = ScalingPlan(
         nodes=allocations, threshold=threshold, strategy=runtime.planner.name
@@ -149,6 +161,7 @@ def chaos_run(
     max_plan_retries: int = 1,
     start_index: int = 0,
     check_determinism: bool = True,
+    monitor_factory: "Callable[[], object] | None" = None,
 ) -> ChaosReport:
     """Run the closed loop clean and faulted; report the difference.
 
@@ -175,6 +188,11 @@ def chaos_run(
     check_determinism:
         Repeat the faulted run and verify bit-identical allocations and
         outcomes.
+    monitor_factory:
+        Zero-argument callable returning a fresh
+        :class:`~repro.obs.monitor.ModelHealthMonitor`; attached to
+        every run (each run gets its own, preserving determinism).  The
+        faulted run's window/drift/alert counts land in the report.
     """
     workload = np.asarray(workload, dtype=np.float64)
     loop = dict(
@@ -186,6 +204,7 @@ def chaos_run(
         max_plan_retries=max_plan_retries,
         start_index=start_index,
         interval_seconds=interval_seconds,
+        monitor_factory=monitor_factory,
     )
 
     _, base_alloc, base_replay = _closed_loop(
@@ -236,6 +255,18 @@ def chaos_run(
         provision_failures=replay.provision_failures,
         warmup_failures=replay.warmup_failures,
         deterministic=deterministic,
+        monitored=runtime.monitor is not None,
+        monitor_windows=(
+            len(runtime.monitor.windows) if runtime.monitor is not None else 0
+        ),
+        drift_events=(
+            len(runtime.monitor.drift_events) if runtime.monitor is not None else 0
+        ),
+        alerts_fired=(
+            len(runtime.monitor.alerts.alerts)
+            if runtime.monitor is not None and runtime.monitor.alerts is not None
+            else 0
+        ),
     )
 
 
@@ -278,6 +309,12 @@ def format_chaos_report(report: ChaosReport) -> str:
         f"{report.provision_failures} provision, "
         f"{report.warmup_failures} warm-up"
     )
+    if report.monitored:
+        lines.append(
+            f"  model health        : {report.monitor_windows} windows, "
+            f"{report.drift_events} drift events, "
+            f"{report.alerts_fired} alerts"
+        )
     if report.deterministic is not None:
         verdict = "bit-identical" if report.deterministic else "DIVERGED"
         lines.append(f"  determinism         : repeat run {verdict}")

@@ -100,6 +100,39 @@ class FlakyPlanner:
             )
         return self.inner.plan(context, start_index=start_index)
 
+    # -- checkpoint/restore ---------------------------------------------
+    def state_dict(self) -> dict:
+        """The wrapper's mutable fault-consumption state, JSON-safe.
+
+        A restored loop must not re-fire faults the crashed session
+        already consumed, so the pending queue, the latched event, and
+        the last decision boundary all round-trip.
+        """
+        def encode(event: FaultEvent) -> list:
+            return [int(event.time_index), event.kind, event.param]
+
+        return {
+            "faults_injected": int(self.faults_injected),
+            "pending": [encode(e) for e in self._pending],
+            "latched": encode(self._latched) if self._latched else None,
+            "last_decision": self._last_decision,
+        }
+
+    def load_state_dict(self, state: dict) -> "FlakyPlanner":
+        def decode(entry: list) -> FaultEvent:
+            return FaultEvent(
+                time_index=int(entry[0]), kind=entry[1], param=entry[2]
+            )
+
+        self.faults_injected = int(state["faults_injected"])
+        self._pending = [decode(entry) for entry in state["pending"]]
+        self._latched = (
+            decode(state["latched"]) if state["latched"] is not None else None
+        )
+        last = state["last_decision"]
+        self._last_decision = int(last) if last is not None else None
+        return self
+
     def __getattr__(self, attribute: str):
         # Delegate everything else (fit, forecaster, ...) to the inner
         # planner so the wrapper is drop-in.

@@ -302,3 +302,43 @@ class AlertEngine:
     def alert_records(self) -> list[dict]:
         """All fired alerts as plain event records."""
         return [alert.as_record() for alert in self.alerts]
+
+    # -- checkpoint/restore --------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-safe streak/firing state plus the fired-alert log.
+
+        Rules themselves are configuration, not state — a restored
+        engine keeps whatever rules it was constructed with; fired
+        alerts carry their rule inline so the log survives even if the
+        rule set changed between runs.
+        """
+        from dataclasses import asdict
+
+        return {
+            "streaks": dict(self._streaks),
+            "firing": dict(self._firing),
+            "alerts": [
+                {
+                    "rule": asdict(alert.rule),
+                    "window": alert.window,
+                    "end_index": alert.end_index,
+                    "value": alert.value,
+                }
+                for alert in self.alerts
+            ],
+        }
+
+    def load_state_dict(self, state: dict) -> "AlertEngine":
+        """Restore state captured by :meth:`state_dict` in place."""
+        self._streaks = {k: int(v) for k, v in state["streaks"].items()}
+        self._firing = {k: bool(v) for k, v in state["firing"].items()}
+        self.alerts = [
+            Alert(
+                rule=AlertRule(**entry["rule"]),
+                window=int(entry["window"]),
+                end_index=int(entry["end_index"]),
+                value=float(entry["value"]),
+            )
+            for entry in state["alerts"]
+        ]
+        return self

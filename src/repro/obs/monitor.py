@@ -144,6 +144,29 @@ class PageHinkley:
             return True
         return False
 
+    def state_dict(self) -> dict:
+        return {
+            "count": self._count,
+            "mean": self._mean,
+            "cum_up": self._cum_up,
+            "cum_down": self._cum_down,
+            "min_up": self._min_up,
+            "max_down": self._max_down,
+            "fired_score": self.fired_score,
+            "fired_direction": self.fired_direction,
+        }
+
+    def load_state_dict(self, state: dict) -> "PageHinkley":
+        self._count = int(state["count"])
+        self._mean = float(state["mean"])
+        self._cum_up = float(state["cum_up"])
+        self._cum_down = float(state["cum_down"])
+        self._min_up = float(state["min_up"])
+        self._max_down = float(state["max_down"])
+        self.fired_score = float(state["fired_score"])
+        self.fired_direction = state["fired_direction"]
+        return self
+
     @property
     def _score_up(self) -> float:
         return self._cum_up - self._min_up
@@ -208,6 +231,23 @@ class CUSUM:
             self.reset()
             return True
         return False
+
+    def state_dict(self) -> dict:
+        return {
+            "count": self._count,
+            "pos": self._pos,
+            "neg": self._neg,
+            "fired_score": self.fired_score,
+            "fired_direction": self.fired_direction,
+        }
+
+    def load_state_dict(self, state: dict) -> "CUSUM":
+        self._count = int(state["count"])
+        self._pos = float(state["pos"])
+        self._neg = float(state["neg"])
+        self.fired_score = float(state["fired_score"])
+        self.fired_direction = state["fired_direction"]
+        return self
 
     @property
     def score(self) -> float:
@@ -530,6 +570,83 @@ class ModelHealthMonitor:
 
         if self.alerts is not None:
             self.alerts.evaluate(record)
+
+    # -- checkpoint/restore --------------------------------------------
+    def state_dict(self) -> dict:
+        """The monitor's full streaming state as JSON-safe containers.
+
+        Covers finalised windows, the open window's accumulators, drift
+        detector internals, and (when an alert engine is attached) its
+        streak/firing state — everything needed for a restored monitor
+        to produce bit-identical windows, drift events, and alerts from
+        the same subsequent observation stream.  Configuration (window
+        size, detector thresholds, rules) is not serialized; a restored
+        monitor keeps what it was constructed with.
+        """
+        from dataclasses import asdict
+
+        return {
+            "steps_observed": self.steps_observed,
+            "window_count": self._window_count,
+            "windows": [asdict(w) for w in self.windows],
+            "drift_events": [asdict(d) for d in self.drift_events],
+            "detectors": [
+                {"name": d.name, "state": d.state_dict()} for d in self.detectors
+            ],
+            "buffer": {
+                "indices": list(self._buf_indices),
+                "actuals": list(self._buf_actuals),
+                "medians": list(self._buf_medians),
+                "covered": {k: list(v) for k, v in self._buf_covered.items()},
+                "taus": dict(self._buf_taus),
+                "ql": dict(self._buf_ql),
+                "violations": list(self._buf_violations),
+                "window_drift_events": self._window_drift_events,
+                "window_steps": self._window_steps,
+                "window_degraded": self._window_degraded,
+            },
+            "alerts": self.alerts.state_dict() if self.alerts is not None else None,
+        }
+
+    def load_state_dict(self, state: dict) -> "ModelHealthMonitor":
+        """Restore streaming state captured by :meth:`state_dict` in place.
+
+        Detector states are matched positionally and verified by name —
+        restoring into a monitor configured with different detectors is
+        an error, not a silent miscount.
+        """
+        self.steps_observed = int(state["steps_observed"])
+        self._window_count = int(state["window_count"])
+        self.windows = [WindowStats(**w) for w in state["windows"]]
+        self.drift_events = [DriftEvent(**d) for d in state["drift_events"]]
+        saved = state["detectors"]
+        if len(saved) != len(self.detectors) or any(
+            entry["name"] != detector.name
+            for entry, detector in zip(saved, self.detectors)
+        ):
+            raise ValueError(
+                "checkpointed detectors "
+                f"{[e['name'] for e in saved]} do not match configured "
+                f"{[d.name for d in self.detectors]}"
+            )
+        for entry, detector in zip(saved, self.detectors):
+            detector.load_state_dict(entry["state"])
+        buffer = state["buffer"]
+        self._buf_indices = [int(v) for v in buffer["indices"]]
+        self._buf_actuals = [float(v) for v in buffer["actuals"]]
+        self._buf_medians = [float(v) for v in buffer["medians"]]
+        self._buf_covered = {
+            k: [bool(f) for f in v] for k, v in buffer["covered"].items()
+        }
+        self._buf_taus = {k: float(v) for k, v in buffer["taus"].items()}
+        self._buf_ql = {k: float(v) for k, v in buffer["ql"].items()}
+        self._buf_violations = [bool(v) for v in buffer["violations"]]
+        self._window_drift_events = int(buffer["window_drift_events"])
+        self._window_steps = int(buffer["window_steps"])
+        self._window_degraded = int(buffer["window_degraded"])
+        if state["alerts"] is not None and self.alerts is not None:
+            self.alerts.load_state_dict(state["alerts"])
+        return self
 
     # -- inspection ----------------------------------------------------
     def coverage_series(self, tau: float) -> np.ndarray:

@@ -1,0 +1,49 @@
+"""Long-running service runtime: the closed loop as an always-on daemon.
+
+The paper's system is a production service — telemetry in, forecasts
+and scaling actions out, continuously.  This package wraps the batch
+:class:`~repro.core.runtime.AutoscalingRuntime` step API in an asyncio
+daemon with an operational surface:
+
+* :mod:`repro.service.sources` — pluggable telemetry tick sources
+  (in-memory generator, file tail, stdin JSONL);
+* :mod:`repro.service.daemon` — :class:`ServiceRuntime`, the event
+  loop that steps the runtime per tick, re-plans on schedule or on
+  health alert, and coordinates checkpoints;
+* :mod:`repro.service.http` — a stdlib-only HTTP+JSON control plane
+  (``GET /forecast /decisions /health /metrics``, ``POST /plan
+  /checkpoint``);
+* :mod:`repro.service.checkpoint` — lossless checkpoint/restore of
+  runtime + monitor + drift detectors + model state, so ``repro serve
+  --restore`` resumes mid-trace with bit-identical subsequent
+  decisions.
+
+Run it from the CLI (``repro-autoscale serve``) or embed it::
+
+    from repro.service import GeneratorSource, ServiceRuntime
+
+    service = ServiceRuntime(runtime, GeneratorSource(test.values))
+    service.serve_forever()          # ^C to stop; HTTP on service.port
+"""
+
+from .checkpoint import load_checkpoint, restore_from_checkpoint, save_checkpoint
+from .daemon import ServiceRuntime
+from .sources import (
+    FileTailSource,
+    GeneratorSource,
+    StdinJsonlSource,
+    TelemetrySource,
+    parse_tick_line,
+)
+
+__all__ = [
+    "ServiceRuntime",
+    "TelemetrySource",
+    "GeneratorSource",
+    "FileTailSource",
+    "StdinJsonlSource",
+    "parse_tick_line",
+    "save_checkpoint",
+    "load_checkpoint",
+    "restore_from_checkpoint",
+]

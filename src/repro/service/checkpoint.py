@@ -1,0 +1,223 @@
+"""Lossless checkpoint/restore for the service runtime.
+
+A checkpoint is a directory:
+
+* ``state.json`` — the loop state: runtime
+  (:meth:`~repro.core.runtime.AutoscalingRuntime.state_dict`), health
+  monitor + drift detectors + alert engine
+  (:meth:`~repro.obs.monitor.ModelHealthMonitor.state_dict`), the
+  source position, the forecaster's sampler rng state, and the config
+  the daemon was launched with (so ``repro-autoscale serve --restore``
+  can rebuild the planner identically);
+* ``model.npz`` — the forecaster's weights, written through the
+  forecaster's own ``save()`` (which persists via
+  :mod:`repro.nn.serialization`), when the model supports it.
+  Deterministically-fitted models without a ``save()`` (seasonal
+  naive, ARIMA) are rebuilt from config by refitting instead.
+
+``state.json`` is written atomically (temp file + rename), so a crash
+mid-checkpoint leaves the previous checkpoint intact; the JSONL event
+log written by ``--telemetry`` / ``--decisions-out`` (crash-safe
+:class:`~repro.obs.sinks.JsonlSink`) covers the tail between the last
+checkpoint and the crash.
+
+The restore guarantee: given the same remaining tick stream (a
+replayable source resumed at the recorded position), a restored loop
+produces bit-identical subsequent decisions, monitor windows, drift
+events, and alerts as the uninterrupted run — including stochastic
+forecasters, whose ancestral-sampling rng state round-trips exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "save_checkpoint",
+    "load_checkpoint",
+    "restore_from_checkpoint",
+]
+
+CHECKPOINT_VERSION = 1
+
+_STATE_FILE = "state.json"
+_MODEL_FILE = "model.npz"
+
+
+def _find_forecaster(planner: Any):
+    """The forecaster behind a planner, unwrapping fault wrappers."""
+    seen = set()
+    node = planner
+    while node is not None and id(node) not in seen:
+        seen.add(id(node))
+        forecaster = getattr(node, "forecaster", None)
+        if forecaster is not None:
+            return forecaster
+        node = getattr(node, "inner", None)
+    return None
+
+
+def _planner_state(planner: Any) -> dict | None:
+    """Mutable planner-wrapper state (e.g. FlakyPlanner's fault queue).
+
+    ``state_dict`` must be defined on the planner's own class —
+    delegating wrappers forward attribute lookups to their inner
+    planner, and saving an inner planner's state under the wrapper's
+    key would corrupt the restore.
+    """
+    if "state_dict" in type(planner).__dict__:
+        return planner.state_dict()
+    return None
+
+
+def _restore_planner(planner: Any, state: dict | None) -> None:
+    if state is None:
+        return
+    if "load_state_dict" not in type(planner).__dict__:
+        raise ValueError(
+            "checkpoint carries planner state but the restored planner "
+            "cannot load it — planner/config mismatch"
+        )
+    planner.load_state_dict(state)
+
+
+def _sampler_state(planner: Any) -> dict | None:
+    """Bit-exact rng state of a stochastic forecaster's sampler."""
+    forecaster = _find_forecaster(planner)
+    rng = getattr(forecaster, "_sample_rng", None)
+    if rng is None:
+        return None
+    return rng.bit_generator.state
+
+
+def _restore_sampler(planner: Any, state: dict | None) -> None:
+    if state is None:
+        return
+    forecaster = _find_forecaster(planner)
+    rng = getattr(forecaster, "_sample_rng", None)
+    if rng is None:
+        raise ValueError(
+            "checkpoint carries sampler rng state but the restored planner "
+            "has no stochastic sampler — model/config mismatch"
+        )
+    rng.bit_generator.state = state
+
+
+def save_checkpoint(
+    path: str | Path,
+    *,
+    runtime,
+    planner=None,
+    config: dict | None = None,
+    source_position: int = 0,
+) -> Path:
+    """Write a complete checkpoint directory; returns its path.
+
+    Parameters
+    ----------
+    path:
+        Checkpoint directory (created if needed; overwritten in place).
+    runtime:
+        The :class:`~repro.core.runtime.AutoscalingRuntime` to snapshot
+        (its attached monitor rides along).
+    planner:
+        The live planner; used to capture sampler rng state and, when
+        the underlying forecaster supports ``save()``, model weights.
+        Defaults to ``runtime.planner``.
+    config:
+        Launch configuration to embed — ``serve --restore`` rebuilds
+        the planner/source from it before loading state.
+    source_position:
+        Ticks the telemetry source has emitted; a replayable source is
+        resumed from here.
+    """
+    path = Path(path)
+    path.mkdir(parents=True, exist_ok=True)
+    planner = planner if planner is not None else runtime.planner
+
+    model_file = None
+    forecaster = _find_forecaster(planner)
+    if forecaster is not None and hasattr(forecaster, "save"):
+        forecaster.save(path / _MODEL_FILE)
+        model_file = _MODEL_FILE
+
+    monitor = getattr(runtime, "monitor", None)
+    state = {
+        "version": CHECKPOINT_VERSION,
+        "config": dict(config) if config else {},
+        "source_position": int(source_position),
+        "runtime": runtime.state_dict(),
+        "monitor": monitor.state_dict() if monitor is not None else None,
+        "sampler": _sampler_state(planner),
+        # Fault wrappers (FlakyPlanner) consume scheduled events as they
+        # fire; that progress must survive the crash or restored runs
+        # would re-fire already-consumed faults.
+        "planner": _planner_state(planner),
+        "model_file": model_file,
+    }
+    # Atomic publish: a crash mid-write must not corrupt the previous
+    # checkpoint under the same path.
+    tmp = path / (_STATE_FILE + ".tmp")
+    tmp.write_text(json.dumps(state), encoding="utf-8")
+    os.replace(tmp, path / _STATE_FILE)
+    return path
+
+
+def load_checkpoint(path: str | Path) -> dict:
+    """Read and validate a checkpoint's ``state.json``."""
+    path = Path(path)
+    state_path = path / _STATE_FILE if path.is_dir() else path
+    try:
+        state = json.loads(state_path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise FileNotFoundError(f"no checkpoint at {path} ({state_path} missing)")
+    except json.JSONDecodeError as error:
+        raise ValueError(f"corrupt checkpoint {state_path}: {error}") from error
+    version = state.get("version")
+    if version != CHECKPOINT_VERSION:
+        raise ValueError(
+            f"unsupported checkpoint version {version!r} "
+            f"(this build reads version {CHECKPOINT_VERSION})"
+        )
+    return state
+
+
+def restore_from_checkpoint(
+    checkpoint: "dict | str | Path",
+    *,
+    runtime,
+    planner=None,
+) -> int:
+    """Load checkpoint state into freshly-constructed objects.
+
+    The caller rebuilds the runtime, monitor, and planner from the
+    checkpoint's ``config`` (architecture and rules are configuration,
+    not state), then this function restores the dynamic state: loop
+    clock and plan, monitor windows and detectors, model weights, and
+    sampler rng.  Returns the source position to resume from.
+    """
+    state = (
+        checkpoint if isinstance(checkpoint, dict) else load_checkpoint(checkpoint)
+    )
+    planner = planner if planner is not None else runtime.planner
+    runtime.load_state_dict(state["runtime"])
+    monitor = getattr(runtime, "monitor", None)
+    if state["monitor"] is not None:
+        if monitor is None:
+            raise ValueError(
+                "checkpoint carries monitor state but the restored runtime "
+                "has no monitor attached — pass the same --monitor flags"
+            )
+        monitor.load_state_dict(state["monitor"])
+    model_file = state.get("model_file")
+    if model_file is not None and not isinstance(checkpoint, dict):
+        forecaster = _find_forecaster(planner)
+        if forecaster is not None and hasattr(forecaster, "load"):
+            forecaster.load(Path(checkpoint) / model_file)
+    _restore_sampler(planner, state.get("sampler"))
+    _restore_planner(planner, state.get("planner"))
+    return int(state["source_position"])

@@ -1,0 +1,370 @@
+"""The always-on service daemon around the runtime's step API.
+
+:class:`ServiceRuntime` turns the batch closed loop into an event-driven
+process, the deployment shape the paper's system actually runs as:
+
+* **ingest** — telemetry ticks stream in from a pluggable
+  :class:`~repro.service.sources.TelemetrySource`;
+* **step** — each tick drives exactly one
+  :meth:`~repro.core.runtime.AutoscalingRuntime.step` (maybe-plan →
+  actuate → observe → monitor);
+* **plan on schedule or on alert** — the runtime re-plans at its
+  ``replan_every`` cadence, and when the health monitor's alert engine
+  fires, the daemon requests an immediate replan at the next tick
+  (``plan_on_alert``);
+* **control plane** — a stdlib HTTP+JSON server
+  (:class:`~repro.service.http.ControlPlane`) on the same event loop
+  serves live forecasts, decisions, health, and the obs registry, and
+  accepts ``POST /plan`` / ``POST /checkpoint``;
+* **checkpoint/restore** — on demand (HTTP), automatically after
+  ``checkpoint_every`` ticks, or at a fixed ``checkpoint_at`` tick; a
+  restored daemon resumes mid-trace with bit-identical subsequent
+  decisions (see :mod:`repro.service.checkpoint`).
+
+Every committed decision is appended to the crash-safe
+``decision_log`` (a :class:`~repro.obs.sinks.JsonlSink`), giving an
+event log that survives a kill between checkpoints.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from pathlib import Path
+from typing import Any
+
+from ..core.runtime import AutoscalingRuntime, Decision, StepResult
+from ..obs import get_registry
+from ..obs.sinks import JsonlSink
+from .checkpoint import save_checkpoint
+from .http import ControlPlane, HttpError
+from .sources import TelemetrySource
+
+__all__ = ["ServiceRuntime"]
+
+
+def _decision_payload(decision: Decision) -> dict:
+    """The control plane / decision-log form of one audit-log entry."""
+    plan = decision.plan
+    return {
+        "tick": int(decision.time_index),
+        "source": decision.source,
+        "strategy": plan.strategy,
+        "horizon": int(plan.horizon),
+        "nodes": plan.nodes.tolist(),
+        "nodes_first": int(plan.nodes[0]),
+    }
+
+
+class ServiceRuntime:
+    """Asyncio daemon: telemetry in, scaling decisions and HTTP out.
+
+    Parameters
+    ----------
+    runtime:
+        The closed-loop :class:`~repro.core.runtime.AutoscalingRuntime`
+        (with its monitor already attached, when health tracking is
+        wanted).
+    source:
+        Where ticks come from; already ``seek()``-ed past processed
+        ticks when restoring.
+    host, port:
+        Control-plane bind address; ``port=0`` (default) picks an
+        ephemeral port, readable from :attr:`port` once serving.
+    tick_interval:
+        Extra seconds to sleep between steps (paces a replayed trace
+        like a live feed; sources may additionally pace themselves).
+    checkpoint_dir:
+        Where ``POST /checkpoint`` and automatic checkpoints write;
+        None disables checkpointing.
+    checkpoint_every:
+        Write a checkpoint every N processed ticks (None: only on
+        demand).
+    checkpoint_at:
+        Write one checkpoint when the session has processed exactly N
+        ticks — the deterministic hook the restore round-trip tests and
+        the CI smoke job use.
+    max_ticks:
+        Stop after processing N ticks this session (None: run until
+        the source ends or :meth:`request_stop`).
+    config:
+        Launch configuration embedded into checkpoints, so a restore
+        can rebuild planner/source identically.
+    decision_log:
+        Path for the crash-safe JSONL decision log (one record per
+        committed decision, flushed immediately).
+    plan_on_alert:
+        Re-plan at the next tick whenever the monitor's alert engine
+        fires a new alert.
+    linger:
+        Seconds to keep the control plane up after the tick stream
+        ends (lets probes scrape final state; 0 exits immediately).
+    """
+
+    def __init__(
+        self,
+        runtime: AutoscalingRuntime,
+        source: TelemetrySource,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        tick_interval: float = 0.0,
+        checkpoint_dir: "str | Path | None" = None,
+        checkpoint_every: "int | None" = None,
+        checkpoint_at: "int | None" = None,
+        max_ticks: "int | None" = None,
+        config: "dict | None" = None,
+        decision_log: "str | Path | None" = None,
+        plan_on_alert: bool = True,
+        linger: float = 0.0,
+    ) -> None:
+        self.runtime = runtime
+        self.source = source
+        self.tick_interval = float(tick_interval)
+        self.checkpoint_dir = Path(checkpoint_dir) if checkpoint_dir else None
+        self.checkpoint_every = checkpoint_every
+        self.checkpoint_at = checkpoint_at
+        self.max_ticks = max_ticks
+        self.config = dict(config) if config else {}
+        self.decision_log_path = Path(decision_log) if decision_log else None
+        self.plan_on_alert = plan_on_alert
+        self.linger = float(linger)
+
+        self.control = ControlPlane(self._routes(), host=host, port=port)
+        self.ticks_processed = 0  # this session (restored ticks excluded)
+        self.alert_replans = 0
+        self.checkpoints_written = 0
+        self.status = "starting"
+        self.last_step: StepResult | None = None
+        # Decision-log high-water mark: restored decisions are history,
+        # only decisions committed by *this* session are logged.
+        self._logged_decisions = len(runtime.decisions)
+        self._decision_sink: JsonlSink | None = None
+        self._stop = asyncio.Event()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._started_at = time.monotonic()
+        self._seen_alerts = self._alert_count()
+
+    # -- public surface -------------------------------------------------
+    @property
+    def port(self) -> int | None:
+        """Control-plane port (None until serving)."""
+        return self.control.port
+
+    def serve_forever(self) -> None:
+        """Blocking entry point: run the daemon to completion."""
+        asyncio.run(self.run())
+
+    def request_stop(self) -> None:
+        """Stop the daemon after the current step (thread-safe)."""
+        if self._loop is not None and not self._loop.is_closed():
+            self._loop.call_soon_threadsafe(self._stop.set)
+        else:
+            self._stop.set()
+
+    async def run(self) -> None:
+        """The daemon: control plane up, step loop, linger, shutdown."""
+        self._loop = asyncio.get_running_loop()
+        self._started_at = time.monotonic()
+        if self.decision_log_path is not None:
+            self._decision_sink = JsonlSink(self.decision_log_path)
+        await self.control.start()
+        self.status = "serving"
+        try:
+            await self._step_loop()
+            self.status = "draining"
+            if self.linger > 0 and not self._stop.is_set():
+                try:
+                    await asyncio.wait_for(self._stop.wait(), timeout=self.linger)
+                except asyncio.TimeoutError:
+                    pass
+        finally:
+            self.status = "stopped"
+            await self.control.stop()
+            if self._decision_sink is not None:
+                self._decision_sink.close()
+
+    # -- the loop --------------------------------------------------------
+    async def _step_loop(self) -> None:
+        metrics = get_registry()
+        async for value in self.source.ticks():
+            if self._stop.is_set():
+                return
+            result = self.runtime.step(value)
+            self.last_step = result
+            self.ticks_processed += 1
+            metrics.counter("service.ticks").inc()
+            self._drain_decisions()
+            if self.plan_on_alert:
+                self._check_alerts()
+            metrics.emit_event(
+                "service",
+                "service.step",
+                tick=result.tick,
+                target_nodes=result.target_nodes,
+                source=result.source,
+                planned=result.planned,
+            )
+            if (
+                self.checkpoint_at is not None
+                and self.ticks_processed == self.checkpoint_at
+            ) or (
+                self.checkpoint_every
+                and self.ticks_processed % self.checkpoint_every == 0
+            ):
+                self.write_checkpoint()
+            if self.max_ticks is not None and self.ticks_processed >= self.max_ticks:
+                return
+            if self.tick_interval > 0:
+                try:
+                    await asyncio.wait_for(
+                        self._stop.wait(), timeout=self.tick_interval
+                    )
+                    return  # stop requested during the pause
+                except asyncio.TimeoutError:
+                    pass
+            else:
+                # Yield so control-plane requests interleave between steps.
+                await asyncio.sleep(0)
+
+    def _alert_count(self) -> int:
+        monitor = self.runtime.monitor
+        if monitor is None or monitor.alerts is None:
+            return 0
+        return len(monitor.alerts.alerts)
+
+    def _check_alerts(self) -> None:
+        """A newly fired health alert triggers a replan at the next tick."""
+        count = self._alert_count()
+        if count > self._seen_alerts:
+            self.runtime.request_replan()
+            self.alert_replans += count - self._seen_alerts
+            get_registry().counter("service.alert_replans").inc(
+                count - self._seen_alerts
+            )
+        self._seen_alerts = count
+
+    def _drain_decisions(self) -> None:
+        """Append every not-yet-logged committed decision to the log.
+
+        The runtime records decisions from several phases (predictive
+        and degraded plans in maybe-plan, reactive fallback in actuate),
+        so the daemon drains its audit log by high-water mark rather
+        than trusting any single phase's return value.
+        """
+        decisions = self.runtime.decisions
+        for decision in decisions[self._logged_decisions :]:
+            if self._decision_sink is not None:
+                self._decision_sink.emit(
+                    {"kind": "decision", **_decision_payload(decision)}
+                )
+            get_registry().counter(
+                "service.decisions", source=decision.source
+            ).inc()
+        self._logged_decisions = len(decisions)
+
+    # -- checkpointing ----------------------------------------------------
+    def write_checkpoint(self, path: "str | Path | None" = None) -> Path:
+        """Write a checkpoint now; returns the checkpoint directory."""
+        target = Path(path) if path else self.checkpoint_dir
+        if target is None:
+            raise HttpError(409, "no checkpoint directory configured")
+        written = save_checkpoint(
+            target,
+            runtime=self.runtime,
+            config=self.config,
+            source_position=self.source.position,
+        )
+        self.checkpoints_written += 1
+        get_registry().counter("service.checkpoints").inc()
+        return written
+
+    # -- control-plane handlers -------------------------------------------
+    def _routes(self) -> dict:
+        return {
+            ("GET", "/health"): self._handle_health,
+            ("GET", "/metrics"): self._handle_metrics,
+            ("GET", "/forecast"): self._handle_forecast,
+            ("GET", "/decisions"): self._handle_decisions,
+            ("POST", "/plan"): self._handle_plan,
+            ("POST", "/checkpoint"): self._handle_checkpoint,
+        }
+
+    def _handle_health(self, query: dict, body: Any) -> dict:
+        runtime = self.runtime
+        monitor = runtime.monitor
+        return {
+            "status": self.status,
+            "uptime_s": time.monotonic() - self._started_at,
+            "tick": runtime.tick,
+            "ticks_processed": self.ticks_processed,
+            "source_position": self.source.position,
+            "decisions": len(runtime.decisions),
+            "planner_errors": runtime.planner_errors,
+            "degraded_intervals": runtime.degraded_intervals,
+            "invalid_observations": runtime.invalid_observations,
+            "alert_replans": self.alert_replans,
+            "checkpoints_written": self.checkpoints_written,
+            "last_target_nodes": (
+                self.last_step.target_nodes if self.last_step else None
+            ),
+            "monitor": monitor.summary() if monitor is not None else None,
+        }
+
+    def _handle_metrics(self, query: dict, body: Any) -> dict:
+        return get_registry().snapshot()
+
+    def _handle_forecast(self, query: dict, body: Any) -> dict:
+        plan = self.runtime._current_plan
+        if plan is None:
+            raise HttpError(409, "no committed plan yet (cold start)")
+        payload = {
+            "tick": self.runtime.tick,
+            "strategy": plan.strategy,
+            "horizon": int(plan.horizon),
+            "nodes": plan.nodes.tolist(),
+            "degraded": bool(plan.metadata.get("degraded", False)),
+        }
+        levels = plan.metadata.get("forecast_levels")
+        values = plan.metadata.get("forecast_values")
+        if levels is not None and values is not None:
+            payload["levels"] = [float(level) for level in levels]
+            payload["values"] = [
+                [float(v) for v in row] for row in values
+            ]
+        return payload
+
+    def _handle_decisions(self, query: dict, body: Any) -> dict:
+        try:
+            limit = int(query.get("limit", 50))
+        except ValueError:
+            raise HttpError(400, f"limit must be an integer, got {query['limit']!r}")
+        if limit < 1:
+            raise HttpError(400, "limit must be >= 1")
+        decisions = self.runtime.decisions[-limit:]
+        return {
+            "total": len(self.runtime.decisions),
+            "decisions": [_decision_payload(d) for d in decisions],
+        }
+
+    def _handle_plan(self, query: dict, body: Any) -> dict:
+        decision = self.runtime.maybe_plan(force=True)
+        if decision is None:
+            raise HttpError(
+                409,
+                "cannot plan yet: context window not full "
+                f"({len(self.runtime._history)}/{self.runtime.context_length})",
+            )
+        self._drain_decisions()
+        return _decision_payload(decision)
+
+    def _handle_checkpoint(self, query: dict, body: Any) -> dict:
+        path = None
+        if isinstance(body, dict) and body.get("path"):
+            path = body["path"]
+        written = self.write_checkpoint(path)
+        return {
+            "path": str(written),
+            "tick": self.runtime.tick,
+            "source_position": self.source.position,
+        }

@@ -1,0 +1,174 @@
+"""Stdlib-only HTTP+JSON control plane for the service daemon.
+
+A deliberately tiny HTTP/1.1 server on :func:`asyncio.start_server` —
+no third-party dependency, one connection per request, everything JSON.
+It runs on the *same* event loop as the stepping daemon, so handlers
+read live state without locks.
+
+Endpoints (the operational surface the daemon exposes):
+
+====== ============== ==================================================
+Method Path           Meaning
+====== ============== ==================================================
+GET    /health        liveness + loop counters + latest model health
+GET    /metrics       the live ambient obs registry, as a snapshot
+GET    /forecast      quantile forecast behind the committed plan
+GET    /decisions     recent audit log (``?limit=N``, newest last)
+POST   /plan          force a replan now; returns the new decision
+POST   /checkpoint    write a checkpoint; returns its path
+====== ============== ==================================================
+
+Unknown paths are 404, wrong methods 405, handler-refused operations
+carry their own status (e.g. 409 when planning is impossible during
+cold start).  Responses always close the connection — the control
+plane is for curl/monitoring probes, not high-QPS serving.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Callable
+from urllib.parse import parse_qs, urlsplit
+
+__all__ = ["ControlPlane", "HttpError"]
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    500: "Internal Server Error",
+}
+
+#: Request bodies beyond this are refused (the control plane accepts
+#: only empty or tiny JSON bodies).
+_MAX_BODY = 1 << 20
+
+
+class HttpError(Exception):
+    """Handler-raised error carrying an HTTP status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class ControlPlane:
+    """The daemon's HTTP server: routes requests to service callbacks.
+
+    Parameters
+    ----------
+    routes:
+        ``(method, path) -> handler``; a handler takes the parsed query
+        dict and the decoded JSON body (None when empty) and returns
+        the JSON-safe response payload, or raises :class:`HttpError`.
+    host, port:
+        Bind address; ``port=0`` picks an ephemeral port, readable from
+        :attr:`port` after :meth:`start`.
+    """
+
+    def __init__(
+        self,
+        routes: dict[tuple[str, str], Callable[[dict, Any], Any]],
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.routes = dict(routes)
+        self.host = host
+        self._requested_port = port
+        self._server: asyncio.AbstractServer | None = None
+        self.port: int | None = None
+        self.requests_served = 0
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self._requested_port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    @property
+    def address(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- request handling ----------------------------------------------
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            status, payload = await self._respond(reader)
+        except Exception as error:  # a broken handler must not kill the daemon
+            status, payload = 500, {"error": f"{type(error).__name__}: {error}"}
+        body = json.dumps(payload, default=_jsonable).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n"
+        ).encode("ascii")
+        try:
+            writer.write(head + body)
+            await writer.drain()
+        except ConnectionError:
+            pass  # client went away; nothing to salvage
+        finally:
+            writer.close()
+        self.requests_served += 1
+
+    async def _respond(self, reader: asyncio.StreamReader) -> tuple[int, Any]:
+        request_line = (await reader.readline()).decode("latin-1").strip()
+        parts = request_line.split()
+        if len(parts) < 2:
+            return 400, {"error": f"malformed request line: {request_line!r}"}
+        method, target = parts[0].upper(), parts[1]
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            key, _, value = line.decode("latin-1").partition(":")
+            headers[key.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", 0) or 0)
+        if length > _MAX_BODY:
+            return 400, {"error": f"body too large ({length} bytes)"}
+        raw = await reader.readexactly(length) if length else b""
+
+        split = urlsplit(target)
+        path = split.path.rstrip("/") or "/"
+        query = {k: v[-1] for k, v in parse_qs(split.query).items()}
+        body: Any = None
+        if raw:
+            try:
+                body = json.loads(raw)
+            except json.JSONDecodeError:
+                return 400, {"error": "request body is not valid JSON"}
+
+        handler = self.routes.get((method, path))
+        if handler is None:
+            if any(p == path for _, p in self.routes):
+                return 405, {"error": f"{method} not allowed on {path}"}
+            return 404, {"error": f"no such endpoint: {path}"}
+        try:
+            return 200, handler(query, body)
+        except HttpError as error:
+            return error.status, {"error": error.message}
+
+
+def _jsonable(value):
+    """Fallback encoder for numpy scalars/arrays in payloads."""
+    if hasattr(value, "item"):
+        try:
+            return value.item()
+        except (ValueError, TypeError):
+            pass
+    if hasattr(value, "tolist"):
+        return value.tolist()
+    return str(value)

@@ -1,0 +1,222 @@
+"""Telemetry tick sources for the service runtime.
+
+A *source* is an async iterable of workload observations — one float
+per interval.  Three implementations cover the deployment shapes the
+daemon needs:
+
+* :class:`GeneratorSource` — an in-memory series (synthetic traces,
+  tests, replays);
+* :class:`FileTailSource` — read a file of ticks, optionally following
+  it as a producer appends (the classic ``tail -f`` integration);
+* :class:`StdinJsonlSource` — consume ticks piped into the process.
+
+Every source counts the ticks it has emitted (:attr:`position`) and
+supports :meth:`seek` to skip ticks already processed before a restore
+— for replayable sources (memory, file) this is a true random-access
+skip, for stdin it consumes and discards.
+
+Tick lines are either a bare number (``123.4``) or a JSON object with a
+``value`` field (``{"value": 123.4}``); blank lines and ``#`` comments
+are ignored.  :func:`parse_tick_line` implements the format.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+from pathlib import Path
+from typing import AsyncIterator, Iterable, Protocol, runtime_checkable
+
+import numpy as np
+
+__all__ = [
+    "TelemetrySource",
+    "GeneratorSource",
+    "FileTailSource",
+    "StdinJsonlSource",
+    "parse_tick_line",
+]
+
+
+def parse_tick_line(line: str) -> float | None:
+    """One tick from one line; None for blanks and comments.
+
+    Accepts a bare number or a JSON object carrying ``value``.  Raises
+    :class:`ValueError` for anything else — a malformed telemetry line
+    is an upstream bug, not something to silently drop (the runtime's
+    ``invalid_policy`` governs *semantically* bad values; this guards
+    the wire format).
+    """
+    text = line.strip()
+    if not text or text.startswith("#"):
+        return None
+    if text.startswith("{"):
+        try:
+            record = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ValueError(f"malformed telemetry line: {text!r}") from error
+        if "value" not in record:
+            raise ValueError(f"telemetry record missing 'value': {text!r}")
+        return float(record["value"])
+    try:
+        return float(text)
+    except ValueError as error:
+        raise ValueError(f"malformed telemetry line: {text!r}") from error
+
+
+@runtime_checkable
+class TelemetrySource(Protocol):
+    """Structural contract every tick source satisfies."""
+
+    @property
+    def position(self) -> int:
+        """Ticks emitted so far (monotone; checkpoints record this)."""
+        ...
+
+    def seek(self, position: int) -> None:
+        """Skip ahead so the next tick emitted is number ``position``."""
+        ...
+
+    def ticks(self) -> AsyncIterator[float]:
+        """The tick stream itself."""
+        ...
+
+
+class GeneratorSource:
+    """Serve ticks from an in-memory sequence.
+
+    Parameters
+    ----------
+    values:
+        The workload series (any iterable of floats; materialised).
+    interval:
+        Seconds to sleep between ticks — 0 (default) replays as fast as
+        the loop can step, a positive value paces the stream like a
+        live feed.
+    """
+
+    def __init__(self, values: Iterable[float], interval: float = 0.0) -> None:
+        self.values = np.asarray(list(values), dtype=np.float64)
+        self.interval = float(interval)
+        self._position = 0
+
+    @property
+    def position(self) -> int:
+        return self._position
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def seek(self, position: int) -> None:
+        if not 0 <= position <= len(self.values):
+            raise ValueError(
+                f"seek position {position} outside [0, {len(self.values)}]"
+            )
+        self._position = int(position)
+
+    async def ticks(self) -> AsyncIterator[float]:
+        while self._position < len(self.values):
+            value = float(self.values[self._position])
+            self._position += 1
+            yield value
+            if self.interval > 0:
+                await asyncio.sleep(self.interval)
+
+
+class FileTailSource:
+    """Read ticks from a file, optionally following appended lines.
+
+    Parameters
+    ----------
+    path:
+        Tick file (bare numbers or ``{"value": ...}`` JSONL).
+    follow:
+        When True, keep polling for new lines after EOF instead of
+        stopping — the daemon stays up as long as the producer keeps
+        writing.  When False (default) the stream ends at EOF.
+    poll_interval:
+        Seconds between EOF polls in follow mode.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        follow: bool = False,
+        poll_interval: float = 0.2,
+    ) -> None:
+        self.path = Path(path)
+        self.follow = follow
+        self.poll_interval = float(poll_interval)
+        self._position = 0
+        self._skip = 0
+
+    @property
+    def position(self) -> int:
+        return self._position
+
+    def seek(self, position: int) -> None:
+        if position < 0:
+            raise ValueError("seek position must be >= 0")
+        self._skip = int(position)
+        self._position = int(position)
+
+    async def ticks(self) -> AsyncIterator[float]:
+        skipped = 0
+        with self.path.open("r", encoding="utf-8") as handle:
+            while True:
+                line = handle.readline()
+                if not line:
+                    if not self.follow:
+                        return
+                    await asyncio.sleep(self.poll_interval)
+                    continue
+                value = parse_tick_line(line)
+                if value is None:
+                    continue
+                if skipped < self._skip:
+                    skipped += 1
+                    continue
+                self._position += 1
+                yield value
+
+
+class StdinJsonlSource:
+    """Consume ticks piped to the process on stdin.
+
+    Blocking reads happen in the default executor so the event loop
+    (and the HTTP control plane on it) stays responsive.  ``seek``
+    consumes and discards — stdin cannot rewind, so a restore against a
+    stdin source expects the producer to resend the full stream.
+    """
+
+    def __init__(self, stream=None) -> None:
+        self.stream = stream if stream is not None else sys.stdin
+        self._position = 0
+        self._skip = 0
+
+    @property
+    def position(self) -> int:
+        return self._position
+
+    def seek(self, position: int) -> None:
+        if position < 0:
+            raise ValueError("seek position must be >= 0")
+        self._skip = int(position)
+        self._position = int(position)
+
+    async def ticks(self) -> AsyncIterator[float]:
+        loop = asyncio.get_running_loop()
+        skipped = 0
+        while True:
+            line = await loop.run_in_executor(None, self.stream.readline)
+            if not line:
+                return
+            value = parse_tick_line(line)
+            if value is None:
+                continue
+            if skipped < self._skip:
+                skipped += 1
+                continue
+            self._position += 1
+            yield value

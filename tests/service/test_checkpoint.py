@@ -1,0 +1,233 @@
+"""Checkpoint/restore: kill the loop, resume it, demand bit-identity."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import AutoscalingRuntime, ScalingPlan
+from repro.core.plan import required_nodes
+from repro.faults import FaultSchedule, FlakyPlanner, corrupt_series
+from repro.obs import AlertEngine, ModelHealthMonitor, default_rules
+from repro.service import load_checkpoint, restore_from_checkpoint, save_checkpoint
+
+SERIES = np.abs(np.random.default_rng(11).normal(400, 120, size=60))
+START_TICK = 200
+
+
+class NoisyForecaster:
+    """Stand-in stochastic forecaster: only the sampler rng matters."""
+
+    def __init__(self, seed=0):
+        self._sample_rng = np.random.default_rng(seed)
+
+
+class StochasticPlanner:
+    """Planner whose decisions consume sampler randomness (test double).
+
+    Each plan draws from the forecaster's sampler rng, so two runs only
+    produce identical decision streams if the rng state round-trips
+    bit-exactly through the checkpoint.
+    """
+
+    name = "stochastic"
+
+    def __init__(self, horizon, threshold, seed=0):
+        self.forecaster = NoisyForecaster(seed)
+        self.horizon = horizon
+        self.threshold = threshold
+
+    def plan(self, context, start_index=0):
+        base = float(np.mean(context))
+        noise = self.forecaster._sample_rng.normal(0, 0.1 * base, self.horizon)
+        levels = np.array([0.1, 0.5, 0.9])
+        values = np.vstack([
+            np.maximum(base * f + noise, 0.0) for f in (0.8, 1.0, 1.2)
+        ])
+        return ScalingPlan(
+            nodes=required_nodes(values[-1], self.threshold),
+            threshold=self.threshold,
+            strategy=self.name,
+            metadata={"forecast_levels": levels, "forecast_values": values},
+        )
+
+
+def make_loop(*, faults=None, monitor=True, seed=0, context=8, horizon=6):
+    planner = StochasticPlanner(horizon, 60.0, seed=seed)
+    if faults is not None:
+        planner = FlakyPlanner(planner, faults, time_offset=START_TICK)
+    runtime = AutoscalingRuntime(
+        planner=planner,
+        context_length=context,
+        horizon=horizon,
+        threshold=60.0,
+        start_tick=START_TICK,
+        invalid_policy="impute",
+        monitor=(
+            ModelHealthMonitor(
+                window=10, alerts=AlertEngine(default_rules(nominal_level=0.9))
+            )
+            if monitor
+            else None
+        ),
+    )
+    return runtime, planner
+
+
+class TestSaveLoad:
+    def test_round_trips_the_state_file(self, tmp_path):
+        runtime, planner = make_loop()
+        runtime.run(SERIES[:20])
+        path = save_checkpoint(
+            tmp_path / "ckpt", runtime=runtime,
+            config={"model": "naive"}, source_position=20,
+        )
+        state = load_checkpoint(path)
+        assert state["config"] == {"model": "naive"}
+        assert state["source_position"] == 20
+        assert state["runtime"]["tick"] == START_TICK + 20
+        assert state["monitor"] is not None
+        assert state["sampler"] is not None
+        # The checkpoint is plain JSON on disk, not pickles.
+        raw = json.loads((path / "state.json").read_text())
+        assert raw["version"] == 1
+
+    def test_missing_checkpoint_raises_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_checkpoint(tmp_path / "nope")
+
+    def test_corrupt_state_file_raises_value_error(self, tmp_path):
+        ckpt = tmp_path / "ckpt"
+        ckpt.mkdir()
+        (ckpt / "state.json").write_text("{truncated")
+        with pytest.raises(ValueError, match="corrupt"):
+            load_checkpoint(ckpt)
+
+    def test_version_mismatch_raises(self, tmp_path):
+        ckpt = tmp_path / "ckpt"
+        ckpt.mkdir()
+        (ckpt / "state.json").write_text('{"version": 99}')
+        with pytest.raises(ValueError, match="version"):
+            load_checkpoint(ckpt)
+
+
+class TestKillRestoreBitIdentity:
+    KILL_AT = 25
+
+    def _uninterrupted(self, faults, observed):
+        runtime, _ = make_loop(faults=faults)
+        allocations = runtime.run(observed)
+        return runtime, allocations
+
+    def test_restored_run_matches_uninterrupted(self, tmp_path):
+        faults = FaultSchedule.parse("nan@5,planner_error@14,spike@30:4,nan@40")
+        observed, _ = corrupt_series(SERIES, faults)
+
+        full, full_alloc = self._uninterrupted(faults, observed)
+
+        # "Crash" after KILL_AT ticks: checkpoint, throw everything away.
+        victim, victim_planner = make_loop(faults=faults)
+        victim.run(observed[: self.KILL_AT])
+        save_checkpoint(
+            tmp_path / "ckpt", runtime=victim, planner=victim_planner,
+            source_position=self.KILL_AT,
+        )
+        del victim, victim_planner
+
+        # Fresh objects, as a new process would build them.
+        restored, planner = make_loop(faults=faults)
+        position = restore_from_checkpoint(
+            tmp_path / "ckpt", runtime=restored, planner=planner
+        )
+        assert position == self.KILL_AT
+        tail_alloc = restored.run(observed[position:])
+
+        np.testing.assert_array_equal(tail_alloc, full_alloc[position:])
+        assert [d.to_state() for d in restored.decisions] == [
+            d.to_state() for d in full.decisions
+        ]
+        assert restored.monitor.state_dict() == full.monitor.state_dict()
+        # Counters survived the crash too.
+        assert restored.invalid_observations == full.invalid_observations
+        assert restored.planner_errors == full.planner_errors
+
+    def test_restore_without_sampler_state_still_diverges(self, tmp_path):
+        """Control experiment: the sampler state is load-bearing."""
+        full, full_alloc = self._uninterrupted(None, SERIES)
+
+        victim, _ = make_loop()
+        victim.run(SERIES[: self.KILL_AT])
+        save_checkpoint(tmp_path / "ckpt", runtime=victim,
+                        source_position=self.KILL_AT)
+
+        restored, planner = make_loop()
+        state = load_checkpoint(tmp_path / "ckpt")
+        state["sampler"] = None  # simulate a lossy checkpoint
+        restore_from_checkpoint(state, runtime=restored, planner=planner)
+        tail_alloc = restored.run(SERIES[self.KILL_AT :])
+        assert not np.array_equal(tail_alloc, full_alloc[self.KILL_AT :])
+
+
+class TestRestoreMismatches:
+    def test_monitor_state_needs_a_monitor(self, tmp_path):
+        runtime, _ = make_loop(monitor=True)
+        runtime.run(SERIES[:10])
+        save_checkpoint(tmp_path / "ckpt", runtime=runtime)
+        bare, planner = make_loop(monitor=False)
+        with pytest.raises(ValueError, match="monitor"):
+            restore_from_checkpoint(tmp_path / "ckpt", runtime=bare,
+                                    planner=planner)
+
+    def test_sampler_state_needs_a_sampler(self, tmp_path):
+        runtime, planner = make_loop(monitor=False)
+        runtime.run(SERIES[:10])
+        save_checkpoint(tmp_path / "ckpt", runtime=runtime, planner=planner)
+
+        class DeterministicPlanner(StochasticPlanner):
+            def __init__(self, horizon, threshold):
+                super().__init__(horizon, threshold)
+                self.forecaster = object()  # no _sample_rng
+
+        bare = AutoscalingRuntime(
+            planner=DeterministicPlanner(6, 60.0), context_length=8,
+            horizon=6, threshold=60.0, start_tick=START_TICK,
+        )
+        with pytest.raises(ValueError, match="sampler"):
+            restore_from_checkpoint(tmp_path / "ckpt", runtime=bare)
+
+
+class TestModelWeights:
+    def test_neural_weights_round_trip_through_the_checkpoint(self, tmp_path):
+        from repro.core import FixedQuantilePolicy, RobustPredictiveAutoscaler
+        from repro.forecast import MLPForecaster, TrainingConfig
+
+        rng = np.random.default_rng(3)
+        train = np.abs(rng.normal(300, 60, size=120))
+        config = TrainingConfig(epochs=2, window_stride=4, seed=0)
+        forecaster = MLPForecaster(12, 4, config=config)
+        forecaster.fit(train)
+        planner = RobustPredictiveAutoscaler(
+            forecaster, 60.0, FixedQuantilePolicy(0.9)
+        )
+        runtime = AutoscalingRuntime(
+            planner=planner, context_length=12, horizon=4, threshold=60.0,
+        )
+        runtime.run(train[:30])
+        path = save_checkpoint(tmp_path / "ckpt", runtime=runtime,
+                               source_position=30)
+        assert (path / "model.npz").exists()
+        expected = forecaster.predict(train[-12:]).values
+
+        fresh = MLPForecaster(12, 4, config=config)
+        fresh_planner = RobustPredictiveAutoscaler(
+            fresh, 60.0, FixedQuantilePolicy(0.9)
+        )
+        fresh_runtime = AutoscalingRuntime(
+            planner=fresh_planner, context_length=12, horizon=4,
+            threshold=60.0,
+        )
+        restore_from_checkpoint(path, runtime=fresh_runtime,
+                                planner=fresh_planner)
+        np.testing.assert_array_equal(
+            fresh.predict(train[-12:]).values, expected
+        )

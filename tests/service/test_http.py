@@ -1,0 +1,217 @@
+"""Control-plane contract tests: real HTTP requests on an ephemeral port."""
+
+import http.client
+import json
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import AutoscalingRuntime, ScalingPlan
+from repro.core.plan import required_nodes
+from repro.service import GeneratorSource, ServiceRuntime
+
+
+class QuantilePlanner:
+    name = "quantile-double"
+
+    def __init__(self, horizon, threshold):
+        self.horizon = horizon
+        self.threshold = threshold
+
+    def plan(self, context, start_index=0):
+        base = float(np.mean(context))
+        levels = np.array([0.1, 0.5, 0.9])
+        values = np.vstack([
+            np.full(self.horizon, base * f) for f in (0.8, 1.0, 1.2)
+        ])
+        return ScalingPlan(
+            nodes=required_nodes(values[-1], self.threshold),
+            threshold=self.threshold,
+            strategy=self.name,
+            metadata={"forecast_levels": levels, "forecast_values": values},
+        )
+
+
+def request(port, method, path, body=None):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+    try:
+        conn.request(
+            method, path,
+            body=body if isinstance(body, (str, bytes, type(None)))
+            else json.dumps(body),
+        )
+        response = conn.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        conn.close()
+
+
+def start_service(service):
+    """Run a ServiceRuntime in a daemon thread; wait for its port."""
+    thread = threading.Thread(target=service.serve_forever, daemon=True)
+    thread.start()
+    deadline = time.monotonic() + 10
+    while service.port is None:
+        if time.monotonic() > deadline:
+            raise TimeoutError("service never bound its port")
+        time.sleep(0.01)
+    return thread
+
+
+def wait_for_ticks(port, count, timeout=10):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        status, health = request(port, "GET", "/health")
+        if status == 200 and health["ticks_processed"] >= count:
+            return health
+        time.sleep(0.02)
+    raise TimeoutError(f"service never processed {count} ticks")
+
+
+SERIES = list(np.abs(np.random.default_rng(5).normal(300, 60, size=30)))
+
+
+@pytest.fixture(scope="module")
+def warm(tmp_path_factory):
+    """A service that has drained a full trace (plans committed)."""
+    runtime = AutoscalingRuntime(
+        planner=QuantilePlanner(4, 60.0), context_length=6, horizon=4,
+        threshold=60.0,
+    )
+    service = ServiceRuntime(
+        runtime, GeneratorSource(SERIES),
+        checkpoint_dir=tmp_path_factory.mktemp("ckpt") / "snap",
+        linger=60.0,
+    )
+    thread = start_service(service)
+    wait_for_ticks(service.port, len(SERIES))
+    yield service
+    service.request_stop()
+    thread.join(timeout=10)
+
+
+@pytest.fixture(scope="module")
+def cold():
+    """A service with an empty source: no history, no plan."""
+    runtime = AutoscalingRuntime(
+        planner=QuantilePlanner(4, 60.0), context_length=6, horizon=4,
+        threshold=60.0,
+    )
+    service = ServiceRuntime(runtime, GeneratorSource([]), linger=60.0)
+    thread = start_service(service)
+    yield service
+    service.request_stop()
+    thread.join(timeout=10)
+
+
+class TestHealth:
+    def test_reports_loop_state(self, warm):
+        status, health = request(warm.port, "GET", "/health")
+        assert status == 200
+        assert health["status"] in ("serving", "draining")
+        assert health["ticks_processed"] == len(SERIES)
+        assert health["tick"] == len(SERIES)
+        assert health["decisions"] == len(warm.runtime.decisions)
+        assert health["last_target_nodes"] >= 1
+        assert health["planner_errors"] == 0
+
+    def test_monitor_is_null_when_not_attached(self, warm):
+        _, health = request(warm.port, "GET", "/health")
+        assert health["monitor"] is None
+
+
+class TestMetrics:
+    def test_snapshot_includes_service_counters(self, warm):
+        status, metrics = request(warm.port, "GET", "/metrics")
+        assert status == 200
+        assert {"counters", "gauges", "histograms", "spans"} <= metrics.keys()
+        # The ambient registry is process-wide, so assert a floor, not
+        # an exact count.
+        assert metrics["counters"].get("service.ticks", 0) >= len(SERIES)
+
+
+class TestForecast:
+    def test_committed_plan_with_quantile_surface(self, warm):
+        status, forecast = request(warm.port, "GET", "/forecast")
+        assert status == 200
+        assert forecast["strategy"] == "quantile-double"
+        assert forecast["levels"] == [0.1, 0.5, 0.9]
+        assert len(forecast["values"]) == 3
+        assert len(forecast["values"][0]) == forecast["horizon"] == 4
+        assert all(n >= 1 for n in forecast["nodes"])
+
+    def test_cold_start_is_409(self, cold):
+        status, payload = request(cold.port, "GET", "/forecast")
+        assert status == 409
+        assert "no committed plan" in payload["error"]
+
+
+class TestDecisions:
+    def test_returns_newest_decisions(self, warm):
+        status, payload = request(warm.port, "GET", "/decisions?limit=3")
+        assert status == 200
+        assert payload["total"] == len(warm.runtime.decisions)
+        assert len(payload["decisions"]) == 3
+        ticks = [d["tick"] for d in payload["decisions"]]
+        assert ticks == sorted(ticks)
+        for decision in payload["decisions"]:
+            assert {"tick", "source", "strategy", "nodes"} <= decision.keys()
+
+    @pytest.mark.parametrize("query", ["?limit=zebra", "?limit=0"])
+    def test_bad_limit_is_400(self, warm, query):
+        status, payload = request(warm.port, "GET", f"/decisions{query}")
+        assert status == 400
+        assert "limit" in payload["error"]
+
+
+class TestPlan:
+    def test_forces_an_immediate_replan(self, warm):
+        before = len(warm.runtime.decisions)
+        status, decision = request(warm.port, "POST", "/plan")
+        assert status == 200
+        assert decision["source"] == "predictive"
+        assert decision["tick"] == warm.runtime.tick
+        assert len(warm.runtime.decisions) == before + 1
+
+    def test_without_history_is_409(self, cold):
+        status, payload = request(cold.port, "POST", "/plan")
+        assert status == 409
+        assert "context window" in payload["error"]
+
+
+class TestCheckpoint:
+    def test_writes_a_restorable_checkpoint(self, warm):
+        status, payload = request(warm.port, "POST", "/checkpoint")
+        assert status == 200
+        from repro.service import load_checkpoint
+
+        state = load_checkpoint(payload["path"])
+        assert state["runtime"]["tick"] == payload["tick"]
+        assert state["source_position"] == len(SERIES)
+
+    def test_without_checkpoint_dir_is_409(self, cold):
+        status, payload = request(cold.port, "POST", "/checkpoint")
+        assert status == 409
+        assert "checkpoint" in payload["error"]
+
+    def test_malformed_json_body_is_400(self, warm):
+        status, payload = request(warm.port, "POST", "/checkpoint",
+                                  body="{not json")
+        assert status == 400
+        assert "JSON" in payload["error"]
+
+
+class TestRouting:
+    def test_unknown_path_is_404(self, warm):
+        status, payload = request(warm.port, "GET", "/nope")
+        assert status == 404
+        assert "no such endpoint" in payload["error"]
+
+    def test_wrong_method_is_405(self, warm):
+        assert request(warm.port, "POST", "/health")[0] == 405
+        assert request(warm.port, "GET", "/plan")[0] == 405
+
+    def test_trailing_slash_is_normalised(self, warm):
+        assert request(warm.port, "GET", "/health/")[0] == 200
