@@ -3,8 +3,10 @@
 
 Two phases, both against real subprocesses:
 
-1. **Live control plane** — start the daemon paced like a live feed,
-   poll every GET endpoint while it steps, force a replan and a
+1. **Live control plane** — start the daemon paced like a live feed
+   (with an SLO attached), poll every GET endpoint while it steps,
+   scrape and validate the Prometheus exposition, render the `top`
+   dashboard once against the live daemon, force a replan and a
    checkpoint over HTTP, and fail on any non-200 (or non-JSON body).
 2. **Crash/restore divergence** — run an uninterrupted session to
    completion, repeat it with a mid-trace checkpoint + early stop (the
@@ -31,6 +33,7 @@ REPO = Path(__file__).resolve().parent.parent
 SERVE = [sys.executable, "-m", "repro.cli", "serve",
          "--model", "naive", "--days", "6", "--context", "144",
          "--horizon", "36", "--replan-every", "12", "--monitor",
+         "--slo", "qos_violation_rate < 0.2 over 48",
          "--seed", "3"]
 CHECKPOINT_AT = 150
 MAX_TICKS = 165
@@ -53,6 +56,20 @@ def request(port: int, method: str, path: str):
         conn.request(method, path)
         response = conn.getresponse()
         return response.status, json.loads(response.read())
+    finally:
+        conn.close()
+
+
+def request_raw(port: int, path: str):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+    try:
+        conn.request("GET", path)
+        response = conn.getresponse()
+        return (
+            response.status,
+            response.getheader("Content-Type", ""),
+            response.read().decode("utf-8"),
+        )
     finally:
         conn.close()
 
@@ -95,15 +112,19 @@ def phase_live_control_plane(workdir: Path) -> None:
         port = wait_for_port(port_file, process)
         print(f"daemon on port {port}")
 
+        # The first SLO window closes once the monitor has a full
+        # calibration window past the 144-tick context (tick ~168).
         deadline = time.monotonic() + 60
         while True:
             status, health = request(port, "GET", "/health")
             if status != 200:
                 fail(f"/health returned {status}")
-            if health["ticks_processed"] >= 150:
+            if health["ticks_processed"] >= 150 and health.get("slo"):
                 break
             if time.monotonic() > deadline:
-                fail("daemon never reached 150 ticks")
+                fail(f"daemon never reached 150 ticks with SLO status "
+                     f"(at {health['ticks_processed']}, "
+                     f"slo={health.get('slo')!r})")
             time.sleep(0.2)
         print(f"health OK at tick {health['tick']} "
               f"({health['decisions']} decisions)")
@@ -111,6 +132,46 @@ def phase_live_control_plane(workdir: Path) -> None:
         status, metrics = request(port, "GET", "/metrics")
         if status != 200 or metrics["counters"].get("service.ticks", 0) < 150:
             fail(f"/metrics returned {status} or missing service.ticks")
+
+        entry = health["slo"][0]
+        if entry["objective"] != "qos_violation_rate < 0.2 over 48":
+            fail(f"unexpected SLO objective: {entry}")
+        if "budget_consumed" not in entry or "burn" not in entry:
+            fail(f"SLO status missing budget fields: {entry}")
+
+        status, ctype, text = request_raw(port, "/metrics?format=prometheus")
+        if status != 200 or "version=0.0.4" not in ctype:
+            fail(f"prometheus scrape returned {status} ({ctype})")
+        # Validate with the same tiny parser the unit tests use.
+        sys.path.insert(0, str(REPO / "src"))
+        from repro.obs import parse_exposition
+
+        families = parse_exposition(text)
+        if not any(name.startswith("repro_service_ticks") for name in families):
+            fail(f"prometheus exposition missing service.ticks: "
+                 f"{sorted(families)[:10]}")
+
+        status, traces = request(port, "GET", "/traces?limit=3")
+        if status != 200 or not traces["tracing"] or not traces["traces"]:
+            fail(f"/traces returned {status}: {traces}")
+        if not traces["traces"][-1]["spans"]:
+            fail("latest trace has no spans")
+
+        status, _ = request(port, "GET", "/decisions?limit=zebra")
+        if status != 400:
+            fail(f"bad ?limit returned {status}, expected 400")
+
+        top = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "top",
+             "--port", str(port), "--once"],
+            cwd=workdir, env=env(), capture_output=True, text=True,
+        )
+        if top.returncode != 0:
+            fail(f"top --once exited {top.returncode}:\n{top.stderr}")
+        if "repro-autoscale top" not in top.stdout or "SLO" not in top.stdout:
+            fail(f"top --once frame looks wrong:\n{top.stdout}")
+        print("observability endpoints OK (slo/prometheus/traces/top)")
+
         status, forecast = request(port, "GET", "/forecast")
         if status != 200 or len(forecast["nodes"]) != 36:
             fail(f"/forecast returned {status}")

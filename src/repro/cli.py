@@ -117,9 +117,20 @@ def _parse_faults(args: argparse.Namespace):
         raise SystemExit(str(error))
 
 
+def _monitoring_enabled(args: argparse.Namespace) -> bool:
+    """--monitor, or any --slo spec (SLOs need the health monitor feed)."""
+    return bool(getattr(args, "monitor", False) or getattr(args, "slo", None))
+
+
 def _build_monitor(args: argparse.Namespace):
-    """A ModelHealthMonitor wired to default + user alert rules."""
-    from .obs import AlertEngine, ModelHealthMonitor, default_rules, parse_rule
+    """A ModelHealthMonitor wired to default + user alert rules and SLOs."""
+    from .obs import (
+        AlertEngine,
+        ModelHealthMonitor,
+        SLOTracker,
+        default_rules,
+        parse_rule,
+    )
 
     nominal = getattr(args, "quantile", 0.9)
     rules = default_rules(nominal_level=nominal)
@@ -128,8 +139,18 @@ def _build_monitor(args: argparse.Namespace):
             rules.append(parse_rule(spec))
         except ValueError as error:
             raise SystemExit(str(error))
+    engine = AlertEngine(rules)
+    slos = None
+    if getattr(args, "slo", None):
+        # The tracker shares the alert engine, so SLO burn-rate alerts
+        # flow through the same firing path (and trigger plan-on-alert
+        # in the service daemon) as model-health alerts.
+        try:
+            slos = SLOTracker(args.slo, engine=engine)
+        except ValueError as error:
+            raise SystemExit(str(error))
     return ModelHealthMonitor(
-        window=args.monitor_window, alerts=AlertEngine(rules)
+        window=args.monitor_window, alerts=engine, slos=slos
     )
 
 
@@ -209,7 +230,7 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
         invalid_policy="impute" if faults else "raise",
     )
     monitor = None
-    if args.monitor:
+    if _monitoring_enabled(args):
         monitor = _build_monitor(args)
         runtime.monitor = monitor
         runtime.record_provenance = True
@@ -268,7 +289,7 @@ def cmd_backtest(args: argparse.Namespace) -> int:
     forecaster = _build_forecaster(args.model, args.context, args.horizon, args.epochs, args.seed)
     forecaster.fit(train.values)
     levels = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9)
-    monitor = _build_monitor(args) if args.monitor else None
+    monitor = _build_monitor(args) if _monitoring_enabled(args) else None
     result = backtest(
         forecaster,
         test.values,
@@ -322,7 +343,40 @@ def cmd_report(args: argparse.Namespace) -> int:
     if health:
         print()
         print(format_model_health(health))
+    if args.traces:
+        from .obs import render_trace_timeline
+
+        traces = [r for r in records if r.get("kind") == "trace"]
+        if not traces:
+            print()
+            print("no trace records in this telemetry file "
+                  "(traces are captured by `serve` and traced runs)")
+        for record in traces[-args.traces :]:
+            print()
+            print(render_trace_timeline(record))
     return 0
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """Live terminal dashboard over a running daemon's control plane."""
+    from .service import run_dashboard
+
+    port = args.port
+    if args.port_file:
+        from pathlib import Path
+
+        try:
+            port = int(Path(args.port_file).read_text().strip())
+        except (OSError, ValueError) as error:
+            print(f"cannot read port file: {error}", file=sys.stderr)
+            return 2
+    if port is None:
+        print("need --port or --port-file to find the daemon", file=sys.stderr)
+        return 2
+    return run_dashboard(
+        args.host, port, interval=args.interval, once=args.once,
+        width=args.width,
+    )
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
@@ -471,7 +525,9 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         faults=faults,
         replan_every=args.replan_every,
         start_index=len(train.values),
-        monitor_factory=(lambda: _build_monitor(args)) if args.monitor else None,
+        monitor_factory=(
+            (lambda: _build_monitor(args)) if _monitoring_enabled(args) else None
+        ),
     )
     print(format_chaos_report(report))
     if report.deterministic is False:
@@ -495,7 +551,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
 _SERVE_CONFIG_KEYS = (
     "trace", "days", "seed", "context", "horizon", "epochs", "threshold",
     "model", "quantile", "replan_every", "monitor", "monitor_window",
-    "alert", "faults", "source", "follow",
+    "alert", "slo", "faults", "source", "follow",
 )
 
 
@@ -515,6 +571,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from pathlib import Path
 
     from .core import AutoscalingRuntime
+    from .obs import TraceCollector
     from .service import (
         FileTailSource,
         GeneratorSource,
@@ -571,7 +628,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         start_tick=len(train.values),
         invalid_policy="impute" if faults else "raise",
     )
-    if args.monitor:
+    if _monitoring_enabled(args):
         runtime.monitor = _build_monitor(args)
         runtime.record_provenance = True
 
@@ -603,6 +660,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         max_ticks=args.max_ticks,
         config=config,
         decision_log=args.decisions_out,
+        tracer=TraceCollector(max_traces=64),
         linger=args.linger,
     )
 
@@ -667,6 +725,12 @@ def _monitoring_parent() -> argparse.ArgumentParser:
     p.add_argument("--alert", action="append", metavar="RULE",
                    help="extra alert rule, e.g. 'coverage@0.9 < 0.8 for 12' "
                         "or 'drift_score > 25' (repeatable)")
+    p.add_argument("--slo", action="append", metavar="SPEC",
+                   help="service-level objective with error-budget burn-rate "
+                        "alerting, e.g. 'qos_violation_rate < 0.05 over 288', "
+                        "'coverage@0.9 >= 0.85 over 144', or "
+                        "'plan_latency_p99 < 0.5s' (repeatable; implies "
+                        "--monitor)")
     return p
 
 
@@ -807,7 +871,28 @@ def build_parser() -> argparse.ArgumentParser:
         "report", help="summarise a telemetry file written with --telemetry"
     )
     p_report.add_argument("path", help="JSON-lines telemetry file")
+    p_report.add_argument("--traces", type=int, default=0, metavar="N",
+                          help="also render timelines for the last N step "
+                               "traces in the file")
     p_report.set_defaults(func=cmd_report)
+
+    p_top = sub.add_parser(
+        "top", help="live terminal dashboard over a running daemon"
+    )
+    p_top.add_argument("--host", default="127.0.0.1")
+    p_top.add_argument("--port", type=int, default=None,
+                       help="control-plane port of the daemon")
+    p_top.add_argument("--port-file", metavar="PATH", default=None,
+                       help="read the port from a file written by "
+                            "`serve --port-file`")
+    p_top.add_argument("--interval", type=float, default=2.0,
+                       help="seconds between refreshes (default 2)")
+    p_top.add_argument("--once", action="store_true",
+                       help="print a single frame and exit (no ANSI "
+                            "clearing; for scripts and smoke tests)")
+    p_top.add_argument("--width", type=int, default=80,
+                       help="frame width in columns (default 80)")
+    p_top.set_defaults(func=cmd_top)
     return parser
 
 

@@ -39,9 +39,14 @@ service layer's lossless checkpoint/restore.
 It also supports an optional reactive fallback for the cold-start phase
 (before enough history exists to form a context window) and records
 every decision for audit.  The loop is instrumented through
-:mod:`repro.obs`: planning latency (span ``runtime/plan``), decision and
-fallback counters, and a ``runtime.nodes_requested`` gauge all flow to
-the ambient metrics registry.
+:mod:`repro.obs`: per-phase latency (spans ``runtime.step/plan``,
+``runtime.step/actuate``, ``runtime.step/observe``, with the planner
+call itself under ``runtime.step/plan/planner``), decision and fallback
+counters, and a ``runtime.nodes_requested`` gauge all flow to the
+ambient metrics registry.  Attach a
+:class:`~repro.obs.trace.TraceCollector` to the registry and every step
+additionally becomes one trace record (trace_id = tick) with the same
+span tree.
 
 Two opt-in observability extensions ride on the loop:
 
@@ -87,6 +92,7 @@ registry (and therefore to the ``report`` subcommand).
 
 from __future__ import annotations
 
+import time
 import warnings
 from collections import deque
 from dataclasses import dataclass
@@ -167,6 +173,10 @@ class StepResult:
     degraded:
         True when the interval was served by a degraded (planner
         failure) plan.
+    phase_seconds:
+        Wall-clock seconds spent in each phase of this step, keyed
+        ``"plan"`` / ``"actuate"`` / ``"observe"``.  The same durations
+        feed the ``runtime.step/<phase>`` span histograms.
     """
 
     tick: int
@@ -176,6 +186,7 @@ class StepResult:
     decision: Decision | None = None
     observed: float | None = None
     degraded: bool = False
+    phase_seconds: dict[str, float] | None = None
 
 
 def _decision_record(
@@ -554,17 +565,39 @@ class AutoscalingRuntime:
         method.
         """
         tick = self._tick
-        decision = self.maybe_plan()
-        target = self.actuate()
-        degraded = bool(
-            self._current_plan is not None
-            and self._current_plan.metadata.get("degraded")
-        )
-        if self._current_plan is not None:
-            source = "degraded" if degraded else "predictive"
-        else:
-            source = "reactive-fallback"
-        observed = self.observe(workload)
+        metrics = get_registry()
+        tracer = metrics.tracer
+        if tracer is not None:
+            tracer.begin(tick)
+        status = "ok"
+        try:
+            with metrics.span("runtime.step"):
+                t0 = time.perf_counter()
+                with metrics.span("plan"):
+                    decision = self.maybe_plan()
+                t1 = time.perf_counter()
+                with metrics.span("actuate"):
+                    target = self.actuate()
+                degraded = bool(
+                    self._current_plan is not None
+                    and self._current_plan.metadata.get("degraded")
+                )
+                if self._current_plan is not None:
+                    source = "degraded" if degraded else "predictive"
+                else:
+                    source = "reactive-fallback"
+                t2 = time.perf_counter()
+                with metrics.span("observe"):
+                    observed = self.observe(workload)
+                t3 = time.perf_counter()
+        except BaseException:
+            status = "error"
+            raise
+        finally:
+            if tracer is not None:
+                trace = tracer.end(status)
+                if trace is not None and metrics.active:
+                    metrics.emit_event("trace", f"tick:{tick}", **trace)
         return StepResult(
             tick=tick,
             target_nodes=target,
@@ -573,6 +606,11 @@ class AutoscalingRuntime:
             decision=decision,
             observed=observed,
             degraded=degraded,
+            phase_seconds={
+                "plan": t1 - t0,
+                "actuate": t2 - t1,
+                "observe": t3 - t2,
+            },
         )
 
     def run(self, workload: np.ndarray) -> np.ndarray:
@@ -597,7 +635,7 @@ class AutoscalingRuntime:
         attempts = 1 + self.max_plan_retries
         for attempt in range(attempts):
             try:
-                with metrics.span("runtime/plan"):
+                with metrics.span("planner"):
                     plan = self.planner.plan(
                         context, start_index=self._tick - self.context_length
                     )

@@ -75,6 +75,9 @@ class ChaosReport:
     monitor_windows: int = 0
     drift_events: int = 0
     alerts_fired: int = 0
+    # Latest SLO error-budget status from the faulted run (empty unless
+    # the monitor carries an SLOTracker).
+    slo_status: list = field(default_factory=list)
 
     @property
     def violation_regression(self) -> float:
@@ -267,6 +270,12 @@ def chaos_run(
             if runtime.monitor is not None and runtime.monitor.alerts is not None
             else 0
         ),
+        slo_status=(
+            runtime.monitor.slos.status()
+            if runtime.monitor is not None
+            and getattr(runtime.monitor, "slos", None) is not None
+            else []
+        ),
     )
 
 
@@ -314,6 +323,19 @@ def format_chaos_report(report: ChaosReport) -> str:
             f"  model health        : {report.monitor_windows} windows, "
             f"{report.drift_events} drift events, "
             f"{report.alerts_fired} alerts"
+        )
+    for entry in report.slo_status:
+        state = "ok" if entry.get("healthy", True) else "BURNING"
+        if entry.get("slo_kind") == "latency":
+            value = entry.get("value_s")
+            shown = "n/a" if value is None else f"{value * 1e3:.1f}ms"
+            detail = f"p{entry.get('quantile')} {shown}"
+        else:
+            consumed = float(entry.get("budget_consumed", 0.0) or 0.0)
+            detail = f"budget used {consumed:.0%}"
+        lines.append(
+            f"  slo                 : [{state}] {entry.get('objective')} "
+            f"({detail})"
         )
     if report.deterministic is not None:
         verdict = "bit-identical" if report.deterministic else "DIVERGED"

@@ -53,6 +53,11 @@ from .monitor import (
     PageHinkley,
     WindowStats,
 )
+from .prometheus import (
+    PROMETHEUS_CONTENT_TYPE,
+    parse_exposition,
+    render_prometheus,
+)
 from .registry import (
     Counter,
     Gauge,
@@ -74,6 +79,14 @@ from .report import (
     summarize_records,
 )
 from .sinks import InMemorySink, JsonlSink, Sink, TableSink
+from .slo import (
+    SLO,
+    BurnRateRule,
+    SLOTracker,
+    default_burn_rates,
+    parse_slo,
+)
+from .trace import TraceCollector, render_trace_timeline
 
 __all__ = [
     "MetricsRegistry",
@@ -108,4 +121,14 @@ __all__ = [
     "read_jsonl",
     "format_summary",
     "format_model_health",
+    "SLO",
+    "BurnRateRule",
+    "SLOTracker",
+    "parse_slo",
+    "default_burn_rates",
+    "TraceCollector",
+    "render_trace_timeline",
+    "render_prometheus",
+    "parse_exposition",
+    "PROMETHEUS_CONTENT_TYPE",
 ]

@@ -274,7 +274,6 @@ class AlertEngine:
     def evaluate(self, record: dict) -> list[Alert]:
         """Test every rule against one window record; return new alerts."""
         fired: list[Alert] = []
-        registry = get_registry()
         for rule in self.rules:
             value = rule.value_from(record)
             if value is None:
@@ -282,22 +281,49 @@ class AlertEngine:
             if rule.breached(value):
                 streak = self._streaks.get(rule.name, 0) + 1
                 self._streaks[rule.name] = streak
-                if streak >= rule.for_windows and not self._firing.get(rule.name):
-                    self._firing[rule.name] = True
-                    alert = Alert(
-                        rule=rule,
+                if streak >= rule.for_windows:
+                    alert = self.fire(
+                        rule,
                         window=int(record.get("window", -1)),
                         end_index=int(record.get("end_index", -1)),
                         value=value,
                     )
-                    self.alerts.append(alert)
-                    fired.append(alert)
-                    registry.emit_event(**alert.as_record())
-                    registry.counter("alerts.fired", rule=rule.name).inc()
+                    if alert is not None:
+                        fired.append(alert)
             else:
                 self._streaks[rule.name] = 0
-                self._firing[rule.name] = False
+                self.resolve(rule.name)
         return fired
+
+    def fire(
+        self, rule: AlertRule, window: int, end_index: int, value: float
+    ) -> "Alert | None":
+        """Fire ``rule`` directly, honouring once-per-episode re-arm.
+
+        Used by evaluators that track their own breach condition (the
+        SLO burn-rate tracker) but want alerts logged, emitted, and
+        counted exactly like rule-engine firings.  Returns the new
+        :class:`Alert`, or None when the rule is already firing.
+        """
+        if self._firing.get(rule.name):
+            return None
+        self._firing[rule.name] = True
+        alert = Alert(
+            rule=rule, window=window, end_index=end_index, value=value
+        )
+        self.alerts.append(alert)
+        registry = get_registry()
+        registry.emit_event(**alert.as_record())
+        registry.counter("alerts.fired", rule=rule.name).inc()
+        return alert
+
+    def resolve(self, name: str) -> None:
+        """Mark a rule's breach episode over, re-arming it."""
+        self._firing[name] = False
+
+    def is_firing(self, name: str) -> bool:
+        """True while a rule is inside an unresolved breach episode."""
+        return bool(self._firing.get(name))
 
     def alert_records(self) -> list[dict]:
         """All fired alerts as plain event records."""

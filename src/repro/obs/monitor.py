@@ -38,6 +38,7 @@ from .registry import get_registry
 if TYPE_CHECKING:  # pragma: no cover
     from ..forecast.base import QuantileForecast
     from .alerts import AlertEngine
+    from .slo import SLOTracker
 
 __all__ = [
     "DriftDetector",
@@ -351,6 +352,11 @@ class ModelHealthMonitor:
     alerts:
         Optional :class:`~repro.obs.alerts.AlertEngine`; when present,
         every finalised window record is evaluated against its rules.
+    slos:
+        Optional :class:`~repro.obs.slo.SLOTracker`; when present,
+        every finalised window record feeds its error-budget ledgers
+        and burn-rate alerting (which fires through ``alerts`` when the
+        tracker shares that engine).
     eps:
         Denominator guard for MAPE.
     """
@@ -360,6 +366,7 @@ class ModelHealthMonitor:
         window: int = 24,
         detectors: "list[DriftDetector] | None" = None,
         alerts: "AlertEngine | None" = None,
+        slos: "SLOTracker | None" = None,
         eps: float = 1e-9,
     ) -> None:
         if window < 1:
@@ -369,6 +376,7 @@ class ModelHealthMonitor:
             list(detectors) if detectors is not None else [PageHinkley(), CUSUM()]
         )
         self.alerts = alerts
+        self.slos = slos
         self.eps = eps
 
         self.steps_observed = 0
@@ -570,6 +578,8 @@ class ModelHealthMonitor:
 
         if self.alerts is not None:
             self.alerts.evaluate(record)
+        if self.slos is not None:
+            self.slos.observe_window(record)
 
     # -- checkpoint/restore --------------------------------------------
     def state_dict(self) -> dict:
@@ -606,6 +616,7 @@ class ModelHealthMonitor:
                 "window_degraded": self._window_degraded,
             },
             "alerts": self.alerts.state_dict() if self.alerts is not None else None,
+            "slos": self.slos.state_dict() if self.slos is not None else None,
         }
 
     def load_state_dict(self, state: dict) -> "ModelHealthMonitor":
@@ -646,6 +657,9 @@ class ModelHealthMonitor:
         self._window_degraded = int(buffer["window_degraded"])
         if state["alerts"] is not None and self.alerts is not None:
             self.alerts.load_state_dict(state["alerts"])
+        # Older checkpoints predate SLO tracking; absence means empty.
+        if state.get("slos") is not None and self.slos is not None:
+            self.slos.load_state_dict(state["slos"])
         return self
 
     # -- inspection ----------------------------------------------------

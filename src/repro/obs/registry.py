@@ -139,6 +139,7 @@ class Histogram(_Metric):
         self.sum = 0.0
         self.min = np.inf
         self.max = -np.inf
+        self._filled = 0  # valid entries in the reservoir buffer
         self._reservoir = np.empty(reservoir_size, dtype=np.float64)
         # crc32, not hash(): str hashing is salted by PYTHONHASHSEED, so
         # reservoir contents (and thus quantiles) would differ between
@@ -156,8 +157,9 @@ class Histogram(_Metric):
         self.min = min(self.min, value)
         self.max = max(self.max, value)
         size = len(self._reservoir)
-        if self.count <= size:
-            self._reservoir[self.count - 1] = value
+        if self._filled < size:
+            self._reservoir[self._filled] = value
+            self._filled += 1
         else:
             slot = int(self._rng.integers(0, self.count))
             if slot < size:
@@ -173,28 +175,39 @@ class Histogram(_Metric):
         """
         if not state["count"]:
             return
-        filled = min(self.count, len(self._reservoir))
         self.count += int(state["count"])
         self.sum += state["sum"]
         self.min = min(self.min, state["min"])
         self.max = max(self.max, state["max"])
-        combined = np.concatenate([self._reservoir[:filled], np.asarray(state["reservoir"])])
+        combined = np.concatenate(
+            [self._reservoir[: self._filled], np.asarray(state["reservoir"])]
+        )
         size = len(self._reservoir)
         if len(combined) <= size:
             self._reservoir[: len(combined)] = combined
+            self._filled = len(combined)
         else:
             keep = np.sort(self._rng.choice(len(combined), size=size, replace=False))
             self._reservoir[:] = combined[keep]
+            self._filled = size
 
     @property
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
-    def quantile(self, q: float | np.ndarray) -> float | np.ndarray:
-        """Approximate quantile(s) from the reservoir sample."""
+    def quantile(self, q: float | np.ndarray) -> float | np.ndarray | None:
+        """Approximate quantile(s) from the reservoir sample.
+
+        Returns ``None`` when the histogram has a count but no sampled
+        values (a merged state can carry moments without a reservoir) —
+        the quantile is unknowable, and ``None`` stays valid JSON where
+        NaN would not.
+        """
         if self.count == 0:
             raise ValueError(f"histogram {self.key!r} has no observations")
-        sample = self._reservoir[: min(self.count, len(self._reservoir))]
+        if self._filled == 0:
+            return None
+        sample = self._reservoir[: self._filled]
         result = np.quantile(sample, q)
         return float(result) if np.ndim(result) == 0 else result
 
@@ -230,6 +243,7 @@ class MetricsRegistry:
         self._sinks: list[Sink] = list(sinks) if sinks else []
         self._time = time_source
         self._span_stack: list[str] = []
+        self._tracer = None
 
     # -- metric accessors ------------------------------------------------
     def _intern(self, cls, name: str, labels: LabelDict, **kwargs) -> _Metric:
@@ -263,12 +277,20 @@ class MetricsRegistry:
         """
         self._span_stack.append(name)
         path = "/".join(self._span_stack)
+        tracer = self._tracer
+        token = tracer.open_span(path, labels) if tracer is not None else None
+        status = "ok"
         start = time.perf_counter()
         try:
             yield
+        except BaseException:
+            status = "error"
+            raise
         finally:
             duration = time.perf_counter() - start
             self._span_stack.pop()
+            if token is not None:
+                tracer.close_span(token, duration, status)
             histogram = self._intern(Histogram, f"span/{path}", labels)
             # Record without the generic histogram event; spans carry
             # their own richer record.
@@ -279,6 +301,7 @@ class MetricsRegistry:
                     "name": path,
                     "labels": dict(labels),
                     "duration_s": duration,
+                    "status": status,
                     "depth": len(self._span_stack),
                 }
             )
@@ -287,6 +310,23 @@ class MetricsRegistry:
     def current_span_path(self) -> str | None:
         """Slash-joined path of the currently open spans (None at top level)."""
         return "/".join(self._span_stack) or None
+
+    # -- tracing ---------------------------------------------------------
+    def set_tracer(self, tracer):
+        """Attach a :class:`~repro.obs.trace.TraceCollector` (or None).
+
+        While attached, every completed ``span()`` block is also
+        recorded as a trace span; returns the previously attached
+        tracer so callers can restore it.
+        """
+        previous = self._tracer
+        self._tracer = tracer
+        return previous
+
+    @property
+    def tracer(self):
+        """The attached trace collector, or None."""
+        return self._tracer
 
     # -- sinks and snapshots ---------------------------------------------
     def add_sink(self, sink: "Sink") -> None:
@@ -343,7 +383,6 @@ class MetricsRegistry:
             elif isinstance(metric, Gauge):
                 gauges.append({**entry, "value": metric.value})
             elif isinstance(metric, Histogram):
-                filled = min(metric.count, len(metric._reservoir))
                 histograms.append(
                     {
                         **entry,
@@ -351,11 +390,14 @@ class MetricsRegistry:
                         "sum": metric.sum,
                         "min": metric.min,
                         "max": metric.max,
-                        "reservoir": metric._reservoir[:filled].tolist(),
+                        "reservoir": metric._reservoir[: metric._filled].tolist(),
                         "reservoir_size": len(metric._reservoir),
                     }
                 )
-        return {"counters": counters, "gauges": gauges, "histograms": histograms}
+        state = {"counters": counters, "gauges": gauges, "histograms": histograms}
+        if self._tracer is not None and self._tracer.finished:
+            state["traces"] = self._tracer.drain()
+        return state
 
     def merge_state_dict(self, state: dict, span_prefix: str | None = None) -> None:
         """Fold a worker's :meth:`state_dict` into this registry.
@@ -388,6 +430,9 @@ class MetricsRegistry:
                 reservoir_size=entry.get("reservoir_size", 1024),
             )
             histogram.merge_state(entry)
+        if self._tracer is not None:
+            for trace in state.get("traces", []):
+                self._tracer.absorb(trace, span_prefix=span_prefix)
 
     def snapshot(self) -> dict[str, dict]:
         """Aggregate state as plain dicts, keyed by flat metric key.

@@ -20,6 +20,7 @@ import numpy as np
 from .registry import format_metric_key
 
 __all__ = [
+    "KNOWN_KINDS",
     "SpanSummary",
     "DistributionSummary",
     "TelemetrySummary",
@@ -72,6 +73,24 @@ class DistributionSummary:
         return float(np.max(self.values)) if self.values else 0.0
 
 
+#: Record kinds some part of the reporting pipeline understands.
+#: Anything else is surfaced as a per-kind count, not dropped silently.
+KNOWN_KINDS = frozenset(
+    {
+        "counter",
+        "gauge",
+        "histogram",
+        "span",
+        "model_health",
+        "alert",
+        "provenance",
+        "decision",
+        "slo",
+        "trace",
+    }
+)
+
+
 @dataclass
 class TelemetrySummary:
     """Everything a telemetry stream said, aggregated."""
@@ -81,6 +100,7 @@ class TelemetrySummary:
     histograms: dict[str, DistributionSummary] = field(default_factory=dict)
     spans: dict[str, SpanSummary] = field(default_factory=dict)
     records: int = 0
+    unknown_kinds: dict[str, int] = field(default_factory=dict)
 
     def counter_total(self, name: str) -> float:
         """Sum of a counter across all label sets (e.g. all strategies)."""
@@ -112,6 +132,9 @@ def summarize_records(records: Iterable[dict]) -> TelemetrySummary:
             summary.spans.setdefault(key, SpanSummary()).add(
                 float(record.get("duration_s", 0.0))
             )
+        elif kind not in KNOWN_KINDS:
+            label = str(kind) if kind is not None else "<missing>"
+            summary.unknown_kinds[label] = summary.unknown_kinds.get(label, 0) + 1
     return summary
 
 
@@ -130,13 +153,20 @@ class ModelHealthSummary:
     drifts: list[dict] = field(default_factory=list)
     alerts: list[dict] = field(default_factory=list)
     provenance: list[dict] = field(default_factory=list)
+    slos: dict[str, dict] = field(default_factory=dict)  # latest per objective
 
     def __bool__(self) -> bool:
-        return bool(self.windows or self.drifts or self.alerts or self.provenance)
+        return bool(
+            self.windows
+            or self.drifts
+            or self.alerts
+            or self.provenance
+            or self.slos
+        )
 
 
 def summarize_model_health(records: Iterable[dict]) -> ModelHealthSummary:
-    """Collect window/drift/alert/provenance records from an event stream."""
+    """Collect window/drift/alert/provenance/slo records from a stream."""
     health = ModelHealthSummary()
     for record in records:
         kind = record.get("kind")
@@ -149,6 +179,8 @@ def summarize_model_health(records: Iterable[dict]) -> ModelHealthSummary:
             health.alerts.append(record)
         elif kind == "provenance":
             health.provenance.append(record)
+        elif kind == "slo":
+            health.slos[record.get("objective", record.get("name", "?"))] = record
     return health
 
 
@@ -231,6 +263,28 @@ def format_model_health(
                 f"  [{alert.get('severity', 'warning'):<8}] "
                 f"{alert.get('message', alert.get('name', '?'))}"
             )
+
+    if health.slos:
+        lines.append("")
+        lines.append("  SLO error budgets (latest window)")
+        for objective, entry in health.slos.items():
+            state = "ok  " if entry.get("healthy", True) else "FIRE"
+            if entry.get("slo_kind") == "latency":
+                value = entry.get("value_s")
+                shown_value = f"{value:.3f}s" if value is not None else "-"
+                detail = (
+                    f"p{int(entry.get('quantile', 0.99) * 100)} {shown_value} "
+                    f"vs {entry.get('threshold_s', 0.0):g}s"
+                )
+            else:
+                consumed = entry.get("budget_consumed", 0.0) or 0.0
+                burns = entry.get("burn", {})
+                burn_bits = " ".join(
+                    f"{severity[:4]} {stats.get('long_burn', 0.0):.1f}x"
+                    for severity, stats in burns.items()
+                )
+                detail = f"budget used {consumed * 100:5.1f}%  burn {burn_bits}"
+            lines.append(f"  [{state}] {objective:<38} {detail}")
 
     if health.provenance:
         lines.append("")
@@ -341,6 +395,15 @@ def _training_section(summary: TelemetrySummary) -> list[str]:
 def format_summary(summary: TelemetrySummary) -> str:
     """Render the aggregate view as an aligned plain-text table."""
     lines: list[str] = [f"telemetry summary ({summary.records} records)"]
+    if summary.unknown_kinds:
+        kinds = ", ".join(
+            f"{kind} x{count}"
+            for kind, count in sorted(summary.unknown_kinds.items())
+        )
+        lines.append(
+            f"  note: skipped records of unknown kind ({kinds}) — "
+            f"likely written by a newer version"
+        )
     lines.extend(_training_section(summary))
 
     if summary.spans:

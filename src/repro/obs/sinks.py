@@ -70,7 +70,17 @@ class JsonlSink:
     def emit(self, record: dict) -> None:
         if self._file is None:
             raise ValueError(f"JsonlSink({self.path}) already closed")
-        self._file.write(json.dumps(record, default=_jsonable) + "\n")
+        try:
+            line = json.dumps(record, default=_jsonable, allow_nan=False)
+        except ValueError:
+            # Non-finite floats (empty-histogram min/max, inf burn
+            # rates) would serialize as bare NaN/Infinity tokens no
+            # strict JSON parser accepts; null them instead.  The
+            # round-trip normalises numpy scalars first so _sanitize
+            # only ever sees plain floats.
+            normalized = json.loads(json.dumps(record, default=_jsonable))
+            line = json.dumps(_sanitize(normalized), allow_nan=False)
+        self._file.write(line + "\n")
         self.records_written += 1
         self._unflushed += 1
         if self._unflushed >= self.flush_every:
@@ -87,6 +97,17 @@ class JsonlSink:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+
+def _sanitize(value):
+    """Replace non-finite floats with None, recursively."""
+    if isinstance(value, float):
+        return value if value == value and abs(value) != float("inf") else None
+    if isinstance(value, dict):
+        return {key: _sanitize(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_sanitize(item) for item in value]
+    return value
 
 
 def _jsonable(value):

@@ -66,8 +66,14 @@ def _worker_main(inbox, outbox) -> None:
 
     * ``("payload", digest, payload_bytes)`` — cache the pickled shared
       ``{"fn", "context"}`` payload; replaces any previous one.
-    * ``("tasks", digest, [(index, item), ...])`` — run each item under
-      a fresh telemetry registry and ship back one message per item.
+    * ``("tasks", digest, [(index, item), ...][, trace_ctx])`` — run
+      each item under a fresh telemetry registry and ship back one
+      message per item.  ``trace_ctx`` (``{"trace_id", "parent_id"}``)
+      rides on the per-call message, *not* the digest-cached payload,
+      so tracing never invalidates the payload cache; when present,
+      each item's spans are collected under deterministic
+      ``w<index>.<n>`` span ids and shipped back inside the registry
+      state for the parent to graft into its live trace.
     * ``("stop",)`` — exit the loop.
 
     The payload is cached as *bytes* and unpickled once per task chunk
@@ -81,6 +87,7 @@ def _worker_main(inbox, outbox) -> None:
     parent's collection loop.
     """
     from .obs.registry import MetricsRegistry, using_registry
+    from .obs.trace import TraceCollector
 
     payload_bytes: bytes | None = None
     payload_digest: str | None = None
@@ -94,6 +101,7 @@ def _worker_main(inbox, outbox) -> None:
             payload_bytes = message[2]
             continue
         expected_digest, chunk = message[1], message[2]
+        trace_ctx = message[3] if len(message) > 3 else None
         payload: dict | None = None
         for index, item in chunk:
             try:
@@ -104,8 +112,22 @@ def _worker_main(inbox, outbox) -> None:
                 fn: Callable[[Any, Any], Any] = payload["fn"]
                 context = payload["context"]
                 registry = MetricsRegistry()
+                if trace_ctx is not None:
+                    # Span ids are prefixed by *item* index, so the
+                    # merged trace is identical however the chunks
+                    # landed on workers.
+                    collector = TraceCollector(
+                        max_traces=4, id_prefix=f"w{index}."
+                    )
+                    collector.begin(
+                        trace_ctx["trace_id"],
+                        parent_id=trace_ctx.get("parent_id"),
+                    )
+                    registry.set_tracer(collector)
                 with using_registry(registry):
                     result = fn(context, item)
+                if registry.tracer is not None:
+                    registry.tracer.end("ok")
                 reply = ("ok", index, result, registry.state_dict())
             except BaseException as exc:  # ship the failure, keep serving
                 reply = ("error", index, exc)
@@ -206,13 +228,20 @@ class WorkerPool:
 
     # -- execution -------------------------------------------------------
     def run(
-        self, fn: Callable[[Any, Any], Any], items: Sequence[Any], context: Any
+        self,
+        fn: Callable[[Any, Any], Any],
+        items: Sequence[Any],
+        context: Any,
+        trace_ctx: dict | None = None,
     ) -> list[tuple[Any, dict]]:
         """Map ``fn(context, item)`` over ``items`` on the pool.
 
         Returns ``[(result, telemetry_state), ...]`` in item order.  The
         first worker exception (by item index) is re-raised, after every
         outstanding task has been drained so the pool stays reusable.
+        ``trace_ctx`` (``{"trace_id", "parent_id"}``) propagates the
+        caller's live trace into the workers; it travels on the task
+        message so the payload cache is untouched.
         """
         payload = pickle.dumps({"fn": fn, "context": context})
         digest = hashlib.sha256(payload).hexdigest()
@@ -230,7 +259,9 @@ class WorkerPool:
         for rank, worker in enumerate(workers):
             size = base + (1 if rank < extra else 0)
             if size:
-                worker.inbox.put(("tasks", digest, indexed[start : start + size]))
+                worker.inbox.put(
+                    ("tasks", digest, indexed[start : start + size], trace_ctx)
+                )
             start += size
 
         results: list[tuple[Any, dict] | None] = [None] * len(indexed)
@@ -336,12 +367,19 @@ def parallel_map(
     from .obs import get_registry
 
     registry = merge_into if merge_into is not None else get_registry()
+    tracer = registry.tracer
+    trace_ctx = None
+    if tracer is not None and tracer.active:
+        trace_ctx = {
+            "trace_id": tracer.trace_id,
+            "parent_id": tracer.current_span_id,
+        }
     processes = min(n_jobs, len(work))
     if reuse_pool:
-        pairs = get_shared_pool(processes).run(fn, work, context)
+        pairs = get_shared_pool(processes).run(fn, work, context, trace_ctx)
     else:
         with WorkerPool(processes) as pool:
-            pairs = pool.run(fn, work, context)
+            pairs = pool.run(fn, work, context, trace_ctx)
     # Merge in item order -> deterministic; re-root worker spans under
     # whatever spans are open here (e.g. a worker's "predict" becomes
     # "backtest/predict", matching what a serial run records).

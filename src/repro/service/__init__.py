@@ -11,8 +11,10 @@ daemon with an operational surface:
   loop that steps the runtime per tick, re-plans on schedule or on
   health alert, and coordinates checkpoints;
 * :mod:`repro.service.http` — a stdlib-only HTTP+JSON control plane
-  (``GET /forecast /decisions /health /metrics``, ``POST /plan
-  /checkpoint``);
+  (``GET /forecast /decisions /traces /series /health /metrics``,
+  ``POST /plan /checkpoint``);
+* :mod:`repro.service.dashboard` — ``repro-autoscale top``, a
+  terminal dashboard polling the control plane;
 * :mod:`repro.service.checkpoint` — lossless checkpoint/restore of
   runtime + monitor + drift detectors + model state, so ``repro serve
   --restore`` resumes mid-trace with bit-identical subsequent
@@ -28,6 +30,8 @@ Run it from the CLI (``repro-autoscale serve``) or embed it::
 
 from .checkpoint import load_checkpoint, restore_from_checkpoint, save_checkpoint
 from .daemon import ServiceRuntime
+from .dashboard import render_dashboard, run_dashboard
+from .http import ControlPlane, HttpError, RawResponse
 from .sources import (
     FileTailSource,
     GeneratorSource,
@@ -38,6 +42,11 @@ from .sources import (
 
 __all__ = [
     "ServiceRuntime",
+    "ControlPlane",
+    "HttpError",
+    "RawResponse",
+    "render_dashboard",
+    "run_dashboard",
     "TelemetrySource",
     "GeneratorSource",
     "FileTailSource",

@@ -30,17 +30,34 @@ from __future__ import annotations
 
 import asyncio
 import time
+from collections import deque
 from pathlib import Path
 from typing import Any
 
 from ..core.runtime import AutoscalingRuntime, Decision, StepResult
-from ..obs import get_registry
+from ..obs import PROMETHEUS_CONTENT_TYPE, get_registry, render_prometheus
 from ..obs.sinks import JsonlSink
+from ..obs.trace import TraceCollector
 from .checkpoint import save_checkpoint
-from .http import ControlPlane, HttpError
+from .http import ControlPlane, HttpError, RawResponse
 from .sources import TelemetrySource
 
 __all__ = ["ServiceRuntime"]
+
+#: How many recent ticks ``GET /series`` retains for dashboards.
+_SERIES_RING = 512
+
+
+def _parse_limit(query: dict, default: int) -> int:
+    """``?limit=N`` with a 400 on anything that is not a positive int."""
+    raw = query.get("limit", default)
+    try:
+        limit = int(raw)
+    except (TypeError, ValueError):
+        raise HttpError(400, f"limit must be an integer, got {raw!r}")
+    if limit < 1:
+        raise HttpError(400, "limit must be >= 1")
+    return limit
 
 
 def _decision_payload(decision: Decision) -> dict:
@@ -96,6 +113,10 @@ class ServiceRuntime:
     plan_on_alert:
         Re-plan at the next tick whenever the monitor's alert engine
         fires a new alert.
+    tracer:
+        Optional :class:`~repro.obs.trace.TraceCollector`; when given,
+        :meth:`run` attaches it to the ambient registry so every step
+        produces a trace record, and ``GET /traces`` serves the ring.
     linger:
         Seconds to keep the control plane up after the tick stream
         ends (lets probes scrape final state; 0 exits immediately).
@@ -116,6 +137,7 @@ class ServiceRuntime:
         config: "dict | None" = None,
         decision_log: "str | Path | None" = None,
         plan_on_alert: bool = True,
+        tracer: "TraceCollector | None" = None,
         linger: float = 0.0,
     ) -> None:
         self.runtime = runtime
@@ -128,7 +150,9 @@ class ServiceRuntime:
         self.config = dict(config) if config else {}
         self.decision_log_path = Path(decision_log) if decision_log else None
         self.plan_on_alert = plan_on_alert
+        self.tracer = tracer
         self.linger = float(linger)
+        self.series: deque[dict] = deque(maxlen=_SERIES_RING)
 
         self.control = ControlPlane(self._routes(), host=host, port=port)
         self.ticks_processed = 0  # this session (restored ticks excluded)
@@ -170,6 +194,9 @@ class ServiceRuntime:
             self._decision_sink = JsonlSink(self.decision_log_path)
         await self.control.start()
         self.status = "serving"
+        previous_tracer = None
+        if self.tracer is not None:
+            previous_tracer = get_registry().set_tracer(self.tracer)
         try:
             await self._step_loop()
             self.status = "draining"
@@ -180,6 +207,8 @@ class ServiceRuntime:
                     pass
         finally:
             self.status = "stopped"
+            if self.tracer is not None:
+                get_registry().set_tracer(previous_tracer)
             await self.control.stop()
             if self._decision_sink is not None:
                 self._decision_sink.close()
@@ -193,6 +222,17 @@ class ServiceRuntime:
             result = self.runtime.step(value)
             self.last_step = result
             self.ticks_processed += 1
+            self.series.append(
+                {
+                    "tick": result.tick,
+                    "workload": (
+                        float(result.observed)
+                        if result.observed is not None
+                        else None
+                    ),
+                    "nodes": result.target_nodes,
+                }
+            )
             metrics.counter("service.ticks").inc()
             self._drain_decisions()
             if self.plan_on_alert:
@@ -286,6 +326,8 @@ class ServiceRuntime:
             ("GET", "/metrics"): self._handle_metrics,
             ("GET", "/forecast"): self._handle_forecast,
             ("GET", "/decisions"): self._handle_decisions,
+            ("GET", "/traces"): self._handle_traces,
+            ("GET", "/series"): self._handle_series,
             ("POST", "/plan"): self._handle_plan,
             ("POST", "/checkpoint"): self._handle_checkpoint,
         }
@@ -308,10 +350,29 @@ class ServiceRuntime:
             "last_target_nodes": (
                 self.last_step.target_nodes if self.last_step else None
             ),
+            "alerts_fired": self._alert_count(),
+            "phases": (
+                self.last_step.phase_seconds if self.last_step else None
+            ),
+            "slo": (
+                monitor.slos.status()
+                if monitor is not None and monitor.slos is not None
+                else None
+            ),
             "monitor": monitor.summary() if monitor is not None else None,
         }
 
-    def _handle_metrics(self, query: dict, body: Any) -> dict:
+    def _handle_metrics(self, query: dict, body: Any) -> Any:
+        fmt = query.get("format", "json")
+        if fmt == "prometheus":
+            return RawResponse(
+                render_prometheus(get_registry().snapshot()),
+                content_type=PROMETHEUS_CONTENT_TYPE,
+            )
+        if fmt != "json":
+            raise HttpError(
+                400, f"unknown format {fmt!r} (expected json or prometheus)"
+            )
         return get_registry().snapshot()
 
     def _handle_forecast(self, query: dict, body: Any) -> dict:
@@ -335,16 +396,32 @@ class ServiceRuntime:
         return payload
 
     def _handle_decisions(self, query: dict, body: Any) -> dict:
-        try:
-            limit = int(query.get("limit", 50))
-        except ValueError:
-            raise HttpError(400, f"limit must be an integer, got {query['limit']!r}")
-        if limit < 1:
-            raise HttpError(400, "limit must be >= 1")
+        limit = _parse_limit(query, default=50)
         decisions = self.runtime.decisions[-limit:]
         return {
             "total": len(self.runtime.decisions),
             "decisions": [_decision_payload(d) for d in decisions],
+        }
+
+    def _handle_traces(self, query: dict, body: Any) -> dict:
+        limit = _parse_limit(query, default=10)
+        tracer = self.tracer or get_registry().tracer
+        if tracer is None:
+            return {"total": 0, "tracing": False, "traces": []}
+        traces = tracer.traces(limit)
+        return {
+            "total": len(tracer.finished),
+            "tracing": True,
+            "traces": traces,
+        }
+
+    def _handle_series(self, query: dict, body: Any) -> dict:
+        limit = _parse_limit(query, default=120)
+        points = list(self.series)[-limit:]
+        return {
+            "total": len(self.series),
+            "threshold": float(self.runtime.threshold),
+            "points": points,
         }
 
     def _handle_plan(self, query: dict, body: Any) -> dict:

@@ -1,0 +1,207 @@
+"""``repro-autoscale top`` — a terminal dashboard over the control plane.
+
+Zero dependencies beyond the stdlib: it polls the daemon's HTTP
+control plane (``/health``, ``/series``, ``/decisions``) and redraws a
+compact operator view every ``--interval`` seconds:
+
+* loop counters (tick, decisions, planner errors, degraded intervals);
+* SLO error budgets — consumed fraction as a bar, burn rates, and a
+  ``FIRING`` marker when a burn-rate alert is active;
+* the most recent scaling decisions (tick, source, first-step nodes);
+* a workload-vs-capacity sparkline (observed workload against
+  ``nodes x threshold``), the at-a-glance picture of whether the
+  autoscaler is keeping up.
+
+``run_dashboard(..., once=True)`` prints a single frame without ANSI
+clearing — that is what the CI smoke job and the end-to-end test call.
+Rendering is pure (:func:`render_dashboard`), so tests never need a
+terminal.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+
+__all__ = ["fetch", "render_dashboard", "run_dashboard", "sparkline"]
+
+#: Eight-level block ramp; index 0 (space) means "no data".
+SPARK = " ▁▂▃▄▅▆▇█"
+
+_CLEAR = "\x1b[2J\x1b[H"
+_BOLD = "\x1b[1m"
+_RED = "\x1b[31m"
+_GREEN = "\x1b[32m"
+_YELLOW = "\x1b[33m"
+_DIM = "\x1b[2m"
+_RESET = "\x1b[0m"
+
+
+def fetch(host: str, port: int, path: str, timeout: float = 5.0) -> dict:
+    """GET a control-plane endpoint and decode the JSON payload."""
+    conn = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        conn.request("GET", path)
+        response = conn.getresponse()
+        raw = response.read()
+    finally:
+        conn.close()
+    payload = json.loads(raw.decode("utf-8"))
+    if response.status != 200:
+        message = payload.get("error", raw.decode("utf-8", "replace"))
+        raise RuntimeError(f"GET {path} -> {response.status}: {message}")
+    return payload
+
+
+def sparkline(values: "list[float | None]", width: int = 60) -> str:
+    """Render values as a fixed-width unicode sparkline.
+
+    None values (rejected observations) render as spaces; the scale is
+    shared across the whole window so capacity and workload sparklines
+    drawn from the same maximum are comparable.
+    """
+    if width < 1:
+        return ""
+    tail = values[-width:]
+    finite = [v for v in tail if v is not None]
+    if not finite:
+        return " " * width
+    top = max(max(finite), 1e-12)
+    chars = []
+    for v in tail:
+        if v is None:
+            chars.append(SPARK[0])
+            continue
+        level = int(round((max(v, 0.0) / top) * (len(SPARK) - 2))) + 1
+        chars.append(SPARK[min(level, len(SPARK) - 1)])
+    return "".join(chars).rjust(width)
+
+
+def _bar(fraction: float, width: int = 20) -> str:
+    filled = int(round(min(max(fraction, 0.0), 1.0) * width))
+    return "#" * filled + "." * (width - filled)
+
+
+def _paint(text: str, code: str, color: bool) -> str:
+    return f"{code}{text}{_RESET}" if color else text
+
+
+def render_dashboard(
+    health: dict,
+    series: "dict | None" = None,
+    decisions: "dict | None" = None,
+    width: int = 80,
+    color: bool = True,
+) -> str:
+    """Pure renderer: control-plane payloads in, one frame of text out."""
+    lines: list[str] = []
+    status = health.get("status", "?")
+    status_code = _GREEN if status == "serving" else _YELLOW
+    lines.append(
+        _paint("repro-autoscale top", _BOLD, color)
+        + f"  status={_paint(str(status), status_code, color)}"
+        + f"  tick={health.get('tick', '?')}"
+        + f"  uptime={health.get('uptime_s', 0.0):.0f}s"
+    )
+    lines.append(
+        f"  decisions={health.get('decisions', 0)}"
+        f"  planner_errors={health.get('planner_errors', 0)}"
+        f"  degraded={health.get('degraded_intervals', 0)}"
+        f"  alert_replans={health.get('alert_replans', 0)}"
+        f"  alerts={health.get('alerts_fired', 0)}"
+    )
+    phases = health.get("phases") or {}
+    if phases:
+        timings = "  ".join(
+            f"{name}={seconds * 1e3:.1f}ms" for name, seconds in phases.items()
+        )
+        lines.append(_paint(f"  last step: {timings}", _DIM, color))
+
+    slos = health.get("slo") or []
+    if slos:
+        lines.append("")
+        lines.append(_paint("SLO error budgets", _BOLD, color))
+        for entry in slos:
+            objective = entry.get("objective", "?")
+            if not entry.get("healthy", True):
+                flag = _paint("FIRING", _RED, color)
+            else:
+                flag = _paint("ok", _GREEN, color)
+            if entry.get("slo_kind") == "latency":
+                value = entry.get("value_s")
+                shown = "n/a" if value is None else f"{value * 1e3:.1f}ms"
+                lines.append(
+                    f"  [{flag}] {objective}  p{entry.get('quantile', '?')}"
+                    f"={shown} vs {entry.get('threshold_s', 0.0) * 1e3:.0f}ms"
+                )
+                continue
+            consumed = float(entry.get("budget_consumed", 0.0) or 0.0)
+            burns = entry.get("burn", {})
+            burn_bits = "  ".join(
+                f"{sev[:4]} {rates.get('long_burn') or 0.0:.1f}x"
+                for sev, rates in burns.items()
+            )
+            lines.append(
+                f"  [{flag}] {objective}"
+                f"  budget [{_bar(consumed)}] {consumed * 100:.0f}%  {burn_bits}"
+            )
+
+    recent = (decisions or {}).get("decisions", [])
+    if recent:
+        lines.append("")
+        lines.append(_paint("recent decisions", _BOLD, color))
+        for d in recent[-5:]:
+            lines.append(
+                f"  tick {d.get('tick', '?'):>6}  {d.get('source', '?'):<18}"
+                f" nodes={d.get('nodes_first', '?')}"
+            )
+
+    points = (series or {}).get("points", [])
+    if points:
+        threshold = float((series or {}).get("threshold", 0.0) or 0.0)
+        workload = [p.get("workload") for p in points]
+        capacity = [
+            (p.get("nodes") or 0) * threshold if threshold else None
+            for p in points
+        ]
+        spark_width = max(width - 12, 10)
+        lines.append("")
+        lines.append(_paint("workload vs capacity", _BOLD, color))
+        lines.append("  capacity  " + sparkline(capacity, spark_width))
+        lines.append("  workload  " + sparkline(workload, spark_width))
+    return "\n".join(lines)
+
+
+def run_dashboard(
+    host: str,
+    port: int,
+    interval: float = 2.0,
+    once: bool = False,
+    width: int = 80,
+) -> int:
+    """Poll the control plane and redraw; returns a process exit code."""
+    try:
+        while True:
+            try:
+                health = fetch(host, port, "/health")
+                series = fetch(host, port, "/series?limit=240")
+                decisions = fetch(host, port, "/decisions?limit=5")
+            except (OSError, RuntimeError, ValueError) as error:
+                print(
+                    f"repro-autoscale top: cannot reach {host}:{port}: {error}"
+                )
+                if once:
+                    return 1
+                time.sleep(interval)
+                continue
+            frame = render_dashboard(
+                health, series, decisions, width=width, color=not once
+            )
+            if once:
+                print(frame)
+                return 0
+            print(_CLEAR + frame, flush=True)
+            time.sleep(interval)
+    except KeyboardInterrupt:
+        return 0

@@ -10,10 +10,13 @@ Endpoints (the operational surface the daemon exposes):
 ====== ============== ==================================================
 Method Path           Meaning
 ====== ============== ==================================================
-GET    /health        liveness + loop counters + latest model health
-GET    /metrics       the live ambient obs registry, as a snapshot
+GET    /health        liveness + loop counters + SLO status + health
+GET    /metrics       obs registry snapshot (``?format=prometheus``
+                      for the text exposition)
 GET    /forecast      quantile forecast behind the committed plan
 GET    /decisions     recent audit log (``?limit=N``, newest last)
+GET    /traces        recent step traces (``?limit=N``, newest last)
+GET    /series        recent workload/capacity points for dashboards
 POST   /plan          force a replan now; returns the new decision
 POST   /checkpoint    write a checkpoint; returns its path
 ====== ============== ==================================================
@@ -31,7 +34,7 @@ import json
 from typing import Any, Callable
 from urllib.parse import parse_qs, urlsplit
 
-__all__ = ["ControlPlane", "HttpError"]
+__all__ = ["ControlPlane", "HttpError", "RawResponse"]
 
 _STATUS_TEXT = {
     200: "OK",
@@ -54,6 +57,24 @@ class HttpError(Exception):
         super().__init__(message)
         self.status = status
         self.message = message
+
+
+class RawResponse:
+    """A handler result served verbatim instead of JSON-encoded.
+
+    The escape hatch for non-JSON payloads — the Prometheus text
+    exposition at ``/metrics?format=prometheus`` returns one of these.
+    """
+
+    def __init__(
+        self,
+        body: str | bytes,
+        content_type: str = "text/plain; charset=utf-8",
+        status: int = 200,
+    ) -> None:
+        self.body = body.encode("utf-8") if isinstance(body, str) else body
+        self.content_type = content_type
+        self.status = status
 
 
 class ControlPlane:
@@ -107,10 +128,16 @@ class ControlPlane:
             status, payload = await self._respond(reader)
         except Exception as error:  # a broken handler must not kill the daemon
             status, payload = 500, {"error": f"{type(error).__name__}: {error}"}
-        body = json.dumps(payload, default=_jsonable).encode("utf-8")
+        if isinstance(payload, RawResponse):
+            status = payload.status
+            content_type = payload.content_type
+            body = payload.body
+        else:
+            content_type = "application/json"
+            body = json.dumps(payload, default=_jsonable).encode("utf-8")
         head = (
             f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
-            f"Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Connection: close\r\n\r\n"
         ).encode("ascii")

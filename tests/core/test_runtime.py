@@ -304,7 +304,10 @@ class TestTelemetry:
         assert snap["counters"]["runtime.fallback_activations"] == 6
         expected_plans = snap["counters"]["runtime.decisions{source=predictive}"]
         assert expected_plans >= 1
-        assert snap["spans"]["runtime/plan"]["count"] == expected_plans
+        assert snap["spans"]["runtime.step/plan/planner"]["count"] == expected_plans
+        # Every step times all three phases.
+        for phase in ("plan", "actuate", "observe"):
+            assert snap["spans"][f"runtime.step/{phase}"]["count"] == len(series)
         assert snap["gauges"]["runtime.nodes_requested"] == allocations[-1]
 
         # The same facts flow to the sink as a replayable event stream.

@@ -166,3 +166,56 @@ def test_backtest_repeated_parallel_calls_stay_deterministic(fitted):
     for other in runs[1:]:
         for a, b in zip(runs[0].forecasts, other.forecasts):
             assert np.array_equal(a.values, b.values)
+
+
+# -- tracing across the pool ----------------------------------------------
+
+
+def _traced_run(forecaster, test_values, n_jobs):
+    from repro.obs import (
+        InMemorySink,
+        MetricsRegistry,
+        TraceCollector,
+        using_registry,
+    )
+
+    registry = MetricsRegistry(sinks=[InMemorySink()])
+    collector = TraceCollector()
+    registry.set_tracer(collector)
+    collector.begin(0)
+    with using_registry(registry):
+        result = _run(forecaster, test_values, n_jobs=n_jobs)
+    return result, collector.end()
+
+
+def test_backtest_results_identical_with_tracing_attached(fitted):
+    """Tracing observes, never perturbs: n_jobs=1 == n_jobs=2 bit-for-bit."""
+    forecaster, test_values = fitted
+    serial, serial_trace = _traced_run(forecaster, test_values, n_jobs=1)
+    fanned, fanned_trace = _traced_run(forecaster, test_values, n_jobs=2)
+    assert serial.points == fanned.points
+    for a, b in zip(serial.forecasts, fanned.forecasts):
+        assert np.array_equal(a.values, b.values)
+    # Same span names either way: re-rooting makes a worker's "predict"
+    # land where the serial run records it.
+    names = lambda t: sorted(s["name"] for s in t["spans"])  # noqa: E731
+    assert names(serial_trace) == names(fanned_trace)
+
+
+def test_worker_spans_rerooted_into_parent_trace(fitted):
+    forecaster, test_values = fitted
+    result, trace = _traced_run(forecaster, test_values, n_jobs=2)
+    assert trace["status"] == "ok"
+    by_name = {}
+    for span in trace["spans"]:
+        by_name.setdefault(span["name"], []).append(span)
+    (backtest_span,) = by_name["backtest"]
+    predicts = by_name["backtest/predict"]
+    assert len(predicts) == len(result.points)
+    worker_spans = [s for s in predicts if s["span_id"].startswith("w")]
+    assert worker_spans  # at least some windows really crossed the pool
+    for span in worker_spans:
+        # Deterministic ids keyed by item, not by worker scheduling.
+        assert span["span_id"].endswith(".1")
+        assert span["parent_id"] == backtest_span["span_id"]
+        assert span["status"] == "ok"

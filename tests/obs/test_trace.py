@@ -1,0 +1,249 @@
+"""TraceCollector lifecycle, registry integration, and timeline rendering."""
+
+import pytest
+
+from repro.obs import (
+    InMemorySink,
+    MetricsRegistry,
+    TraceCollector,
+    render_trace_timeline,
+    using_registry,
+)
+
+
+class TestLifecycle:
+    def test_begin_end_produces_a_trace(self):
+        collector = TraceCollector()
+        collector.begin(42)
+        assert collector.active
+        assert collector.trace_id == 42
+        trace = collector.end("ok")
+        assert not collector.active
+        assert trace["trace_id"] == 42
+        assert trace["status"] == "ok"
+        assert trace["duration_s"] >= 0.0
+        assert collector.traces_finished == 1
+        assert list(collector.finished) == [trace]
+
+    def test_end_without_begin_is_noop(self):
+        collector = TraceCollector()
+        assert collector.end() is None
+        assert collector.traces_finished == 0
+
+    def test_begin_ends_a_dangling_trace(self):
+        collector = TraceCollector()
+        collector.begin(1)
+        collector.begin(2)
+        assert collector.traces_finished == 1
+        assert collector.finished[-1]["trace_id"] == 1
+        assert collector.trace_id == 2
+
+    def test_ring_evicts_oldest(self):
+        collector = TraceCollector(max_traces=2)
+        for tick in range(4):
+            collector.begin(tick)
+            collector.end()
+        assert [t["trace_id"] for t in collector.finished] == [2, 3]
+
+    def test_invalid_ring_size(self):
+        with pytest.raises(ValueError):
+            TraceCollector(max_traces=0)
+
+    def test_drain_empties_the_ring(self):
+        collector = TraceCollector()
+        collector.begin(1)
+        collector.end()
+        assert [t["trace_id"] for t in collector.drain()] == [1]
+        assert collector.drain() == []
+
+    def test_traces_limit(self):
+        collector = TraceCollector()
+        for tick in range(5):
+            collector.begin(tick)
+            collector.end()
+        assert [t["trace_id"] for t in collector.traces(2)] == [3, 4]
+
+
+class TestSpans:
+    def test_span_nesting_and_parent_ids(self):
+        collector = TraceCollector()
+        collector.begin(7)
+        outer = collector.open_span("step", {})
+        inner = collector.open_span("plan", {})
+        assert inner["parent_id"] == outer["span_id"]
+        collector.close_span(inner, 0.1, "ok")
+        collector.close_span(outer, 0.2, "ok")
+        trace = collector.end()
+        assert [s["name"] for s in trace["spans"]] == ["step", "plan"]
+        assert trace["spans"][0]["parent_id"] is None
+
+    def test_span_ids_are_deterministic(self):
+        def run():
+            collector = TraceCollector(id_prefix="w0.")
+            collector.begin(1)
+            a = collector.open_span("a", {})
+            collector.close_span(a, 0.0, "ok")
+            b = collector.open_span("b", {})
+            collector.close_span(b, 0.0, "ok")
+            return [s["span_id"] for s in collector.end()["spans"]]
+
+        assert run() == run() == ["w0.1", "w0.2"]
+
+    def test_error_status_propagates_to_trace(self):
+        collector = TraceCollector()
+        collector.begin(1)
+        span = collector.open_span("boom", {})
+        collector.close_span(span, 0.0, "error")
+        trace = collector.end("ok")
+        assert trace["status"] == "error"
+        assert trace["spans"][0]["status"] == "error"
+
+    def test_open_spans_closed_as_error_at_end(self):
+        collector = TraceCollector()
+        collector.begin(1)
+        collector.open_span("leaked", {})
+        trace = collector.end("error")
+        assert trace["spans"][0]["status"] == "error"
+        assert trace["spans"][0]["duration_s"] >= 0.0
+
+    def test_open_span_outside_trace_returns_none(self):
+        collector = TraceCollector()
+        assert collector.open_span("orphan", {}) is None
+        collector.close_span(None, 0.0, "ok")  # must not raise
+
+
+class TestRegistryIntegration:
+    def test_registry_spans_feed_the_tracer(self):
+        registry = MetricsRegistry(sinks=[InMemorySink()])
+        collector = TraceCollector()
+        assert registry.set_tracer(collector) is None
+        collector.begin(9)
+        with using_registry(registry):
+            with registry.span("runtime.step"):
+                with registry.span("plan"):
+                    pass
+        trace = collector.end()
+        names = [s["name"] for s in trace["spans"]]
+        assert names == ["runtime.step", "runtime.step/plan"]
+        child = trace["spans"][1]
+        assert child["parent_id"] == trace["spans"][0]["span_id"]
+        # Histograms still aggregate alongside the trace.
+        snap = registry.snapshot()
+        assert snap["spans"]["runtime.step/plan"]["count"] == 1
+
+    def test_span_error_status_recorded(self):
+        registry = MetricsRegistry(sinks=[InMemorySink()])
+        collector = TraceCollector()
+        registry.set_tracer(collector)
+        collector.begin(1)
+        with pytest.raises(RuntimeError):
+            with registry.span("explode"):
+                raise RuntimeError("boom")
+        trace = collector.end()
+        assert trace["status"] == "error"
+        assert trace["spans"][0]["status"] == "error"
+
+    def test_set_tracer_returns_previous(self):
+        registry = MetricsRegistry()
+        a, b = TraceCollector(), TraceCollector()
+        assert registry.set_tracer(a) is None
+        assert registry.set_tracer(b) is a
+        assert registry.tracer is b
+
+    def test_state_dict_ships_finished_traces(self):
+        registry = MetricsRegistry(sinks=[InMemorySink()])
+        collector = TraceCollector()
+        registry.set_tracer(collector)
+        collector.begin(3)
+        with using_registry(registry):
+            with registry.span("work"):
+                pass
+        collector.end()
+        state = registry.state_dict()
+        assert [t["trace_id"] for t in state["traces"]] == [3]
+        assert not collector.finished  # drained into the state dict
+
+
+class TestAbsorb:
+    def test_absorb_into_matching_live_trace(self):
+        parent = TraceCollector()
+        parent.begin(5)
+        anchor = parent.open_span("backtest", {})
+
+        worker = TraceCollector(id_prefix="w0.")
+        worker.begin(5)
+        span = worker.open_span("predict", {})
+        worker.close_span(span, 0.01, "ok")
+        finished = worker.end()
+
+        parent.absorb(finished, span_prefix="workers/w0")
+        parent.close_span(anchor, 0.1, "ok")
+        trace = parent.end()
+        merged = [s for s in trace["spans"] if s["name"].startswith("workers/")]
+        assert len(merged) == 1
+        assert merged[0]["name"] == "workers/w0/predict"
+        assert merged[0]["span_id"] == "w0.1"
+        # Re-rooted: the worker's root span hangs off the parent's anchor.
+        assert merged[0]["parent_id"] == anchor["span_id"]
+        assert merged[0]["start_s"] >= 0.0
+
+    def test_absorb_without_matching_trace_keeps_whole(self):
+        parent = TraceCollector()
+        worker = TraceCollector(id_prefix="w1.")
+        worker.begin(99)
+        worker.end()
+        parent.absorb(worker.finished[-1])
+        assert parent.finished[-1]["trace_id"] == 99
+
+    def test_absorb_propagates_error(self):
+        parent = TraceCollector()
+        parent.begin(5)
+        parent.absorb({"trace_id": 5, "status": "error", "spans": []})
+        assert parent.end()["status"] == "error"
+
+
+class TestTimeline:
+    def sample_trace(self):
+        return {
+            "trace_id": 17,
+            "status": "ok",
+            "duration_s": 0.1,
+            "spans": [
+                {"span_id": "1", "parent_id": None, "name": "runtime.step",
+                 "start_s": 0.0, "duration_s": 0.1, "status": "ok"},
+                {"span_id": "2", "parent_id": "1", "name": "plan",
+                 "start_s": 0.0, "duration_s": 0.08, "status": "ok"},
+                {"span_id": "3", "parent_id": "1", "name": "observe",
+                 "start_s": 0.09, "duration_s": 0.01, "status": "error"},
+            ],
+        }
+
+    def test_header_and_rows(self):
+        out = render_trace_timeline(self.sample_trace())
+        lines = out.splitlines()
+        assert lines[0].startswith("trace 17 [ok]")
+        assert "3 spans" in lines[0]
+        assert any("runtime.step" in line for line in lines)
+        assert any("plan" in line for line in lines)
+
+    def test_critical_path_marked(self):
+        out = render_trace_timeline(self.sample_trace())
+        starred = [l for l in out.splitlines() if l.startswith("*")]
+        assert any("runtime.step" in l for l in starred)
+        assert any("plan" in l for l in starred)
+        assert not any("observe" in l for l in starred)
+
+    def test_error_span_flagged(self):
+        out = render_trace_timeline(self.sample_trace())
+        (line,) = [l for l in out.splitlines() if "observe" in l]
+        assert line.rstrip().endswith("!")
+
+    def test_empty_trace_renders_header_only(self):
+        out = render_trace_timeline(
+            {"trace_id": 1, "status": "ok", "duration_s": 0.0, "spans": []}
+        )
+        assert out == "trace 1 [ok] 0us - 0 spans"
+
+    def test_pure_ascii(self):
+        out = render_trace_timeline(self.sample_trace())
+        out.encode("ascii")  # raises if any non-ASCII slipped in

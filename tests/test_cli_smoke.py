@@ -36,7 +36,7 @@ class TestEvaluateWithTelemetry:
         assert "runtime.fallback_activations" in names
         assert "runtime.nodes_requested" in names
         assert "simulator.intervals" in names
-        assert "runtime/plan" in names  # span path
+        assert "runtime.step/plan/planner" in names  # span path
         assert all("ts" in r for r in records)
 
     def test_no_telemetry_flag_writes_nothing(self, tmp_path, capsys):
@@ -56,7 +56,7 @@ class TestReport:
         out = capsys.readouterr().out
         assert "telemetry summary" in out
         assert "phase timings (spans)" in out
-        assert "runtime/plan" in out
+        assert "runtime.step/plan/planner" in out
         assert "runtime.fallback_activations" in out
         assert "simulator.intervals" in out
         assert "gauges (last value)" in out
@@ -103,6 +103,64 @@ class TestReport:
         path.write_bytes(b"\xff\xfe\x00\x01binary junk")
         assert main(["report", str(path)]) == 2
         assert "not a text file" in capsys.readouterr().err
+
+    def test_report_notes_unknown_record_kinds(self, tmp_path, capsys):
+        """Records from a newer writer are counted, not silently dropped."""
+        path = tmp_path / "future.jsonl"
+        path.write_text(
+            '{"kind": "counter", "name": "c", "labels": {}, "value": 1}\n'
+            '{"kind": "flamegraph", "name": "f"}\n'
+            '{"kind": "flamegraph", "name": "g"}\n'
+        )
+        assert main(["report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "skipped records of unknown kind" in out
+        assert "flamegraph x2" in out
+        assert "newer version" in out
+
+
+class TestReportTraces:
+    def trace_record(self, trace_id):
+        return {
+            "kind": "trace",
+            "trace_id": trace_id,
+            "status": "ok",
+            "duration_s": 0.02,
+            "spans": [
+                {"span_id": "1", "parent_id": None, "name": "runtime.step",
+                 "start_s": 0.0, "duration_s": 0.02, "status": "ok"},
+                {"span_id": "2", "parent_id": "1", "name": "runtime.step/plan",
+                 "start_s": 0.0, "duration_s": 0.015, "status": "ok"},
+            ],
+        }
+
+    def test_renders_last_n_timelines(self, tmp_path, capsys):
+        path = tmp_path / "traced.jsonl"
+        path.write_text(
+            "".join(json.dumps(self.trace_record(t)) + "\n" for t in range(5))
+        )
+        assert main(["report", str(path), "--traces", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "trace 3 [ok]" in out
+        assert "trace 4 [ok]" in out
+        assert "trace 2 [ok]" not in out  # only the last N render
+        assert "runtime.step/plan" in out
+        assert "|" in out  # timeline bars, not raw dicts
+
+    def test_no_trace_records_prints_friendly_notice(self, tmp_path, capsys):
+        path = tmp_path / "plain.jsonl"
+        path.write_text(
+            '{"kind": "counter", "name": "c", "labels": {}, "value": 1}\n'
+        )
+        assert main(["report", str(path), "--traces", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "no trace records in this telemetry file" in out
+
+    def test_traces_flag_off_by_default(self, tmp_path, capsys):
+        path = tmp_path / "traced.jsonl"
+        path.write_text(json.dumps(self.trace_record(9)) + "\n")
+        assert main(["report", str(path)]) == 0
+        assert "trace 9" not in capsys.readouterr().out
 
 
 class TestMonitorFlags:
