@@ -13,7 +13,13 @@ Three measurements around the analytic training kernels
 * **pool_reuse** — repeated ``backtest(n_jobs=2)`` calls on the shared
   persistent pool, against serial and against a fresh throwaway pool
   per call (the historical regression: per-call pool spawn made small
-  parallel backtests ~14x slower than serial).
+  parallel backtests ~14x slower than serial); records
+  ``parallel_speedup`` (serial over reused-pool median);
+* **float32_kernels** — the fused LSTM training kernels
+  (:func:`repro.nn.fastgrad.lstm_forward_train` + backward) run in
+  float32 vs float64 at benchmark shapes.  Training itself stays
+  float64; this measures the kernel headroom the inference float32 mode
+  taps into.
 
 Variants are timed interleaved (fast, tape, fast, tape, ...) so clock
 drift hits both equally — ratios are stable where absolute numbers are
@@ -165,8 +171,69 @@ def bench_pool_reuse(
         "fresh_pool": {"best_ms": float(np.min(fresh)), "median_ms": float(np.median(fresh))},
         "pool_startup_ms": startup_ms,
         "reuse_speedup_vs_fresh": float(np.min(fresh)) / times["reused"]["best_ms"],
+        "parallel_speedup": times["serial"]["median_ms"] / times["reused"]["median_ms"],
         "jobs": jobs,
         "deterministic": bool(identical),
+    }
+
+
+def bench_float32_kernels(
+    hidden_size: int, num_layers: int, repeats: int,
+    batch: int = 64, steps: int = 72, features: int = 6,
+) -> dict:
+    """Fused LSTM forward+backward, float32 vs float64, same shapes.
+
+    Gradients are compared against the float64 run (max relative
+    difference) as a sanity record — float32 training is not wired up,
+    so this is informational, not gated.
+    """
+    from repro.nn import fastgrad
+
+    rng = np.random.default_rng(11)
+    x = rng.normal(size=(batch, steps, features))
+    layer_params = []
+    for layer in range(num_layers):
+        in_size = features if layer == 0 else hidden_size
+        layer_params.append((
+            rng.normal(size=(in_size, 4 * hidden_size), scale=0.1),
+            rng.normal(size=(hidden_size, 4 * hidden_size), scale=0.1),
+            rng.normal(size=4 * hidden_size, scale=0.1),
+        ))
+
+    def run(dtype):
+        def fn() -> None:
+            outputs, caches = fastgrad.lstm_forward_train(
+                x, layer_params, hidden_size, dtype=dtype
+            )
+            fastgrad.lstm_backward(np.ones_like(outputs), caches, hidden_size)
+
+        return fn
+
+    times = interleaved_times(
+        {"float64": run(np.float64), "float32": run(np.float32)}, repeats
+    )
+
+    grads = {}
+    for dtype in (np.float64, np.float32):
+        outputs, caches = fastgrad.lstm_forward_train(
+            x, layer_params, hidden_size, dtype=dtype
+        )
+        grads[dtype], _ = fastgrad.lstm_backward(
+            np.ones_like(outputs), caches, hidden_size
+        )
+    rel_diffs = []
+    for g64, g32 in zip(grads[np.float64], grads[np.float32]):
+        for a, b in zip(g64, g32):
+            denom = np.maximum(np.abs(a), 1e-8)
+            rel_diffs.append(float(np.max(np.abs(a - b.astype(np.float64)) / denom)))
+    return {
+        **times,
+        "speedup": times["float64"]["median_ms"] / times["float32"]["median_ms"],
+        "max_rel_grad_diff": max(rel_diffs),
+        "batch": batch,
+        "steps": steps,
+        "hidden_size": hidden_size,
+        "num_layers": num_layers,
     }
 
 
@@ -217,6 +284,9 @@ def main(argv: list[str] | None = None) -> int:
         },
     }
 
+    print("timing float32 kernels...", file=sys.stderr)
+    report["float32_kernels"] = bench_float32_kernels(32, 2, repeats)
+
     print("timing pool reuse...", file=sys.stderr)
     eval_forecaster = _make_deepar(True, 1, context_length, horizon).fit(train.values)
     report["pool_reuse"] = bench_pool_reuse(
@@ -238,12 +308,20 @@ def main(argv: list[str] | None = None) -> int:
             f"parity {model:6s}: max rel loss diff {p['max_rel_loss_diff']:.2e} "
             f"({'ok' if p['ok'] else 'FAIL'})"
         )
+    fk = report["float32_kernels"]
+    print(
+        f"float32_kern: f64 {fk['float64']['best_ms']:.0f}ms  "
+        f"f32 {fk['float32']['best_ms']:.0f}ms  -> {fk['speedup']:.2f}x, "
+        f"max rel grad diff {fk['max_rel_grad_diff']:.2e}"
+    )
     pr = report["pool_reuse"]
     print(
         f"pool_reuse  : serial {pr['serial']['best_ms']:.0f}ms  "
         f"reused {pr['reused']['best_ms']:.0f}ms  "
         f"fresh {pr['fresh_pool']['best_ms']:.0f}ms  "
-        f"-> {pr['reuse_speedup_vs_fresh']:.1f}x, deterministic={pr['deterministic']}"
+        f"-> {pr['reuse_speedup_vs_fresh']:.1f}x "
+        f"({pr['parallel_speedup']:.2f}x vs serial), "
+        f"deterministic={pr['deterministic']}"
     )
     print(f"wrote {args.output}")
 

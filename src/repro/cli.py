@@ -56,20 +56,29 @@ from .traces import STEPS_PER_DAY, alibaba_like_trace, google_like_trace
 TRACES = {"alibaba": alibaba_like_trace, "google": google_like_trace}
 
 
-def _build_forecaster(name: str, context: int, horizon: int, epochs: int, seed: int):
+def _build_forecaster(
+    name: str, context: int, horizon: int, epochs: int, seed: int,
+    dtype: str | None = None,
+):
     config = TrainingConfig(epochs=epochs, window_stride=2, seed=seed)
     grid = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99)
     if name == "tft":
-        return TFTForecaster(context, horizon, quantile_levels=grid, config=config)
-    if name == "deepar":
-        return DeepARForecaster(context, horizon, config=config)
-    if name == "mlp":
-        return MLPForecaster(context, horizon, config=config)
-    if name == "arima":
-        return ARIMAForecaster(horizon)
-    if name == "naive":
-        return SeasonalNaiveForecaster(horizon, season=STEPS_PER_DAY)
-    raise SystemExit(f"unknown model {name!r}")
+        forecaster = TFTForecaster(context, horizon, quantile_levels=grid, config=config)
+    elif name == "deepar":
+        forecaster = DeepARForecaster(context, horizon, config=config)
+    elif name == "mlp":
+        forecaster = MLPForecaster(context, horizon, config=config)
+    elif name == "arima":
+        forecaster = ARIMAForecaster(horizon)
+    elif name == "naive":
+        forecaster = SeasonalNaiveForecaster(horizon, season=STEPS_PER_DAY)
+    else:
+        raise SystemExit(f"unknown model {name!r}")
+    # --dtype float32 selects single-precision inference kernels on the
+    # models that have them; statistical baselines ignore it.
+    if dtype and dtype != "float64" and hasattr(forecaster, "set_inference_dtype"):
+        forecaster.set_inference_dtype(dtype)
+    return forecaster
 
 
 def _load_trace(args: argparse.Namespace):
@@ -169,7 +178,8 @@ def _print_model_health(monitor, provenance: list[dict]) -> None:
 
 def cmd_forecast(args: argparse.Namespace) -> int:
     train, test = _load_trace(args)
-    forecaster = _build_forecaster(args.model, args.context, args.horizon, args.epochs, args.seed)
+    forecaster = _build_forecaster(args.model, args.context, args.horizon, args.epochs, args.seed,
+                                   dtype=getattr(args, "dtype", None))
     forecaster.fit(train.values)
     context = test.values[: args.context]
     fc = forecaster.predict(context, start_index=len(train.values))
@@ -196,7 +206,8 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     from .simulator import replay_plan
 
     train, test = _load_trace(args)
-    forecaster = _build_forecaster(args.model, args.context, args.horizon, args.epochs, args.seed)
+    forecaster = _build_forecaster(args.model, args.context, args.horizon, args.epochs, args.seed,
+                                   dtype=getattr(args, "dtype", None))
     forecaster.fit(train.values)
     if args.inject_shift:
         from .traces.anomalies import inject_level_shift
@@ -286,7 +297,8 @@ def cmd_backtest(args: argparse.Namespace) -> int:
     from .evaluation.report import format_table
 
     train, test = _load_trace(args)
-    forecaster = _build_forecaster(args.model, args.context, args.horizon, args.epochs, args.seed)
+    forecaster = _build_forecaster(args.model, args.context, args.horizon, args.epochs, args.seed,
+                                   dtype=getattr(args, "dtype", None))
     forecaster.fit(train.values)
     levels = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9)
     monitor = _build_monitor(args) if _monitoring_enabled(args) else None
@@ -441,7 +453,8 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 
     train, test = _load_trace(args)
     forecaster = _build_forecaster(
-        args.model, args.context, args.horizon, args.epochs, args.seed
+        args.model, args.context, args.horizon, args.epochs, args.seed,
+        dtype=getattr(args, "dtype", None),
     )
     forecaster.fit(train.values)
     planner = RobustPredictiveAutoscaler(
@@ -503,7 +516,8 @@ def cmd_chaos(args: argparse.Namespace) -> int:
 
     train, test = _load_trace(args)
     forecaster = _build_forecaster(
-        args.model, args.context, args.horizon, args.epochs, args.seed
+        args.model, args.context, args.horizon, args.epochs, args.seed,
+        dtype=getattr(args, "dtype", None),
     )
     forecaster.fit(train.values)
     scaler = RobustPredictiveAutoscaler(
@@ -551,7 +565,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
 _SERVE_CONFIG_KEYS = (
     "trace", "days", "seed", "context", "horizon", "epochs", "threshold",
     "model", "quantile", "replan_every", "monitor", "monitor_window",
-    "alert", "slo", "faults", "source", "follow",
+    "alert", "slo", "faults", "source", "follow", "dtype",
 )
 
 
@@ -597,7 +611,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     train, test = _load_trace(args)
     forecaster = _build_forecaster(
-        args.model, args.context, args.horizon, args.epochs, args.seed
+        args.model, args.context, args.horizon, args.epochs, args.seed,
+        dtype=getattr(args, "dtype", None),
     )
     # With checkpointed weights the (expensive) fit is skipped; models
     # without weight persistence refit deterministically from the seed.
@@ -710,6 +725,10 @@ def _common_parent() -> argparse.ArgumentParser:
                    help="worker processes for commands that fan out "
                         "(backtest); results are bit-identical to a "
                         "serial run and worker telemetry is merged")
+    p.add_argument("--dtype", choices=("float64", "float32"), default="float64",
+                   help="inference kernel precision: float64 (default) is "
+                        "bitwise-reproducible; float32 is faster with a "
+                        "small, gate-checked accuracy delta (docs/nn.md)")
     return p
 
 

@@ -55,6 +55,17 @@ def _predict_window(context: dict, point: int) -> QuantileForecast:
         )
 
 
+def _predict_chunk(context: dict, chunk: list[int]) -> list[QuantileForecast]:
+    """A contiguous batch of decision windows — the parallel task unit.
+
+    One chunk per worker amortises payload unpickling, registry setup,
+    and the reply message over many windows instead of paying them per
+    window.  Each window still reseeds from its *absolute* point, so the
+    forecasts are independent of how the windows were chunked.
+    """
+    return [_predict_window(context, point) for point in chunk]
+
+
 @dataclass
 class BacktestResult:
     """All forecasts and actuals from a rolling-origin evaluation."""
@@ -164,14 +175,15 @@ def backtest(
         share the forecaster's ongoing sampling rng stream.  Any integer
         ``>= 1`` switches to the deterministic path — the sampler is
         reseeded per decision window from ``(seed, window)`` — and
-        ``>= 2`` fans windows across spawn workers.  Because draws then
+        ``>= 2`` fans windows across spawn workers, one contiguous
+        chunk of windows per worker.  Because draws then
         depend only on the window, ``n_jobs=1`` and ``n_jobs=4`` give
         bit-identical results; the monitor is fed in window order either
         way, and worker telemetry merges into the ambient registry.
     """
     from ..core.evaluation import decision_points
     from ..obs import get_registry
-    from ..parallel import parallel_map
+    from ..parallel import chunk_evenly, parallel_map
 
     values = np.asarray(values, dtype=np.float64)
     points = decision_points(len(values), context_length, horizon, stride)
@@ -198,7 +210,19 @@ def backtest(
                 "context_length": context_length,
                 "series_start_index": series_start_index,
             }
-            forecasts = parallel_map(_predict_window, points, context, n_jobs=n_jobs)
+            # Coarse grain: one contiguous chunk of windows per worker,
+            # not one task per window.  The chunk layout depends only on
+            # (len(points), n_jobs), and every window reseeds from its
+            # absolute point, so results stay bit-identical across
+            # n_jobs — only the task-message count changes.
+            chunks = chunk_evenly(points, n_jobs)
+            forecasts = [
+                forecast
+                for batch in parallel_map(
+                    _predict_chunk, chunks, context, n_jobs=n_jobs, serial_threshold=1
+                )
+                for forecast in batch
+            ]
         for point, forecast in zip(points, forecasts):
             metrics.counter("backtest.windows", model=model).inc()
             result.forecasts.append(forecast)

@@ -283,34 +283,52 @@ class DeepARForecaster(NeuralForecaster):
         return self._sample_rng.normal(mu, scale)
 
     def _sample_fast(self, normalised: np.ndarray, start_index: int) -> np.ndarray:
-        """Vectorized sampling on raw-numpy kernels (the production path)."""
+        """Vectorized sampling on raw-numpy kernels (the production path).
+
+        Runs at :attr:`inference_dtype`: float64 (default) is
+        bitwise-identical to the tape mirror; float32 casts the weights
+        once and runs the LSTM scan and heads in single precision, with
+        the RNG draws (always float64 from numpy's Generator) rounded
+        into the float32 sample buffer.
+        """
         assert self.network is not None
         net = self.network
         n = self.num_samples
         hs = self.hidden_size
+        work = getattr(self, "inference_dtype", None) or np.dtype(np.float64)
+        cast = None if work == np.dtype(np.float64) else work
         # Warm up at batch 1 — the context is shared by every trajectory —
         # through the LSTM only (the head outputs are discarded anyway).
-        _, state = net.lstm.fast_forward(self._warmup_inputs(normalised, start_index))
+        _, state = net.lstm.fast_forward(
+            self._warmup_inputs(normalised, start_index), dtype=cast
+        )
         # Tile the (batch 1) warm-up state across all trajectories.
         state = [(np.repeat(h, n, axis=0), np.repeat(c, n, axis=0)) for h, c in state]
 
         # The horizon loop runs hot: prepare the gate-permuted weights
         # once (bitwise-neutral, see fastpath.prepare_lstm_params) and
         # keep weights/head arrays in locals.
-        prepared = fastpath.prepare_lstm_params(net.lstm._layer_params(), hs)
+        prepared = fastpath.prepare_lstm_params(net.lstm._layer_params(), hs, dtype=cast)
         cell = fastpath.lstm_cell_permuted
         w_mu, b_mu = net.mu_head.weight.data, net.mu_head.bias.data
         w_scale, b_scale = net.scale_head.weight.data, net.scale_head.bias.data
         w_df, b_df = net.df_head.weight.data, net.df_head.bias.data
+        if cast is not None:
+            w_mu, b_mu = w_mu.astype(work), b_mu.astype(work)
+            w_scale, b_scale = w_scale.astype(work), b_scale.astype(work)
+            w_df, b_df = w_df.astype(work), b_df.astype(work)
         softplus = fastpath.softplus
 
         horizon_features = calendar_window(
             start_index + self.context_length, self.horizon
         )
-        step_inputs = np.empty((n, 1 + NUM_CALENDAR_FEATURES))
-        samples = np.empty((n, self.horizon))
+        if cast is not None:
+            # .astype copies — the per-(start, horizon) cache stays float64.
+            horizon_features = horizon_features.astype(work)
+        step_inputs = np.empty((n, 1 + NUM_CALENDAR_FEATURES), dtype=work)
+        samples = np.empty((n, self.horizon), dtype=work)
         # First horizon step is conditioned on the last context value.
-        last = np.full(n, normalised[-1])
+        last = np.full(n, normalised[-1], dtype=work)
         for h in range(self.horizon):
             step_inputs[:, 0] = last
             step_inputs[:, 1:] = horizon_features[h]
@@ -325,7 +343,10 @@ class DeepARForecaster(NeuralForecaster):
             df = softplus((top @ w_df + b_df)[:, 0]) + _MIN_DF
             draws = self._draw(mu, scale, df)
             samples[:, h] = draws
-            last = draws
+            # Feed back the *stored* value so the float32 path conditions
+            # on exactly what it emitted; in float64 the stored column
+            # equals ``draws`` bit for bit.
+            last = samples[:, h]
         return samples
 
     def _sample_tape(self, normalised: np.ndarray, start_index: int) -> np.ndarray:

@@ -74,6 +74,26 @@ class NeuralForecaster(Forecaster):
         self.scaler = StandardScaler()
         self.network: Module | None = None
         self.history: list[dict[str, float]] = []
+        # Precision of the tape-free inference kernels.  float64 (the
+        # default) is bitwise-identical to the tape; float32 trades a
+        # documented, gate-checked accuracy delta for speed (docs/nn.md).
+        self.inference_dtype: np.dtype = np.dtype(np.float64)
+
+    def set_inference_dtype(self, dtype: "np.dtype | type | str") -> "NeuralForecaster":
+        """Select the inference precision (``float64`` or ``float32``).
+
+        float32 applies to the raw-kernel inference path (DeepAR's
+        ancestral sampling); weights stay float64 and are cast once per
+        predict, so training and checkpoints are unaffected.  Returns
+        ``self`` for chaining.
+        """
+        resolved = np.dtype(dtype)
+        if resolved not in (np.dtype(np.float32), np.dtype(np.float64)):
+            raise ValueError(
+                f"inference dtype must be float32 or float64, got {resolved}"
+            )
+        self.inference_dtype = resolved
+        return self
 
     # -- subclass hooks -------------------------------------------------
     def _build(self, rng: np.random.Generator) -> Module:

@@ -266,6 +266,7 @@ def lstm_forward_train(
     x: np.ndarray,
     layer_params: list[tuple[np.ndarray, np.ndarray, np.ndarray]],
     hidden_size: int,
+    dtype: np.dtype | type | None = None,
 ) -> tuple[np.ndarray, list[LSTMLayerCache]]:
     """Teacher-forced multi-layer LSTM forward with cached activations.
 
@@ -280,23 +281,29 @@ def lstm_forward_train(
     recurrent ``h @ W_hh`` matmul plus elementwise gate math — the same
     values, associated in the same order, as the tape's per-step
     ``(x @ W_ih + h @ W_hh) + b``.
+
+    ``dtype=None`` (default) keeps the bitwise float64 behaviour;
+    ``np.float32`` runs the whole cached forward in single precision
+    (the backward then follows the caches' dtype).
     """
+    work = np.float64 if dtype is None else np.dtype(dtype)
+    x = x.astype(work, copy=False)
     batch, steps, _ = x.shape
     hs = hidden_size
-    prepared = fastpath.prepare_lstm_params(layer_params, hs)
+    prepared = fastpath.prepare_lstm_params(layer_params, hs, dtype=dtype)
     caches: list[LSTMLayerCache] = []
     layer_input = x
     for w_ih, w_hh, bias in prepared:
         in_features = layer_input.shape[-1]
         # Hoisted input gemm: one (B*T, F) @ (F, 4H) for the whole sequence.
         xg = (layer_input.reshape(-1, in_features) @ w_ih).reshape(batch, steps, 4 * hs)
-        gates = np.empty((batch, steps, 4 * hs))
-        h_prev = np.empty((batch, steps, hs))
-        c_prev = np.empty((batch, steps, hs))
-        tanh_c = np.empty((batch, steps, hs))
-        outputs = np.empty((batch, steps, hs))
-        h = np.zeros((batch, hs))
-        c = np.zeros((batch, hs))
+        gates = np.empty((batch, steps, 4 * hs), dtype=work)
+        h_prev = np.empty((batch, steps, hs), dtype=work)
+        c_prev = np.empty((batch, steps, hs), dtype=work)
+        tanh_c = np.empty((batch, steps, hs), dtype=work)
+        outputs = np.empty((batch, steps, hs), dtype=work)
+        h = np.zeros((batch, hs), dtype=work)
+        c = np.zeros((batch, hs), dtype=work)
         for t in range(steps):
             h_prev[:, t] = h
             c_prev[:, t] = c
@@ -352,9 +359,12 @@ def lstm_backward(
     for layer in range(len(caches) - 1, -1, -1):
         cache = caches[layer]
         batch, steps, _ = cache.inputs.shape
-        dz = np.empty((batch, steps, 4 * hs))
-        dh_carry = np.zeros((batch, hs))
-        dc_carry = np.zeros((batch, hs))
+        # Follow the forward's precision: float32 caches get a float32
+        # reverse sweep (for float64 this allocates exactly as before).
+        work = cache.gates.dtype
+        dz = np.empty((batch, steps, 4 * hs), dtype=work)
+        dh_carry = np.zeros((batch, hs), dtype=work)
+        dc_carry = np.zeros((batch, hs), dtype=work)
         w_hh_t = cache.w_hh.T
         for t in range(steps - 1, -1, -1):
             gates_t = cache.gates[:, t]

@@ -102,7 +102,10 @@ def sigmoid(x: np.ndarray) -> np.ndarray:
     with one exp, one divide, and no select pass.
     """
     t = np.exp(-np.abs(np.clip(x, -500, 500)))
-    u = np.maximum(t, (x >= 0) * 1.0)
+    # The branch mask is built in t's dtype: for float64 the values are
+    # identical to the old `(x >= 0) * 1.0`, and float32 inputs stay
+    # float32 instead of being promoted by the python-float multiply.
+    u = np.maximum(t, (x >= 0).astype(t.dtype))
     return u / (1.0 + t)
 
 
@@ -164,6 +167,7 @@ def lstm_cell_forward(
 def prepare_lstm_params(
     layer_params: list[tuple[np.ndarray, np.ndarray, np.ndarray]],
     hidden_size: int,
+    dtype: np.dtype | type | None = None,
 ) -> list[tuple[np.ndarray, np.ndarray, np.ndarray]]:
     """Reorder fused gate weights from [i, f, g, o] to [i, f, o, g].
 
@@ -173,6 +177,10 @@ def prepare_lstm_params(
     output column is an independent dot product, so permuting weight
     *columns* permutes output columns without changing any value —
     results stay bitwise-identical to the standard layout.
+
+    ``dtype`` optionally casts the prepared weights (float32 inference
+    mode); ``None`` keeps the parameters' own dtype — the bitwise-exact
+    float64 default.
 
     Prepared per inference call, not cached: optimizers update parameter
     arrays in place, so a cache keyed on array identity would go stale.
@@ -185,9 +193,9 @@ def prepare_lstm_params(
         )
         prepared.append(
             (
-                np.ascontiguousarray(w_ih[:, perm]),
-                np.ascontiguousarray(w_hh[:, perm]),
-                np.ascontiguousarray(bias[perm]),
+                np.ascontiguousarray(w_ih[:, perm], dtype=dtype),
+                np.ascontiguousarray(w_hh[:, perm], dtype=dtype),
+                np.ascontiguousarray(bias[perm], dtype=dtype),
             )
         )
     return prepared
@@ -222,6 +230,7 @@ def lstm_forward(
     layer_params: list[tuple[np.ndarray, np.ndarray, np.ndarray]],
     hidden_size: int,
     state: list[tuple[np.ndarray, np.ndarray]] | None = None,
+    dtype: np.dtype | type | None = None,
 ) -> tuple[np.ndarray, list[tuple[np.ndarray, np.ndarray]]]:
     """Fused multi-layer LSTM over a full sequence on raw arrays.
 
@@ -233,23 +242,30 @@ def lstm_forward(
         Per-layer ``(w_ih, w_hh, bias)`` arrays in standard gate layout.
     state:
         Optional per-layer ``(h, c)`` arrays of shape (batch, hidden).
+    dtype:
+        ``None`` (default) computes in float64 exactly as before;
+        ``np.float32`` casts inputs, weights, and state once and runs
+        the whole scan in single precision (see docs/nn.md for the
+        measured accuracy/speed trade).
 
     Keeps ``(h, c)`` as plain ndarrays throughout and writes each step's
     hidden state straight into a preallocated output buffer — no
     per-timestep Python list construction.
     """
+    work = np.float64 if dtype is None else np.dtype(dtype)
+    x = x.astype(work, copy=False)
     batch, steps, _ = x.shape
     if state is None:
-        zeros = np.zeros((batch, hidden_size))
+        zeros = np.zeros((batch, hidden_size), dtype=work)
         state = [(zeros.copy(), zeros.copy()) for _ in layer_params]
     else:
-        state = list(state)
+        state = [(h.astype(work, copy=False), c.astype(work, copy=False)) for h, c in state]
 
     layer_input = x
-    prepared = prepare_lstm_params(layer_params, hidden_size)
+    prepared = prepare_lstm_params(layer_params, hidden_size, dtype=dtype)
     for layer, (w_ih, w_hh, bias) in enumerate(prepared):
         h, c = state[layer]
-        outputs = np.empty((batch, steps, hidden_size))
+        outputs = np.empty((batch, steps, hidden_size), dtype=work)
         for t in range(steps):
             h, c = lstm_cell_permuted(layer_input[:, t, :], h, c, w_ih, w_hh, bias, hidden_size)
             outputs[:, t, :] = h
@@ -263,19 +279,22 @@ def lstm_step(
     layer_params: list[tuple[np.ndarray, np.ndarray, np.ndarray]],
     hidden_size: int,
     state: list[tuple[np.ndarray, np.ndarray]],
+    dtype: np.dtype | type | None = None,
 ) -> tuple[np.ndarray, list[tuple[np.ndarray, np.ndarray]]]:
     """Advance a multi-layer LSTM one timestep on raw arrays.
 
     ``x`` has shape (batch, features); returns the top layer's hidden
     state and the updated per-layer state.  ``layer_params`` is in the
-    standard gate layout.  Callers looping over many steps should
-    instead run :func:`prepare_lstm_params` once and call
-    :func:`lstm_cell_permuted` per layer (as DeepAR's ancestral sampling
-    does) to amortise the permutation.
+    standard gate layout; ``dtype`` behaves as in :func:`lstm_forward`.
+    Callers looping over many steps should instead run
+    :func:`prepare_lstm_params` once and call :func:`lstm_cell_permuted`
+    per layer (as DeepAR's ancestral sampling does) to amortise the
+    permutation.
     """
-    state = list(state)
-    inp = x
-    prepared = prepare_lstm_params(layer_params, hidden_size)
+    work = np.float64 if dtype is None else np.dtype(dtype)
+    state = [(h.astype(work, copy=False), c.astype(work, copy=False)) for h, c in state]
+    inp = x.astype(work, copy=False)
+    prepared = prepare_lstm_params(layer_params, hidden_size, dtype=dtype)
     for layer, (w_ih, w_hh, bias) in enumerate(prepared):
         h, c = state[layer]
         h, c = lstm_cell_permuted(inp, h, c, w_ih, w_hh, bias, hidden_size)

@@ -157,22 +157,30 @@ class LSTM(Module):
         self,
         x: np.ndarray,
         state: list[tuple[np.ndarray, np.ndarray]] | None = None,
+        dtype: "np.dtype | type | None" = None,
     ) -> tuple[np.ndarray, list[tuple[np.ndarray, np.ndarray]]]:
         """Fused tape-free unroll on raw arrays.
 
         Keeps (h, c) as plain ndarrays and writes each step's hidden
         state into a preallocated buffer instead of building the
-        per-timestep Tensor lists the tape path needs.
+        per-timestep Tensor lists the tape path needs.  ``dtype=None``
+        computes in float64; ``np.float32`` runs the whole scan in
+        single precision.
         """
-        return fastpath.lstm_forward(x, self._layer_params(), self.hidden_size, state)
+        return fastpath.lstm_forward(
+            x, self._layer_params(), self.hidden_size, state, dtype=dtype
+        )
 
     def fast_step(
         self,
         x: np.ndarray,
         state: list[tuple[np.ndarray, np.ndarray]],
+        dtype: "np.dtype | type | None" = None,
     ) -> tuple[np.ndarray, list[tuple[np.ndarray, np.ndarray]]]:
         """Advance one timestep on raw arrays; returns (top hidden, state)."""
-        return fastpath.lstm_step(x, self._layer_params(), self.hidden_size, state)
+        return fastpath.lstm_step(
+            x, self._layer_params(), self.hidden_size, state, dtype=dtype
+        )
 
     def initial_state(self, batch_size: int) -> list[tuple[Tensor, Tensor]]:
         """Zero states for every layer."""

@@ -17,6 +17,12 @@ run.  :func:`parallel_map` provides exactly that:
   worker only when it *changed* (payloads are keyed by digest) — a
   fitted neural forecaster is megabytes of weights, and a worker that
   already holds the right payload receives only the task items;
+* large numpy arrays inside the context (trace windows, model weights)
+  never travel through the pickle stream at all: a
+  :class:`SharedArrayStore` publishes each one once into a
+  ``multiprocessing.shared_memory`` segment, the pickled payload
+  shrinks to segment metadata, and workers attach **zero-copy**
+  read-only views (see *Shared-memory payloads* below);
 * tasks are submitted in contiguous **chunks** (one message per worker,
   not one per item) and results carry their item index, so they are
   reassembled in item order regardless of which worker finished first;
@@ -37,19 +43,54 @@ sampling rng per decision window, which is what makes ``n_jobs=1`` and
 
 The task function must be a module-level function (picklable by
 reference) taking ``(context, item)``.
+
+Shared-memory payloads
+----------------------
+Arrays of :data:`SHARED_MIN_BYTES` or more are content-addressed: the
+parent hashes the raw bytes, creates (or reuses) a named shared-memory
+segment per distinct content, and pickles only
+``(name, digest, dtype, shape)``.  Segments are **ref-counted** — every
+payload that references an array holds one reference, a replaced or
+closed payload releases it, and the segment is unlinked when the count
+reaches zero (and unconditionally at interpreter exit via ``atexit``).
+Workers attach each segment once, cache the mapping, and hand the task
+function a read-only ndarray view — mutating a shared context array
+raises instead of silently corrupting sibling tasks.  An attach against
+a segment that has already been unlinked raises
+:class:`SharedSegmentMissingError` immediately (shipped back like any
+task error) rather than hanging the parent's collection loop.
 """
 
 from __future__ import annotations
 
 import atexit
 import hashlib
+import io
 import multiprocessing
+import os
 import pickle
 import queue as queue_module
 from dataclasses import dataclass
+from multiprocessing import shared_memory
 from typing import Any, Callable, Iterable, Sequence
 
-__all__ = ["parallel_map", "WorkerPool", "get_shared_pool", "shutdown_shared_pool"]
+import numpy as np
+
+__all__ = [
+    "parallel_map",
+    "WorkerPool",
+    "get_shared_pool",
+    "shutdown_shared_pool",
+    "SharedArrayStore",
+    "SharedArrayRef",
+    "SharedSegmentMissingError",
+    "get_array_store",
+    "dumps_shared",
+    "loads_shared",
+    "close_attachments",
+    "chunk_evenly",
+    "SHARED_MIN_BYTES",
+]
 
 # Items-or-fewer run serially: shipping one or two tasks across process
 # boundaries costs more IPC than the parallelism can recover.
@@ -57,6 +98,249 @@ DEFAULT_SERIAL_THRESHOLD = 2
 
 # Seconds between liveness checks while waiting on worker results.
 _POLL_INTERVAL_S = 1.0
+
+# Arrays at or above this many bytes are published to shared memory
+# instead of travelling through the pickled payload.  Below it the two
+# syscalls + mmap of a segment cost more than pickling the bytes.
+SHARED_MIN_BYTES = 2048
+
+
+class SharedSegmentMissingError(RuntimeError):
+    """A shared-memory segment was gone when a worker tried to attach.
+
+    Raised eagerly at attach time — and shipped back to the parent like
+    any task error — so a payload whose segments were unlinked (pool
+    shut down, store cleaned externally) fails with a diagnosis instead
+    of a liveness-timeout hang.
+    """
+
+
+@dataclass(frozen=True)
+class SharedArrayRef:
+    """Metadata standing in for one shared array inside a payload."""
+
+    name: str  # shared-memory segment name
+    digest: str  # sha256 of the array's raw bytes (the refcount key)
+    dtype: str  # numpy dtype string, e.g. "<f8"
+    shape: tuple[int, ...]
+
+
+class SharedArrayStore:
+    """Parent-side registry of ref-counted shared-memory segments.
+
+    ``publish`` is content-addressed: the same bytes published twice
+    (the same weights across repeated calls, the same trace array in
+    two contexts) reuse one segment and bump its reference count;
+    ``release`` decrements and unlinks at zero.  ``unlink_all`` is the
+    big hammer for interpreter exit.  Creation happens here only — the
+    worker side never creates or unlinks, it just attaches.
+    """
+
+    def __init__(self) -> None:
+        # digest -> [SharedMemory, refcount]
+        self._segments: dict[str, list] = {}
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    def segment_names(self) -> list[str]:
+        """Names of the currently live segments (tests/introspection)."""
+        return [entry[0].name for entry in self._segments.values()]
+
+    def publish(self, array: np.ndarray) -> SharedArrayRef:
+        """Share one array's content; returns its payload metadata.
+
+        Each call holds one reference; pair it with :meth:`release`.
+        """
+        data = np.ascontiguousarray(array)
+        digest = hashlib.sha256(data.data).hexdigest()
+        entry = self._segments.get(digest)
+        if entry is None:
+            self._seq += 1
+            name = f"repro{os.getpid()}_{self._seq}"
+            segment = shared_memory.SharedMemory(
+                create=True, name=name, size=data.nbytes
+            )
+            view = np.ndarray(data.shape, dtype=data.dtype, buffer=segment.buf)
+            np.copyto(view, data)
+            entry = self._segments[digest] = [segment, 0]
+        entry[1] += 1
+        return SharedArrayRef(
+            name=entry[0].name,
+            digest=digest,
+            dtype=array.dtype.str,
+            shape=array.shape,
+        )
+
+    def release(self, digest: str) -> None:
+        """Drop one reference; unlink the segment when none remain."""
+        entry = self._segments.get(digest)
+        if entry is None:
+            return
+        entry[1] -= 1
+        if entry[1] <= 0:
+            del self._segments[digest]
+            self._destroy(entry[0])
+
+    def unlink_all(self) -> None:
+        """Unlink every live segment regardless of refcounts (atexit)."""
+        segments = [entry[0] for entry in self._segments.values()]
+        self._segments.clear()
+        for segment in segments:
+            self._destroy(segment)
+
+    @staticmethod
+    def _destroy(segment) -> None:
+        try:
+            segment.close()
+        except Exception:
+            pass
+        try:
+            segment.unlink()
+        except FileNotFoundError:
+            pass  # already gone (e.g. cleaned externally)
+        except Exception:
+            pass
+
+
+_ARRAY_STORE: SharedArrayStore | None = None
+
+
+def get_array_store() -> SharedArrayStore:
+    """The process-wide store :func:`dumps_shared` publishes into."""
+    global _ARRAY_STORE
+    if _ARRAY_STORE is None:
+        _ARRAY_STORE = SharedArrayStore()
+    return _ARRAY_STORE
+
+
+class _SharingPickler(pickle.Pickler):
+    """Pickler that diverts large ndarrays into the shared store.
+
+    ``persistent_id`` sees every object the pickle graph reaches, so
+    weight arrays buried inside Parameter/Tensor objects are caught
+    without the payload knowing anything about model structure.  Only
+    plain ``np.ndarray`` instances of numeric dtype are diverted;
+    everything else pickles normally.
+    """
+
+    def __init__(self, buffer, store: SharedArrayStore, min_bytes: int) -> None:
+        super().__init__(buffer, protocol=pickle.HIGHEST_PROTOCOL)
+        self._store = store
+        self._min_bytes = min_bytes
+        self.refs: list[SharedArrayRef] = []
+
+    def persistent_id(self, obj):  # noqa: D102 — pickle protocol hook
+        if (
+            type(obj) is np.ndarray
+            and obj.nbytes >= self._min_bytes
+            and not obj.dtype.hasobject
+        ):
+            ref = self._store.publish(obj)
+            self.refs.append(ref)
+            return ("repro-shm", ref.name, ref.digest, ref.dtype, ref.shape)
+        return None
+
+
+def dumps_shared(
+    obj: Any,
+    store: SharedArrayStore | None = None,
+    min_bytes: int = SHARED_MIN_BYTES,
+) -> tuple[bytes, list[SharedArrayRef]]:
+    """Pickle ``obj`` with large arrays diverted to shared memory.
+
+    Returns the payload bytes plus one :class:`SharedArrayRef` per
+    published array — the caller owns those references and must
+    eventually :meth:`~SharedArrayStore.release` each ``digest``.
+    """
+    buffer = io.BytesIO()
+    pickler = _SharingPickler(buffer, store or get_array_store(), min_bytes)
+    pickler.dump(obj)
+    return buffer.getvalue(), pickler.refs
+
+
+# Attach-side cache: segment name -> SharedMemory.  Lives in whichever
+# process unpickles (normally a worker); attaching is idempotent and the
+# mapping stays valid for the process lifetime.
+_ATTACHED: dict[str, shared_memory.SharedMemory] = {}
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    segment = _ATTACHED.get(name)
+    if segment is None:
+        try:
+            segment = shared_memory.SharedMemory(name=name)
+        except FileNotFoundError:
+            raise SharedSegmentMissingError(
+                f"shared-memory segment {name!r} is missing at attach time — "
+                f"it was never published or has already been unlinked (pool "
+                f"shutdown, payload replaced, or /dev/shm cleaned externally)."
+                f" Re-submit on a live pool so the payload is re-published."
+            ) from None
+        # Attaching registers the name with the resource tracker again,
+        # but the tracker process (shared by the whole multiprocessing
+        # family, including spawn workers) keeps names in a set — the
+        # re-register is a no-op and the creator's single unregister at
+        # unlink time removes it.  Do NOT unregister here: that would
+        # strip the creator's registration out from under it.
+        _ATTACHED[name] = segment
+    return segment
+
+
+def close_attachments() -> None:
+    """Best-effort close of this process's attached segments.
+
+    Called on worker shutdown (and by tests).  A segment whose buffer is
+    still referenced by a live ndarray view cannot be closed; it stays
+    cached and is reclaimed when the process exits.
+    """
+    for name in list(_ATTACHED):
+        try:
+            _ATTACHED[name].close()
+        except Exception:
+            continue
+        del _ATTACHED[name]
+
+
+class _AttachingUnpickler(pickle.Unpickler):
+    def persistent_load(self, pid):  # noqa: D102 — pickle protocol hook
+        tag, name, _digest, dtype, shape = pid
+        if tag != "repro-shm":
+            raise pickle.UnpicklingError(f"unknown persistent id tag {tag!r}")
+        segment = _attach_segment(name)
+        array: np.ndarray = np.ndarray(shape, dtype=np.dtype(dtype), buffer=segment.buf)
+        array.flags.writeable = False
+        return array
+
+
+def loads_shared(data: bytes) -> Any:
+    """Unpickle a :func:`dumps_shared` payload, attaching shared arrays.
+
+    Returned arrays are zero-copy read-only views over the segments; the
+    rest of the object graph is freshly built per call.
+    """
+    return _AttachingUnpickler(io.BytesIO(data)).load()
+
+
+def chunk_evenly(items: Sequence[Any], parts: int) -> list[list[Any]]:
+    """Split ``items`` into at most ``parts`` contiguous, near-even chunks.
+
+    Chunk sizes differ by at most one and depend only on
+    ``(len(items), parts)`` — never on scheduling — so work batched this
+    way keeps the determinism contract.  Used by ``backtest`` and
+    ``grid_search`` to coarsen task grain to one batch per worker.
+    """
+    sequence = list(items)
+    parts = max(1, min(parts, len(sequence)))
+    base, extra = divmod(len(sequence), parts)
+    chunks: list[list[Any]] = []
+    start = 0
+    for rank in range(parts):
+        size = base + (1 if rank < extra else 0)
+        chunks.append(sequence[start : start + size])
+        start += size
+    return chunks
 
 
 def _worker_main(inbox, outbox) -> None:
@@ -95,8 +379,15 @@ def _worker_main(inbox, outbox) -> None:
         message = inbox.get()
         kind = message[0]
         if kind == "stop":
+            close_attachments()
             return
         if kind == "payload":
+            if payload_digest is not None and payload_digest != message[1]:
+                # The old payload's shared views are garbage by now (the
+                # dict was per-chunk); drop whatever attachments can be
+                # closed so a long-lived worker doesn't hold mappings to
+                # segments the parent has unlinked.
+                close_attachments()
             payload_digest = message[1]
             payload_bytes = message[2]
             continue
@@ -108,7 +399,10 @@ def _worker_main(inbox, outbox) -> None:
                 if payload_bytes is None or payload_digest != expected_digest:
                     raise RuntimeError("worker received tasks before their payload")
                 if payload is None:
-                    payload = pickle.loads(payload_bytes)
+                    # Attach errors (SharedSegmentMissingError) surface
+                    # here, inside the per-item try, so they ship back
+                    # as error replies instead of hanging the parent.
+                    payload = loads_shared(payload_bytes)
                 fn: Callable[[Any, Any], Any] = payload["fn"]
                 context = payload["context"]
                 registry = MetricsRegistry()
@@ -165,6 +459,11 @@ class WorkerPool:
         self._workers: list[_Worker] = []
         self._outbox = None
         self._closed = False
+        # Shared-memory references held on behalf of the current payload
+        # (one per array dumps_shared diverted); released when the
+        # payload is replaced or the pool closes.
+        self._payload_digest: str | None = None
+        self._payload_refs: list[SharedArrayRef] = []
 
     # -- lifecycle -------------------------------------------------------
     @property
@@ -189,11 +488,19 @@ class WorkerPool:
             self._workers.append(_Worker(process=process, inbox=inbox))
         return self._workers[:count]
 
+    def _release_payload_refs(self) -> None:
+        store = get_array_store()
+        for ref in self._payload_refs:
+            store.release(ref.digest)
+        self._payload_refs = []
+        self._payload_digest = None
+
     def close(self, force: bool = False) -> None:
         """Shut the workers down (gracefully unless ``force``)."""
         if self._closed:
             return
         self._closed = True
+        self._release_payload_refs()
         for worker in self._workers:
             if not force:
                 try:
@@ -243,8 +550,22 @@ class WorkerPool:
         caller's live trace into the workers; it travels on the task
         message so the payload cache is untouched.
         """
-        payload = pickle.dumps({"fn": fn, "context": context})
+        payload, refs = dumps_shared({"fn": fn, "context": context})
         digest = hashlib.sha256(payload).hexdigest()
+        store = get_array_store()
+        if digest == self._payload_digest:
+            # Same payload as the one whose references we already hold —
+            # the publish() calls above were duplicates; rebalance.
+            for ref in refs:
+                store.release(ref.digest)
+        else:
+            # New payload: hold its references, drop the old ones.  The
+            # order matters for partial overlap — an array shared by
+            # both payloads stays above zero throughout.
+            old_refs, self._payload_refs = self._payload_refs, refs
+            self._payload_digest = digest
+            for ref in old_refs:
+                store.release(ref.digest)
         count = min(self.processes, len(items))
         workers = self._ensure_workers(count)
         for worker in workers:
@@ -316,7 +637,15 @@ def shutdown_shared_pool() -> None:
         _SHARED_POOL = None
 
 
-atexit.register(shutdown_shared_pool)
+def _atexit_cleanup() -> None:
+    # Order matters: stop the workers (they hold attachments) before
+    # unlinking whatever segments are still live in the store.
+    shutdown_shared_pool()
+    if _ARRAY_STORE is not None:
+        _ARRAY_STORE.unlink_all()
+
+
+atexit.register(_atexit_cleanup)
 
 
 def parallel_map(

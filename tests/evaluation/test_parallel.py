@@ -203,6 +203,8 @@ def test_backtest_results_identical_with_tracing_attached(fitted):
 
 
 def test_worker_spans_rerooted_into_parent_trace(fitted):
+    from repro.parallel import chunk_evenly
+
     forecaster, test_values = fitted
     result, trace = _traced_run(forecaster, test_values, n_jobs=2)
     assert trace["status"] == "ok"
@@ -215,7 +217,14 @@ def test_worker_spans_rerooted_into_parent_trace(fitted):
     worker_spans = [s for s in predicts if s["span_id"].startswith("w")]
     assert worker_spans  # at least some windows really crossed the pool
     for span in worker_spans:
-        # Deterministic ids keyed by item, not by worker scheduling.
-        assert span["span_id"].endswith(".1")
         assert span["parent_id"] == backtest_span["span_id"]
         assert span["status"] == "ok"
+    # Deterministic ids keyed by (chunk, position-in-chunk): windows are
+    # batched one contiguous chunk per worker, and each chunk's predict
+    # spans count up from 1 — nothing depends on worker scheduling.
+    expected = {
+        f"w{chunk_index}.{n}"
+        for chunk_index, chunk in enumerate(chunk_evenly(result.points, 2))
+        for n in range(1, len(chunk) + 1)
+    }
+    assert {s["span_id"] for s in worker_spans} == expected

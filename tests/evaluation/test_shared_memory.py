@@ -1,0 +1,203 @@
+"""Lifecycle of the shared-memory payload path (:mod:`repro.parallel`).
+
+Large arrays in a pool payload travel as :class:`SharedArrayRef`
+metadata while the bytes live once in ``multiprocessing.shared_memory``
+segments.  These tests pin the contract: content-addressed dedup,
+ref-counted unlink, read-only attached views, a loud error (not a hang)
+when a segment is missing, and — the part that bites in production —
+no segments left behind in ``/dev/shm`` after pools shut down.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+
+import numpy as np
+import pytest
+
+from repro.evaluation.backtest import backtest
+from repro.forecast import DeepARForecaster, TrainingConfig
+from repro.parallel import (
+    SHARED_MIN_BYTES,
+    SharedArrayRef,
+    SharedArrayStore,
+    SharedSegmentMissingError,
+    chunk_evenly,
+    close_attachments,
+    dumps_shared,
+    get_array_store,
+    loads_shared,
+    shutdown_shared_pool,
+)
+
+
+def _own_segments() -> list[str]:
+    """This process's repro-prefixed segments currently in /dev/shm."""
+    return sorted(glob.glob(f"/dev/shm/repro{os.getpid()}_*"))
+
+
+# -- SharedArrayStore ------------------------------------------------------
+
+
+def test_store_publishes_and_unlinks_refcounted():
+    store = SharedArrayStore()
+    array = np.arange(1024, dtype=np.float64)
+    ref = store.publish(array)
+    again = store.publish(array.copy())  # same content -> same segment
+    assert again.name == ref.name and again.digest == ref.digest
+    assert len(store) == 1
+
+    store.release(ref.digest)
+    assert len(store) == 1  # second ref still holds it
+    store.release(ref.digest)
+    assert len(store) == 0
+    assert not any(ref.name in path for path in _own_segments())
+
+
+def test_store_distinct_content_gets_distinct_segments():
+    store = SharedArrayStore()
+    ref_a = store.publish(np.zeros(512))
+    ref_b = store.publish(np.ones(512))
+    assert ref_a.name != ref_b.name
+    assert len(store) == 2
+    store.unlink_all()
+    assert len(store) == 0
+
+
+def test_unlink_all_is_idempotent():
+    store = SharedArrayStore()
+    store.publish(np.zeros(512))
+    store.unlink_all()
+    store.unlink_all()  # second sweep must not raise
+    assert len(store) == 0
+
+
+# -- dumps_shared / loads_shared ------------------------------------------
+
+
+def test_roundtrip_moves_large_arrays_out_of_band():
+    big = np.random.default_rng(0).normal(size=4096)
+    small = np.arange(3, dtype=np.float64)  # under SHARED_MIN_BYTES: inline
+    payload = {"big": big, "small": small, "scalar": 7}
+
+    data, refs = dumps_shared(payload)
+    try:
+        assert len(refs) == 1  # only the big array crossed the threshold
+        assert big.nbytes >= SHARED_MIN_BYTES > small.nbytes
+        assert len(data) < big.nbytes  # pickle shrank to metadata
+
+        restored = loads_shared(data)
+        assert np.array_equal(restored["big"], big)
+        assert np.array_equal(restored["small"], small)
+        assert restored["scalar"] == 7
+    finally:
+        close_attachments()
+        for ref in refs:
+            get_array_store().release(ref.digest)
+
+
+def test_attached_views_are_read_only():
+    big = np.zeros(4096)
+    data, refs = dumps_shared({"w": big})
+    try:
+        restored = loads_shared(data)
+        assert not restored["w"].flags.writeable
+        with pytest.raises(ValueError):
+            restored["w"][0] = 1.0
+    finally:
+        close_attachments()
+        for ref in refs:
+            get_array_store().release(ref.digest)
+
+
+def test_missing_segment_raises_loud_error_not_hang():
+    """A stale ref (segment already unlinked) must fail immediately."""
+    store = get_array_store()
+    data, refs = dumps_shared({"w": np.ones(4096)})
+    for ref in refs:
+        store.release(ref.digest)  # unlink before anyone attaches
+    with pytest.raises(SharedSegmentMissingError, match=refs[0].name):
+        loads_shared(data)
+
+
+def test_shared_ref_is_plain_metadata():
+    ref = SharedArrayRef(name="repro0_0", digest="d" * 64, dtype="<f8", shape=(4,))
+    assert ref.shape == (4,)  # frozen dataclass: hashable, picklable metadata
+
+
+# -- chunk_evenly ----------------------------------------------------------
+
+
+def test_chunk_evenly_partitions_in_order():
+    items = list(range(9))
+    chunks = chunk_evenly(items, 2)
+    assert chunks == [[0, 1, 2, 3, 4], [5, 6, 7, 8]]
+    assert [x for chunk in chunks for x in chunk] == items
+
+
+def test_chunk_evenly_sizes_differ_by_at_most_one():
+    for n, parts in [(10, 3), (7, 7), (5, 8), (1, 4)]:
+        chunks = chunk_evenly(list(range(n)), parts)
+        sizes = [len(c) for c in chunks]
+        assert sum(sizes) == n
+        assert max(sizes) - min(sizes) <= 1
+        assert len(chunks) == min(parts, n)
+
+
+def test_chunk_evenly_layout_depends_only_on_length_and_parts():
+    a = chunk_evenly(list("abcdefgh"), 3)
+    b = chunk_evenly(list(range(8)), 3)
+    assert [len(c) for c in a] == [len(c) for c in b]
+
+
+# -- end-to-end: no leaked segments ---------------------------------------
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    rng = np.random.default_rng(0)
+    series = 100 + 20 * np.sin(np.arange(700) * 2 * np.pi / 144) + rng.normal(0, 3, 700)
+    forecaster = DeepARForecaster(
+        36, 12, hidden_size=8, num_layers=1, num_samples=20,
+        config=TrainingConfig(epochs=1, seed=0),
+    ).fit(series[:550])
+    return forecaster, series[550:]
+
+
+def test_backtest_leaves_no_shared_memory_behind(fitted):
+    """backtest(n_jobs=2) publishes its payload once, and pool shutdown
+    releases every segment — nothing left in /dev/shm."""
+    forecaster, test_values = fitted
+    result = backtest(
+        forecaster, test_values, 36, 12, (0.1, 0.5, 0.9),
+        series_start_index=550, n_jobs=2,
+    )
+    assert result.num_windows > 1
+    # While the pool is alive its payload segments are legitimately held.
+    shutdown_shared_pool()
+    assert len(get_array_store()) == 0
+    assert _own_segments() == []
+
+
+def test_pool_payload_refcount_stable_across_repeat_calls(fitted):
+    """Same payload every call -> the duplicate refs are released, the
+    store holds each distinct array exactly once, and a changed payload
+    swaps cleanly."""
+    forecaster, test_values = fitted
+    store = get_array_store()
+
+    def run():
+        return backtest(
+            forecaster, test_values, 36, 12, (0.1, 0.5, 0.9),
+            series_start_index=550, n_jobs=2,
+        )
+
+    run()
+    held = len(store)
+    assert held > 0  # the model weights crossed the threshold
+    run()
+    run()
+    assert len(store) == held  # no per-call growth
+    shutdown_shared_pool()
+    assert len(store) == 0
