@@ -1,0 +1,177 @@
+"""Canary promotion policy for online model management.
+
+The adaptation loop treats a refit model like a canary deployment: the
+candidate serves *shadow* traffic (forecasting every tick, never
+actuating) while a :class:`PromotionPolicy` decides, window by window,
+whether its rolling accuracy has earned a swap into the live planner.
+The state machine itself lives in
+:class:`~repro.adaptation.manager.AdaptationManager`; this module holds
+its vocabulary (the state names), the policy, and the compact spec
+grammar the CLI exposes (``--promote-policy``)::
+
+    wql<=0.95 cal<=0.1 soak=2 guard=4
+
+i.e. whitespace/comma-separated ``key<=value`` (or ``key=value``)
+tokens:
+
+* ``wql`` — candidate mean-wQL must be at most this *ratio* of the
+  incumbent's over the soak span (default 0.95: at least 5% better);
+* ``cal`` — candidate calibration error may exceed the incumbent's by
+  at most this absolute slack (default 0.1);
+* ``soak`` — completed shadow windows required before the comparison
+  may promote (default 2);
+* ``guard`` — post-promotion health windows watched for automatic
+  rollback (default 4; 0 commits immediately).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..obs.monitor import WindowStats
+
+__all__ = [
+    "IDLE",
+    "SHADOWING",
+    "GUARDING",
+    "STATES",
+    "PromotionPolicy",
+    "parse_promotion_policy",
+]
+
+#: The three states of the canary state machine.  Transitions:
+#: IDLE --refit--> SHADOWING --promote--> GUARDING --commit--> IDLE,
+#: with SHADOWING --reject--> IDLE (soak expired or superseded) and
+#: GUARDING --rollback--> IDLE (health breach) closing the loop.
+IDLE = "idle"
+SHADOWING = "shadowing"
+GUARDING = "guarding"
+STATES = (IDLE, SHADOWING, GUARDING)
+
+_TOKEN_RE = re.compile(
+    r"^(?P<key>wql|cal|soak|guard)\s*(?:<=|=)\s*(?P<value>[0-9.eE+-]+)$"
+)
+
+
+@dataclass(frozen=True)
+class PromotionPolicy:
+    """When does a shadow candidate replace the live model?
+
+    Parameters
+    ----------
+    wql_ratio:
+        Promote only if ``candidate_wql <= wql_ratio * incumbent_wql``
+        over the compared windows.  Values below 1 demand a margin —
+        swapping models is not free, so a candidate must *beat* the
+        incumbent, not tie it.
+    calibration_slack:
+        The candidate's mean calibration error may exceed the
+        incumbent's by at most this much — a sharper but badly
+        calibrated candidate would undermine the robust bounds.
+    soak_windows:
+        Completed shadow-monitor windows required before the comparison
+        is trusted (promotion can never fire earlier).
+    guard_windows:
+        Post-promotion monitor windows during which any fresh health
+        alert (judging a fully post-promotion span) rolls the swap
+        back.  0 disables the guard (commit immediately).
+    """
+
+    wql_ratio: float = 0.95
+    calibration_slack: float = 0.1
+    soak_windows: int = 2
+    guard_windows: int = 4
+
+    def __post_init__(self) -> None:
+        if self.wql_ratio <= 0:
+            raise ValueError("wql_ratio must be positive")
+        if self.calibration_slack < 0:
+            raise ValueError("calibration_slack must be >= 0")
+        if self.soak_windows < 1:
+            raise ValueError("soak_windows must be >= 1")
+        if self.guard_windows < 0:
+            raise ValueError("guard_windows must be >= 0")
+
+    @property
+    def spec(self) -> str:
+        """Canonical spec (parseable by :func:`parse_promotion_policy`)."""
+        return (
+            f"wql<={self.wql_ratio:g} cal<={self.calibration_slack:g} "
+            f"soak={self.soak_windows} guard={self.guard_windows}"
+        )
+
+    def decide(
+        self,
+        candidate_windows: "Sequence[WindowStats]",
+        incumbent_windows: "Sequence[WindowStats]",
+    ) -> tuple[bool, str]:
+        """Promote or keep shadowing, with a human-readable reason.
+
+        Compares the candidate's last ``soak_windows`` completed shadow
+        windows against the incumbent's windows over the same span (its
+        most recent ones — both monitors close windows at the same
+        cadence once the shadow is running).
+        """
+        if len(candidate_windows) < self.soak_windows:
+            return False, (
+                f"soaking: {len(candidate_windows)}/{self.soak_windows} "
+                f"shadow windows"
+            )
+        if not incumbent_windows:
+            return False, "no incumbent windows to compare against"
+        recent_c = candidate_windows[-self.soak_windows :]
+        recent_i = incumbent_windows[-self.soak_windows :]
+        cand_wql = float(np.mean([w.mean_wql for w in recent_c]))
+        inc_wql = float(np.mean([w.mean_wql for w in recent_i]))
+        cand_cal = float(np.mean([w.calibration_error for w in recent_c]))
+        inc_cal = float(np.mean([w.calibration_error for w in recent_i]))
+        if cand_wql > self.wql_ratio * inc_wql:
+            return False, (
+                f"wQL not better: candidate {cand_wql:.4f} > "
+                f"{self.wql_ratio:g} x incumbent {inc_wql:.4f}"
+            )
+        if cand_cal > inc_cal + self.calibration_slack:
+            return False, (
+                f"calibration worse: candidate {cand_cal:.3f} > "
+                f"incumbent {inc_cal:.3f} + {self.calibration_slack:g}"
+            )
+        return True, (
+            f"candidate wQL {cand_wql:.4f} <= {self.wql_ratio:g} x "
+            f"incumbent {inc_wql:.4f}, calibration {cand_cal:.3f} vs "
+            f"{inc_cal:.3f}"
+        )
+
+
+def parse_promotion_policy(spec: str) -> PromotionPolicy:
+    """Parse the ``--promote-policy`` grammar into a policy.
+
+    Empty/whitespace spec returns the default policy; unknown keys and
+    malformed tokens raise :class:`ValueError`.
+    """
+    values: dict[str, float] = {}
+    for token in re.split(r"[\s,]+", spec.strip()):
+        if not token:
+            continue
+        match = _TOKEN_RE.match(token)
+        if match is None:
+            raise ValueError(
+                f"cannot parse promotion-policy token {token!r}; expected "
+                f"'wql<=R cal<=S soak=N guard=N', e.g. "
+                f"'wql<=0.95 cal<=0.1 soak=2 guard=4'"
+            )
+        values[match.group("key")] = float(match.group("value"))
+    kwargs: dict = {}
+    if "wql" in values:
+        kwargs["wql_ratio"] = values["wql"]
+    if "cal" in values:
+        kwargs["calibration_slack"] = values["cal"]
+    if "soak" in values:
+        kwargs["soak_windows"] = int(values["soak"])
+    if "guard" in values:
+        kwargs["guard_windows"] = int(values["guard"])
+    return PromotionPolicy(**kwargs)

@@ -127,8 +127,13 @@ def _parse_faults(args: argparse.Namespace):
 
 
 def _monitoring_enabled(args: argparse.Namespace) -> bool:
-    """--monitor, or any --slo spec (SLOs need the health monitor feed)."""
-    return bool(getattr(args, "monitor", False) or getattr(args, "slo", None))
+    """--monitor, any --slo spec, or --adapt (SLOs need the health
+    monitor feed; adaptation compares candidate vs incumbent monitors)."""
+    return bool(
+        getattr(args, "monitor", False)
+        or getattr(args, "slo", None)
+        or getattr(args, "adapt", False)
+    )
 
 
 def _build_monitor(args: argparse.Namespace):
@@ -566,6 +571,8 @@ _SERVE_CONFIG_KEYS = (
     "trace", "days", "seed", "context", "horizon", "epochs", "threshold",
     "model", "quantile", "replan_every", "monitor", "monitor_window",
     "alert", "slo", "faults", "source", "follow", "dtype",
+    "adapt", "shadow_window", "promote_policy", "refit_epochs",
+    "adapt_cooldown",
 )
 
 
@@ -647,6 +654,27 @@ def cmd_serve(args: argparse.Namespace) -> int:
         runtime.monitor = _build_monitor(args)
         runtime.record_provenance = True
 
+    adaptation = None
+    if getattr(args, "adapt", False):
+        from .adaptation import AdaptationManager
+
+        try:
+            adaptation = AdaptationManager(
+                runtime,
+                policy=getattr(args, "promote_policy", None),
+                shadow_window=getattr(args, "shadow_window", 96),
+                refit_epochs=getattr(args, "refit_epochs", None),
+                cooldown=getattr(args, "adapt_cooldown", 48),
+            )
+        except ValueError as error:
+            print(str(error), file=sys.stderr)
+            return 2
+        # Seed the refit history with the training tail so an early
+        # drift alert has material to retrain on (a restore overwrites
+        # this with the checkpointed history).
+        for value in train.values[-adaptation.history.maxlen :]:
+            adaptation.history.append(float(value))
+
     if args.source:
         source = FileTailSource(args.source, follow=args.follow)
     else:
@@ -655,7 +683,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
     if state is not None:
         try:
             position = restore_from_checkpoint(
-                args.restore, runtime=runtime, planner=planner
+                args.restore,
+                runtime=runtime,
+                planner=planner,
+                adaptation=adaptation,
             )
         except ValueError as error:
             print(str(error), file=sys.stderr)
@@ -675,6 +706,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         max_ticks=args.max_ticks,
         config=config,
         decision_log=args.decisions_out,
+        adaptation=adaptation,
         tracer=TraceCollector(max_traces=64),
         linger=args.linger,
     )
@@ -697,6 +729,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
           f"({len(runtime.decisions)} decisions, "
           f"{service.checkpoints_written} checkpoints, "
           f"{service.alert_replans} alert replans)", file=sys.stderr)
+    if adaptation is not None:
+        print(f"adaptation: {adaptation.refits} refits, "
+              f"{adaptation.promotions} promotions, "
+              f"{adaptation.rollbacks} rollbacks, "
+              f"{adaptation.rejections} rejections "
+              f"(state: {adaptation.state})", file=sys.stderr)
     return 0
 
 
@@ -884,6 +922,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--linger", type=float, default=0.0,
                          help="keep the control plane up N seconds after "
                               "the tick stream ends")
+    p_serve.add_argument("--adapt", action="store_true",
+                         help="close the drift→adaptation loop: health "
+                              "alerts trigger a warm-started refit, the "
+                              "candidate shadows the live model, and a "
+                              "canary policy promotes or rolls it back "
+                              "(implies --monitor)")
+    p_serve.add_argument("--shadow-window", type=int, default=96,
+                         metavar="N",
+                         help="max ticks a candidate may shadow without "
+                              "earning promotion before it is rejected "
+                              "(default 96)")
+    p_serve.add_argument("--promote-policy", metavar="SPEC", default=None,
+                         help="canary promotion policy, e.g. "
+                              "'wql<=0.95 cal<=0.1 soak=2 guard=4' "
+                              "(see docs/adaptation.md)")
+    p_serve.add_argument("--refit-epochs", type=int, default=None,
+                         metavar="N",
+                         help="epoch budget for warm refits (default: the "
+                              "model's configured epochs with early "
+                              "stopping)")
+    p_serve.add_argument("--adapt-cooldown", type=int, default=48,
+                         metavar="N",
+                         help="ticks after a rejection/rollback before "
+                              "alert-driven refits resume (default 48)")
     p_serve.set_defaults(func=cmd_serve)
 
     p_report = sub.add_parser(

@@ -73,7 +73,11 @@ class NeuralForecaster(Forecaster):
         self.config = config if config is not None else TrainingConfig()
         self.scaler = StandardScaler()
         self.network: Module | None = None
-        self.history: list[dict[str, float]] = []
+        self.history: list[dict] = []
+        #: completed ``fit()`` calls (cold or warm) — warm refits derive
+        #: their shuffling seed from it so successive refits are
+        #: deterministic yet distinct from the original cold fit.
+        self.fits_completed = 0
         # Precision of the tape-free inference kernels.  float64 (the
         # default) is bitwise-identical to the tape; float32 trades a
         # documented, gate-checked accuracy delta for speed (docs/nn.md).
@@ -122,11 +126,34 @@ class NeuralForecaster(Forecaster):
         raise NotImplementedError
 
     # -- shared training loop -------------------------------------------
-    def fit(self, series: "np.ndarray | list[np.ndarray]") -> "NeuralForecaster":
+    def fit(
+        self,
+        series: "np.ndarray | list[np.ndarray]",
+        warm_start: bool = False,
+        epochs: "int | None" = None,
+        start_index: int = 0,
+    ) -> "NeuralForecaster":
         """Train on one series, or several (Eq. 2 sums the loss over all
         target series).  Multiple series are assumed to be phase-aligned:
-        each is taken to start at absolute time index 0 so calendar
-        features line up."""
+        each is taken to start at absolute time index ``start_index``
+        (default 0) so calendar features line up.
+
+        Parameters
+        ----------
+        warm_start:
+            Continue training the already-fitted network instead of
+            rebuilding it: the trained weights *and* the fitted scaler
+            are reused, so a drift refit starts from all learned state
+            rather than from scratch.  Ignored (a cold fit happens) when
+            the forecaster has never been fitted.
+        epochs:
+            Override ``config.epochs`` for this call only — warm refits
+            typically need far fewer epochs than a cold fit.
+        start_index:
+            Absolute time index of the first sample of each series;
+            models with calendar features use it to phase-align a refit
+            on a mid-trace history window.
+        """
         if isinstance(series, (list, tuple)):
             series_list = [np.asarray(s, dtype=np.float64) for s in series]
         else:
@@ -138,9 +165,15 @@ class NeuralForecaster(Forecaster):
                     f"series of length {len(s)} too short for "
                     f"context+horizon={window}"
                 )
-        rng = np.random.default_rng(self.config.seed)
-        self.network = self._build(rng)
-        self.scaler.fit(np.concatenate(series_list))
+        warm = bool(warm_start and self.network is not None and self.scaler.fitted)
+        # Warm refits keep determinism but must not replay the cold
+        # fit's exact shuffling order — otherwise a refit on identical
+        # data is a bit-for-bit rerun instead of continued training.
+        seed = self.config.seed + (self.fits_completed if warm else 0)
+        rng = np.random.default_rng(seed)
+        if not warm:
+            self.network = self._build(rng)
+            self.scaler.fit(np.concatenate(series_list))
         normalised = [self.scaler.transform(s) for s in series_list]
 
         val_lens = [int(len(s) * self.config.validation_fraction) for s in series_list]
@@ -153,7 +186,8 @@ class NeuralForecaster(Forecaster):
                 n[-(v + window - 1) :] for n, v in zip(normalised, val_lens)
             ]
             val_offsets = [
-                len(s) - len(vp) for s, vp in zip(series_list, val_parts)
+                start_index + len(s) - len(vp)
+                for s, vp in zip(series_list, val_parts)
             ]
         else:
             train_parts, val_parts, val_offsets = normalised, None, []
@@ -163,6 +197,7 @@ class NeuralForecaster(Forecaster):
             self.context_length,
             self.horizon,
             stride=self.config.window_stride,
+            start_offsets=[start_index] * len(train_parts),
         )
         loader = DataLoader(
             dataset, self.config.batch_size, shuffle=True, rng=rng, yield_positions=True
@@ -174,7 +209,16 @@ class NeuralForecaster(Forecaster):
         best_val = np.inf
         best_state: dict[str, np.ndarray] | None = None
         bad_epochs = 0
-        self.history = []
+        # Warm refits *append* to the training history: cumulative
+        # provenance is what distinguishes an online refit from a cold
+        # fit when a checkpointed model's lineage is audited.
+        if not warm:
+            self.history = []
+        mode = "warm" if warm else "cold"
+        epoch_offset = (self.history[-1]["epoch"] + 1) if self.history else 0
+        max_epochs = epochs if epochs is not None else self.config.epochs
+        if max_epochs < 1:
+            raise ValueError("epochs must be >= 1")
         use_fastgrad = self.config.train_fast_path and self._supports_fastgrad()
         path_label = "fastgrad" if use_fastgrad else "tape"
         batch_seconds = metrics.histogram(
@@ -183,8 +227,8 @@ class NeuralForecaster(Forecaster):
         batch_counter = metrics.counter(
             "forecast.fastgrad_batches", model=model, path=path_label
         )
-        with metrics.span("forecast/fit", model=model):
-            for epoch in range(self.config.epochs):
+        with metrics.span("forecast/fit", model=model, mode=mode):
+            for epoch in range(max_epochs):
                 epoch_start = time.perf_counter()
                 self.network.train()
                 total_loss = 0.0
@@ -206,7 +250,11 @@ class NeuralForecaster(Forecaster):
                     batches += 1
                     batch_seconds.observe(time.perf_counter() - batch_start)
                     batch_counter.inc()
-                record = {"epoch": epoch, "train_loss": total_loss / max(batches, 1)}
+                record = {
+                    "epoch": epoch_offset + epoch,
+                    "train_loss": total_loss / max(batches, 1),
+                    "mode": mode,
+                }
 
                 if use_validation:
                     record["val_loss"] = self._validation_loss(val_parts, val_offsets)
@@ -245,6 +293,7 @@ class NeuralForecaster(Forecaster):
             self.network.load_state_dict(best_state)
         self.network.eval()
         self._fitted = True
+        self.fits_completed += 1
         return self
 
     # -- persistence -----------------------------------------------------

@@ -427,6 +427,13 @@ class ModelHealthMonitor:
         """
         levels = np.asarray(levels, dtype=np.float64)
         values = np.asarray(values, dtype=np.float64)
+        # np.interp requires ascending abscissae and the spread below
+        # assumes values[0]/values[-1] are the extreme quantiles; an
+        # unsorted grid would silently corrupt both, so sort by level.
+        if len(levels) > 1 and np.any(np.diff(levels) < 0):
+            order = np.argsort(levels)
+            levels = levels[order]
+            values = values[order]
         actual = float(actual)
         median = float(np.interp(0.5, levels, values))
         residual = actual - median
@@ -437,8 +444,10 @@ class ModelHealthMonitor:
         for tau, predicted in zip(levels, values):
             key = _level_key(tau)
             self._buf_taus.setdefault(key, float(tau))
-            self._buf_covered.setdefault(key, []).append(bool(predicted > actual))
-            indicator = 1.0 if actual < predicted else 0.0
+            # Ties count as covered: the quantile definition is
+            # P(X <= q) >= tau, so actual == predicted satisfies it.
+            self._buf_covered.setdefault(key, []).append(bool(predicted >= actual))
+            indicator = 1.0 if actual <= predicted else 0.0
             self._buf_ql[key] = self._buf_ql.get(key, 0.0) + (
                 (tau - indicator) * (actual - predicted)
             )

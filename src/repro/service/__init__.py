@@ -11,8 +11,9 @@ daemon with an operational surface:
   loop that steps the runtime per tick, re-plans on schedule or on
   health alert, and coordinates checkpoints;
 * :mod:`repro.service.http` — a stdlib-only HTTP+JSON control plane
-  (``GET /forecast /decisions /traces /series /health /metrics``,
-  ``POST /plan /checkpoint``);
+  (``GET /forecast /decisions /traces /series /health /metrics
+  /adaptation``, ``POST /plan /checkpoint /refit /promote
+  /rollback``);
 * :mod:`repro.service.dashboard` — ``repro-autoscale top``, a
   terminal dashboard polling the control plane;
 * :mod:`repro.service.checkpoint` — lossless checkpoint/restore of

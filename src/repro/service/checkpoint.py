@@ -114,6 +114,7 @@ def save_checkpoint(
     planner=None,
     config: dict | None = None,
     source_position: int = 0,
+    adaptation=None,
 ) -> Path:
     """Write a complete checkpoint directory; returns its path.
 
@@ -134,6 +135,11 @@ def save_checkpoint(
     source_position:
         Ticks the telemetry source has emitted; a replayable source is
         resumed from here.
+    adaptation:
+        Optional :class:`~repro.adaptation.AdaptationManager`; its full
+        state machine (candidate and rollback models included, embedded
+        as base64 pickle blobs) is checkpointed under ``"adaptation"``
+        so a restored daemon resumes mid-shadow bit-identically.
     """
     path = Path(path)
     path.mkdir(parents=True, exist_ok=True)
@@ -158,6 +164,9 @@ def save_checkpoint(
         # would re-fire already-consumed faults.
         "planner": _planner_state(planner),
         "model_file": model_file,
+        "adaptation": (
+            adaptation.state_dict() if adaptation is not None else None
+        ),
     }
     # Atomic publish: a crash mid-write must not corrupt the previous
     # checkpoint under the same path.
@@ -191,14 +200,18 @@ def restore_from_checkpoint(
     *,
     runtime,
     planner=None,
+    adaptation=None,
 ) -> int:
     """Load checkpoint state into freshly-constructed objects.
 
     The caller rebuilds the runtime, monitor, and planner from the
     checkpoint's ``config`` (architecture and rules are configuration,
     not state), then this function restores the dynamic state: loop
-    clock and plan, monitor windows and detectors, model weights, and
-    sampler rng.  Returns the source position to resume from.
+    clock and plan, monitor windows and detectors, model weights,
+    sampler rng, and — when the checkpoint carries it — the adaptation
+    state machine (restored last, so a promoted model overrides the
+    config-rebuilt forecaster).  Returns the source position to resume
+    from.
     """
     state = (
         checkpoint if isinstance(checkpoint, dict) else load_checkpoint(checkpoint)
@@ -220,4 +233,11 @@ def restore_from_checkpoint(
             forecaster.load(Path(checkpoint) / model_file)
     _restore_sampler(planner, state.get("sampler"))
     _restore_planner(planner, state.get("planner"))
+    if state.get("adaptation") is not None:
+        if adaptation is None:
+            raise ValueError(
+                "checkpoint carries adaptation state but no "
+                "AdaptationManager was passed — restore with --adapt"
+            )
+        adaptation.load_state_dict(state["adaptation"])
     return int(state["source_position"])

@@ -34,6 +34,7 @@ from collections import deque
 from pathlib import Path
 from typing import Any
 
+from ..adaptation import AdaptationError, AdaptationManager
 from ..core.runtime import AutoscalingRuntime, Decision, StepResult
 from ..obs import PROMETHEUS_CONTENT_TYPE, get_registry, render_prometheus
 from ..obs.sinks import JsonlSink
@@ -113,6 +114,13 @@ class ServiceRuntime:
     plan_on_alert:
         Re-plan at the next tick whenever the monitor's alert engine
         fires a new alert.
+    adaptation:
+        Optional :class:`~repro.adaptation.AdaptationManager`; when
+        attached, every step also advances the adaptation loop (alert-
+        triggered refits, shadow scoring, canary promotion/rollback)
+        and the control plane gains ``GET /adaptation`` and
+        ``POST /refit`` / ``/promote`` / ``/rollback``.  Its state
+        rides along in checkpoints.
     tracer:
         Optional :class:`~repro.obs.trace.TraceCollector`; when given,
         :meth:`run` attaches it to the ambient registry so every step
@@ -137,6 +145,7 @@ class ServiceRuntime:
         config: "dict | None" = None,
         decision_log: "str | Path | None" = None,
         plan_on_alert: bool = True,
+        adaptation: "AdaptationManager | None" = None,
         tracer: "TraceCollector | None" = None,
         linger: float = 0.0,
     ) -> None:
@@ -150,6 +159,7 @@ class ServiceRuntime:
         self.config = dict(config) if config else {}
         self.decision_log_path = Path(decision_log) if decision_log else None
         self.plan_on_alert = plan_on_alert
+        self.adaptation = adaptation
         self.tracer = tracer
         self.linger = float(linger)
         self.series: deque[dict] = deque(maxlen=_SERIES_RING)
@@ -237,6 +247,10 @@ class ServiceRuntime:
             self._drain_decisions()
             if self.plan_on_alert:
                 self._check_alerts()
+            if self.adaptation is not None:
+                self.adaptation.on_tick(
+                    result.tick, result.observed, result.planned
+                )
             metrics.emit_event(
                 "service",
                 "service.step",
@@ -314,6 +328,7 @@ class ServiceRuntime:
             runtime=self.runtime,
             config=self.config,
             source_position=self.source.position,
+            adaptation=self.adaptation,
         )
         self.checkpoints_written += 1
         get_registry().counter("service.checkpoints").inc()
@@ -328,8 +343,12 @@ class ServiceRuntime:
             ("GET", "/decisions"): self._handle_decisions,
             ("GET", "/traces"): self._handle_traces,
             ("GET", "/series"): self._handle_series,
+            ("GET", "/adaptation"): self._handle_adaptation,
             ("POST", "/plan"): self._handle_plan,
             ("POST", "/checkpoint"): self._handle_checkpoint,
+            ("POST", "/refit"): self._handle_refit,
+            ("POST", "/promote"): self._handle_promote,
+            ("POST", "/rollback"): self._handle_rollback,
         }
 
     def _handle_health(self, query: dict, body: Any) -> dict:
@@ -360,6 +379,11 @@ class ServiceRuntime:
                 else None
             ),
             "monitor": monitor.summary() if monitor is not None else None,
+            "adaptation": (
+                self.adaptation.status()
+                if self.adaptation is not None
+                else None
+            ),
         }
 
     def _handle_metrics(self, query: dict, body: Any) -> Any:
@@ -434,6 +458,49 @@ class ServiceRuntime:
             )
         self._drain_decisions()
         return _decision_payload(decision)
+
+    def _require_adaptation(self) -> AdaptationManager:
+        if self.adaptation is None:
+            raise HttpError(
+                409, "adaptation is not enabled (start with --adapt)"
+            )
+        return self.adaptation
+
+    def _handle_adaptation(self, query: dict, body: Any) -> dict:
+        return self._require_adaptation().status()
+
+    def _handle_refit(self, query: dict, body: Any) -> dict:
+        manager = self._require_adaptation()
+        body = body if isinstance(body, dict) else {}
+        strategy = body.get("strategy")
+        if strategy is not None and strategy not in ("warm", "pool"):
+            raise HttpError(
+                400, f"strategy must be 'warm' or 'pool', got {strategy!r}"
+            )
+        try:
+            return manager.refit(
+                reason=str(body.get("reason", "operator")),
+                strategy=strategy,
+                force=bool(body.get("force", False)),
+            )
+        except AdaptationError as error:
+            raise HttpError(409, str(error))
+
+    def _handle_promote(self, query: dict, body: Any) -> dict:
+        manager = self._require_adaptation()
+        body = body if isinstance(body, dict) else {}
+        try:
+            return manager.promote(reason=str(body.get("reason", "operator")))
+        except AdaptationError as error:
+            raise HttpError(409, str(error))
+
+    def _handle_rollback(self, query: dict, body: Any) -> dict:
+        manager = self._require_adaptation()
+        body = body if isinstance(body, dict) else {}
+        try:
+            return manager.rollback(reason=str(body.get("reason", "operator")))
+        except AdaptationError as error:
+            raise HttpError(409, str(error))
 
     def _handle_checkpoint(self, query: dict, body: Any) -> dict:
         path = None

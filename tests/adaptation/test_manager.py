@@ -1,0 +1,408 @@
+"""Tests for the AdaptationManager canary state machine."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.adaptation import (
+    GUARDING,
+    IDLE,
+    SHADOWING,
+    AdaptationError,
+    AdaptationManager,
+    ModelPool,
+    PromotionPolicy,
+)
+from repro.core import AutoscalingRuntime
+
+from tests.adaptation.doubles import (
+    BadForecaster,
+    BrokenForecaster,
+    FakeForecaster,
+    FakePlanner,
+    drive,
+    make_runtime,
+)
+
+STABLE = 100.0
+SHIFTED = 300.0
+
+
+def fitted_fake(level=STABLE):
+    return FakeForecaster().fit(np.full(20, level))
+
+
+def make_manager(runtime, **kwargs):
+    kwargs.setdefault(
+        "policy",
+        PromotionPolicy(
+            wql_ratio=0.95, calibration_slack=1.0, soak_windows=1, guard_windows=1
+        ),
+    )
+    kwargs.setdefault("cooldown", 5)
+    return AdaptationManager(runtime, **kwargs)
+
+
+class TestConstruction:
+    def test_requires_a_monitor(self):
+        runtime = AutoscalingRuntime(
+            planner=FakePlanner(fitted_fake()),
+            context_length=8,
+            horizon=4,
+            threshold=200.0,
+        )
+        with pytest.raises(ValueError, match="health monitor"):
+            AdaptationManager(runtime)
+
+    def test_validates_parameters(self):
+        runtime = make_runtime(fitted_fake())
+        with pytest.raises(ValueError):
+            AdaptationManager(runtime, shadow_window=0)
+        with pytest.raises(ValueError):
+            AdaptationManager(runtime, cooldown=-1)
+
+    def test_policy_accepts_spec_string(self):
+        runtime = make_runtime(fitted_fake())
+        manager = AdaptationManager(runtime, policy="soak=1 guard=0")
+        assert manager.policy.soak_windows == 1
+        assert manager.policy.guard_windows == 0
+
+    def test_starts_idle(self):
+        manager = make_manager(make_runtime(fitted_fake()))
+        assert manager.state == IDLE
+        assert manager.candidate is None
+
+
+class TestRefit:
+    def test_needs_enough_history(self):
+        manager = make_manager(make_runtime(fitted_fake()))
+        with pytest.raises(AdaptationError, match="not enough history"):
+            manager.refit()
+
+    def test_manual_refit_starts_shadowing(self):
+        runtime = make_runtime(fitted_fake())
+        manager = make_manager(runtime)
+        drive(runtime, manager, np.full(20, STABLE))
+        event = manager.refit(reason="operator")
+        assert manager.state == SHADOWING
+        assert manager.candidate is not None
+        assert manager.candidate is not runtime.planner.forecaster
+        assert manager.shadow_monitor is not None
+        assert manager.refits == 1
+        assert event["action"] == "refit"
+        assert event["reason"] == "operator"
+        # FakeForecaster has no warm_start parameter -> cold clone refit.
+        assert event["mode"] == "cold"
+
+    def test_refit_while_shadowing_requires_force(self):
+        runtime = make_runtime(fitted_fake())
+        manager = make_manager(runtime)
+        drive(runtime, manager, np.full(20, STABLE))
+        manager.refit()
+        with pytest.raises(AdaptationError, match="force"):
+            manager.refit()
+        first_candidate = manager.candidate
+        manager.refit(force=True)
+        assert manager.state == SHADOWING
+        assert manager.candidate is not first_candidate
+        assert manager.rejections == 1
+        assert manager.refits == 2
+
+    def test_invalid_strategy_rejected(self):
+        runtime = make_runtime(fitted_fake())
+        manager = make_manager(runtime)
+        drive(runtime, manager, np.full(20, STABLE))
+        with pytest.raises(ValueError, match="strategy"):
+            manager.refit(strategy="bogus")
+        with pytest.raises(AdaptationError, match="pool"):
+            manager.refit(strategy="pool")
+
+    def test_invalid_transitions_raise(self):
+        runtime = make_runtime(fitted_fake())
+        manager = make_manager(runtime)
+        with pytest.raises(AdaptationError):
+            manager.promote()
+        with pytest.raises(AdaptationError):
+            manager.rollback()
+        with pytest.raises(AdaptationError):
+            manager.reject()
+
+
+class TestPromotionFlow:
+    def promote_scenario(self, **manager_kwargs):
+        """Stable phase, shift, manual refit -> returns runtime+manager."""
+        runtime = make_runtime(fitted_fake(), record_provenance=True)
+        manager = make_manager(runtime, **manager_kwargs)
+        drive(runtime, manager, np.full(30, STABLE))
+        drive(runtime, manager, np.full(8, SHIFTED))  # incumbent goes stale
+        manager.refit(reason="test")
+        return runtime, manager
+
+    def test_shadow_candidate_is_scored_not_actuated(self):
+        runtime, manager = self.promote_scenario(
+            policy=PromotionPolicy(soak_windows=9, guard_windows=1)
+        )
+        nodes_before = runtime.decisions[-1].plan.nodes[0]
+        drive(runtime, manager, np.full(6, SHIFTED))
+        assert manager.shadow_monitor.steps_observed == 6
+        # Still shadowing: the live allocation is the stale incumbent's.
+        assert manager.state == SHADOWING
+        assert runtime.decisions[-1].plan.nodes[0] == nodes_before
+
+    def test_candidate_promoted_then_committed(self):
+        runtime, manager = self.promote_scenario()
+        stale = runtime.planner.forecaster
+        drive(runtime, manager, np.full(40, SHIFTED))
+        # Promotion swapped the candidate in and the guard committed it.
+        assert manager.promotions == 1
+        assert manager.state == IDLE
+        assert manager.previous is None
+        assert runtime.planner.forecaster is not stale
+        # The candidate was fit on a tail spanning the shift, so its
+        # level tracks the new regime (the stale incumbent stays at 100).
+        assert runtime.planner.forecaster.center > 200.0
+        actions = [e["action"] for e in manager.events]
+        assert actions.count("promote") == 1
+        assert actions.count("commit") == 1
+        assert actions.index("promote") < actions.index("commit")
+
+    def test_promoted_model_drives_allocations(self):
+        runtime, manager = self.promote_scenario()
+        drive(runtime, manager, np.full(40, SHIFTED))
+        # center 300, q0.9 = 316 -> 2 nodes at threshold 200 (stale: 1).
+        assert runtime.decisions[-1].plan.nodes[0] == 2
+
+    def test_promotion_writes_provenance(self):
+        runtime, manager = self.promote_scenario()
+        drive(runtime, manager, np.full(40, SHIFTED))
+        promoted = [
+            r for r in runtime.provenance if r["source"] == "promoted"
+        ]
+        assert len(promoted) == 1
+        assert promoted[0]["mode"] == "cold"
+
+    def test_reject_when_shadow_budget_expires(self):
+        # Stream never shifts: the candidate ties the incumbent, which
+        # the <1 wql ratio refuses, and the budget runs out.
+        runtime = make_runtime(fitted_fake())
+        manager = make_manager(runtime, shadow_window=15)
+        drive(runtime, manager, np.full(30, STABLE))
+        manager.refit()
+        drive(runtime, manager, np.full(20, STABLE))
+        assert manager.state == IDLE
+        assert manager.rejections == 1
+        assert manager.promotions == 0
+        reject = [e for e in manager.events if e["action"] == "reject"][0]
+        assert "budget" in reject["reason"]
+
+
+class TestGuardAndRollback:
+    def rollback_scenario(self):
+        """Promote a good candidate at a window boundary, keep guarding."""
+        runtime = make_runtime(
+            fitted_fake(), rules=("mean_wql > 0.5",)
+        )
+        manager = make_manager(
+            runtime,
+            policy=PromotionPolicy(
+                wql_ratio=0.95,
+                calibration_slack=1.0,
+                soak_windows=1,
+                guard_windows=3,
+            ),
+            auto_refit=False,
+        )
+        drive(runtime, manager, np.full(30, STABLE))
+        drive(runtime, manager, np.full(8, SHIFTED))
+        manager.refit(reason="test")
+        drive(runtime, manager, np.full(20, SHIFTED))
+        assert manager.state == GUARDING
+        return runtime, manager
+
+    def test_post_promotion_breach_rolls_back(self):
+        runtime, manager = self.rollback_scenario()
+        promoted = runtime.planner.forecaster
+        previous = manager.previous
+        # A second shift the promoted model cannot track: the next fully
+        # post-promotion window breaches mean_wql and the guard fires.
+        drive(runtime, manager, np.full(25, 900.0))
+        assert manager.rollbacks == 1
+        assert manager.state == IDLE
+        assert runtime.planner.forecaster is previous
+        assert runtime.planner.forecaster is not promoted
+        rollback = [e for e in manager.events if e["action"] == "rollback"][0]
+        assert rollback["reason"].startswith("alert:")
+
+    def test_quiet_guard_commits(self):
+        runtime, manager = self.rollback_scenario()
+        promoted = runtime.planner.forecaster
+        drive(runtime, manager, np.full(30, SHIFTED))
+        assert manager.state == IDLE
+        assert manager.rollbacks == 0
+        assert manager.previous is None
+        assert runtime.planner.forecaster is promoted
+
+    def test_straddling_window_alert_does_not_rollback(self):
+        # Promote mid-window with a bad candidate: the first closing
+        # window straddles the promotion (it carries incumbent
+        # residuals too) so its alert must NOT trigger a rollback.
+        runtime = make_runtime(
+            fitted_fake(), rules=("mean_wql > 0.5",)
+        )
+        manager = make_manager(
+            runtime,
+            policy=PromotionPolicy(soak_windows=1, guard_windows=1),
+            auto_refit=False,
+        )
+        drive(runtime, manager, np.full(33, STABLE))  # mid-window (10s)
+        manager.refit(reason="test")
+        manager.candidate = BadForecaster()
+        manager.promote(reason="test")
+        drive(runtime, manager, np.full(6, STABLE))
+        straddling = [a for a in runtime.monitor.alerts.alerts]
+        assert straddling, "the straddling window must breach"
+        assert manager.rollbacks == 0
+
+    def test_bad_candidate_promoted_at_boundary_rolls_back(self):
+        # Promotion lands exactly on a window boundary, so the very
+        # first closing window is fully post-promotion and its breach
+        # (the engine was calm before) rolls the bad candidate back.
+        runtime = make_runtime(
+            fitted_fake(), rules=("mean_wql > 0.5",)
+        )
+        manager = make_manager(
+            runtime,
+            policy=PromotionPolicy(soak_windows=1, guard_windows=3),
+            auto_refit=False,
+        )
+        drive(runtime, manager, np.full(38, STABLE))  # windows 8-17..28-37
+        incumbent = runtime.planner.forecaster
+        manager.refit(reason="test")
+        manager.candidate = BadForecaster()
+        manager.promote(reason="inject bad candidate")
+        drive(runtime, manager, np.full(15, STABLE))
+        assert manager.rollbacks == 1
+        assert manager.state == IDLE
+        assert runtime.planner.forecaster is incumbent
+
+
+class TestAutoRefit:
+    def test_alert_triggers_refit(self):
+        runtime = make_runtime(fitted_fake(), rules=("mean_wql > 0.5",))
+        manager = make_manager(runtime, auto_refit=True)
+        drive(runtime, manager, np.full(30, STABLE))
+        assert manager.refits == 0
+        drive(runtime, manager, np.full(15, SHIFTED))
+        assert manager.refits == 1
+        assert manager.state == SHADOWING
+        refit = [e for e in manager.events if e["action"] == "refit"][0]
+        assert refit["reason"].startswith("alert:")
+
+    def test_auto_refit_can_be_disabled(self):
+        runtime = make_runtime(fitted_fake(), rules=("mean_wql > 0.5",))
+        manager = make_manager(runtime, auto_refit=False)
+        drive(runtime, manager, np.full(45, SHIFTED))
+        assert len(runtime.monitor.alerts.alerts) >= 1
+        assert manager.refits == 0
+
+    def test_refit_failure_is_an_event_not_a_crash(self):
+        # The history buffer is too small to ever satisfy a refit, so
+        # the alert-driven refit fails — logged, not raised.
+        runtime = make_runtime(fitted_fake(STABLE), rules=("mean_wql > 0.5",))
+        manager = make_manager(runtime, history_size=8)
+        drive(runtime, manager, np.full(18, SHIFTED))
+        failures = [
+            e for e in manager.events if e["action"] == "refit_failed"
+        ]
+        assert failures
+        assert "not enough history" in failures[0]["reason"]
+        assert manager.state == IDLE
+
+    def test_cooldown_suppresses_alert_refits(self):
+        runtime = make_runtime(fitted_fake(), rules=("mean_wql > 0.5",))
+        manager = make_manager(runtime, shadow_window=12, cooldown=1000)
+        drive(runtime, manager, np.full(30, STABLE))
+        drive(runtime, manager, np.full(15, SHIFTED))
+        assert manager.refits == 1
+        # Budget expires -> reject -> cooldown.  The rule re-fires on
+        # later windows (re-armed by the candidate evaluation gap) but
+        # the cooldown must swallow it.
+        drive(runtime, manager, np.full(40, SHIFTED))
+        assert manager.state == IDLE
+        refits_after_reject = manager.refits
+        drive(runtime, manager, np.full(40, 900.0))
+        assert manager.refits == refits_after_reject
+
+
+class TestPoolStrategy:
+    def test_pool_reselection_becomes_the_candidate(self):
+        pool = ModelPool(
+            {
+                "biased": lambda: FakeForecaster(spread=2000.0),
+                "tracking": lambda: FakeForecaster(),
+            }
+        )
+        runtime = make_runtime(fitted_fake())
+        manager = make_manager(runtime, pool=pool)
+        drive(runtime, manager, np.full(30, STABLE))
+        event = manager.refit()  # default strategy becomes "pool"
+        assert event["strategy"] == "pool"
+        assert event["mode"] == "pool:tracking"
+        assert set(event["scores"]) == {"biased", "tracking"}
+        assert manager.candidate.spread == 20.0
+
+
+class TestStatusAndCheckpoint:
+    def shadowing_manager(self):
+        runtime = make_runtime(fitted_fake(), record_provenance=True)
+        manager = make_manager(runtime)
+        drive(runtime, manager, np.full(30, STABLE))
+        drive(runtime, manager, np.full(8, SHIFTED))
+        manager.refit(reason="test")
+        drive(runtime, manager, np.full(4, SHIFTED))
+        assert manager.state == SHADOWING
+        return runtime, manager
+
+    def test_status_is_json_safe(self):
+        _, manager = self.shadowing_manager()
+        status = json.loads(json.dumps(manager.status()))
+        assert status["state"] == SHADOWING
+        assert status["candidate"] == "FakeForecaster"
+        assert status["refits"] == 1
+        assert status["shadow_ticks"] == 4
+
+    def test_state_dict_round_trips_mid_shadow(self):
+        runtime, manager = self.shadowing_manager()
+        blob = json.dumps(manager.state_dict())
+
+        fresh_runtime = make_runtime(fitted_fake(), record_provenance=True)
+        fresh_runtime.load_state_dict(runtime.state_dict())
+        fresh_runtime.monitor.load_state_dict(runtime.monitor.state_dict())
+        fresh = make_manager(fresh_runtime)
+        fresh.load_state_dict(json.loads(blob))
+
+        assert fresh.state == SHADOWING
+        assert fresh.candidate.center == manager.candidate.center
+        # Continue both loops in lockstep: decisions and adaptation
+        # events must stay bit-identical.
+        tail = np.full(40, SHIFTED)
+        original = drive(runtime, manager, tail)
+        restored = drive(fresh_runtime, fresh, tail)
+        assert [r.target_nodes for r in original] == [
+            r.target_nodes for r in restored
+        ]
+        assert manager.events == fresh.events
+        assert manager.state == fresh.state == IDLE
+        assert manager.promotions == fresh.promotions == 1
+        assert (
+            runtime.planner.forecaster.center
+            == fresh_runtime.planner.forecaster.center
+        )
+
+    def test_version_mismatch_rejected(self):
+        _, manager = self.shadowing_manager()
+        state = manager.state_dict()
+        state["version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            manager.load_state_dict(state)

@@ -1,0 +1,86 @@
+"""Tests for holdout-scored model-pool reselection."""
+
+import numpy as np
+import pytest
+
+from repro.adaptation import ModelPool
+from repro.obs import InMemorySink, MetricsRegistry, using_registry
+
+from tests.adaptation.doubles import BrokenForecaster, FakeForecaster
+
+SERIES = np.concatenate([np.full(30, 100.0), np.full(20, 300.0)])
+SELECT_KWARGS = dict(context_length=8, horizon=4, levels=(0.1, 0.5, 0.9))
+
+
+class TestRegistry:
+    def test_register_and_names(self):
+        pool = ModelPool().register("a", FakeForecaster)
+        pool.register("b", FakeForecaster)
+        assert pool.names() == ["a", "b"]
+        assert len(pool) == 2
+
+    def test_duplicate_name_rejected(self):
+        pool = ModelPool({"a": FakeForecaster})
+        with pytest.raises(ValueError, match="already registered"):
+            pool.register("a", FakeForecaster)
+
+    def test_empty_pool_cannot_select(self):
+        with pytest.raises(ValueError, match="empty"):
+            ModelPool().select(SERIES, **SELECT_KWARGS)
+
+
+class TestSelection:
+    def test_picks_the_lower_wql_candidate(self):
+        # The tracking fake anchors at the series tail (300); the stale
+        # fake averages over a long tail that still includes the old
+        # level, so its holdout wQL is worse.
+        pool = ModelPool(
+            {
+                "stale": lambda: FakeForecaster(tail=45),
+                "tracking": lambda: FakeForecaster(tail=8),
+            }
+        )
+        name, winner, scores = pool.select(SERIES, **SELECT_KWARGS)
+        assert name == "tracking"
+        assert scores["tracking"] < scores["stale"]
+        assert winner.tail == 8
+
+    def test_winner_is_refit_on_the_full_series(self):
+        pool = ModelPool({"only": FakeForecaster})
+        _, winner, _ = pool.select(SERIES, **SELECT_KWARGS)
+        # One fit on the holdout split, then a final fit on everything.
+        assert winner.fit_lengths[-1] == len(SERIES)
+
+    def test_registration_order_breaks_ties(self):
+        pool = ModelPool(
+            {"first": FakeForecaster, "second": FakeForecaster}
+        )
+        name, _, scores = pool.select(SERIES, **SELECT_KWARGS)
+        assert name == "first"
+        assert scores["first"] == scores["second"]
+
+    def test_failing_candidate_scores_inf_and_is_skipped(self):
+        sink = InMemorySink()
+        pool = ModelPool(
+            {"broken": BrokenForecaster, "ok": FakeForecaster}
+        )
+        with using_registry(MetricsRegistry(sinks=[sink])):
+            name, _, scores = pool.select(SERIES, **SELECT_KWARGS)
+        assert name == "ok"
+        assert scores["broken"] == float("inf")
+        failures = [
+            r
+            for r in sink.records
+            if r.get("name") == "adaptation.pool_candidate_failed"
+        ]
+        assert failures and failures[0]["candidate"] == "broken"
+
+    def test_all_candidates_failing_raises(self):
+        pool = ModelPool({"a": BrokenForecaster, "b": BrokenForecaster})
+        with pytest.raises(ValueError, match="every pool candidate"):
+            pool.select(SERIES, **SELECT_KWARGS)
+
+    def test_short_series_rejected(self):
+        pool = ModelPool({"a": FakeForecaster})
+        with pytest.raises(ValueError, match="at least"):
+            pool.select(SERIES[:10], **SELECT_KWARGS)

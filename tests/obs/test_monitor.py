@@ -275,3 +275,100 @@ class TestObserveForecast:
         )
         monitor.observe_forecast(forecast, np.full(3, 95.0))
         assert monitor.steps_observed == 3
+
+
+class TestLevelOrderingAndTies:
+    """Regression tests: shuffled quantile grids and exact-tie semantics."""
+
+    def test_shuffled_levels_match_sorted_levels(self):
+        sorted_monitor = ModelHealthMonitor(window=10, detectors=[])
+        shuffled_monitor = ModelHealthMonitor(window=10, detectors=[])
+        rng = np.random.default_rng(17)
+        order = np.array([2, 0, 1])  # 0.9, 0.1, 0.5
+        for t in range(10):
+            values, actual = well_calibrated_step(rng)
+            sorted_monitor.observe(LEVELS, values, actual, time_index=t)
+            shuffled_monitor.observe(
+                LEVELS[order], values[order], actual, time_index=t
+            )
+        a, b = sorted_monitor.windows[0], shuffled_monitor.windows[0]
+        assert a.coverage == b.coverage
+        assert a.wql == b.wql
+        assert a.mean_residual == pytest.approx(b.mean_residual)
+        assert a.calibration_error == pytest.approx(b.calibration_error)
+
+    def test_shuffled_levels_keep_spread_normalisation(self):
+        # The drift scale is q_max - q_min; an unsorted grid must not
+        # flip its sign (which would invert every drift direction).
+        monitor = ModelHealthMonitor(window=50)
+        values = np.array([110.0, 90.0, 100.0])  # for levels 0.9, 0.1, 0.5
+        for t in range(60):
+            monitor.observe(
+                np.array([0.9, 0.1, 0.5]), values, 400.0, time_index=t
+            )
+        assert monitor.drift_events
+        assert all(e.direction == "up" for e in monitor.drift_events)
+
+    def test_actual_equal_to_quantile_counts_as_covered(self):
+        # Quantile coverage is P(X <= q) >= tau: a tie satisfies it.
+        monitor = ModelHealthMonitor(window=4, detectors=[])
+        values = np.array([90.0, 100.0, 110.0])
+        for t in range(4):
+            monitor.observe(LEVELS, values, 110.0, time_index=t)
+        window = monitor.windows[0]
+        assert window.coverage["0.9"] == 1.0
+        assert window.coverage["0.5"] == 0.0
+
+    def test_tie_at_every_level_is_fully_covered(self):
+        monitor = ModelHealthMonitor(window=4, detectors=[])
+        values = np.array([90.0, 100.0, 110.0])
+        for t in range(4):
+            monitor.observe(LEVELS, values, 90.0, time_index=t)
+        assert all(
+            cov == 1.0 for cov in monitor.windows[0].coverage.values()
+        )
+
+
+class TestDetectorStateRoundTrip:
+    """Drift detectors must checkpoint/restore mid-episode, after firing."""
+
+    @pytest.mark.parametrize("make", [PageHinkley, CUSUM])
+    def test_round_trip_after_firing_preserves_behavior(self, make):
+        rng = np.random.default_rng(23)
+        detector = make()
+        for x in rng.normal(0, 1, 200):
+            detector.update(x)
+        fired = False
+        for x in rng.normal(4, 1, 100):
+            if detector.update(x):
+                fired = True
+                break
+        assert fired, "detector must fire before the snapshot"
+
+        clone = make()
+        clone.load_state_dict(detector.state_dict())
+        assert clone.fired_score == detector.fired_score
+        assert clone.fired_direction == detector.fired_direction
+
+        # Continue both on an identical stream: decisions, scores, and
+        # re-fires must stay in lockstep.
+        tail = np.concatenate(
+            [rng.normal(0, 1, 150), rng.normal(-4, 1, 80)]
+        )
+        original = [detector.update(x) for x in tail]
+        restored = [clone.update(x) for x in tail]
+        assert original == restored
+        assert any(original), "the downward shift must re-fire"
+        assert clone.state_dict() == detector.state_dict()
+
+    @pytest.mark.parametrize("make", [PageHinkley, CUSUM])
+    def test_round_trip_is_json_safe(self, make):
+        import json
+
+        detector = make()
+        for _ in range(20):
+            detector.update(5.0)
+        state = json.loads(json.dumps(detector.state_dict()))
+        clone = make()
+        clone.load_state_dict(state)
+        assert clone.state_dict() == detector.state_dict()
