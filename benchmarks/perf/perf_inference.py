@@ -14,7 +14,11 @@ tape path:
   parallel median) and a bit-determinism check of the fanned-out run;
 * **float32** — single-precision inference (``--dtype float32``) vs the
   float64 default: sampling wall-clock plus the accuracy gate (wQL and
-  coverage deltas on a small backtest must stay within tolerance).
+  coverage deltas on a small backtest must stay within tolerance);
+* **tft_predict** — the TFT quantile forward through the fused
+  attention/LayerNorm/GRN kernels vs the tape, with a bitwise gate on
+  both the quantile grid and the stored attention pattern (float64) and
+  the same wQL/coverage tolerances for float32.
 
 Timings interleave the variants (fast, tape, fast, tape, ...) so clock
 drift and cache state hit every variant equally — on noisy shared
@@ -43,7 +47,7 @@ import time
 import numpy as np
 
 from repro.evaluation.backtest import backtest
-from repro.forecast import DeepARForecaster, TrainingConfig
+from repro.forecast import DeepARForecaster, TFTForecaster, TrainingConfig
 from repro.forecast.features import NUM_CALENDAR_FEATURES
 from repro.nn import Tensor, fastpath, no_grad
 from repro.traces import STEPS_PER_DAY, alibaba_like_trace
@@ -326,6 +330,92 @@ def bench_float32(
     }
 
 
+def bench_tft_predict(
+    forecaster: TFTForecaster,
+    sample_context: np.ndarray,
+    test_values: np.ndarray,
+    train_length: int,
+    start_index: int,
+    repeats: int,
+    stride: int,
+) -> dict:
+    """TFT quantile predict: fused fastpath vs the tape, plus float32.
+
+    The float64 gate is *bitwise* — the fused attention/LayerNorm/GRN
+    kernels must reproduce both the quantile grid and the stored
+    attention pattern exactly.  float32 (an explicit opt-in) is held to
+    the same distribution-level wQL/coverage tolerances as the DeepAR
+    sampler.
+    """
+
+    def fast() -> None:
+        forecaster.predict(sample_context, start_index=start_index)
+
+    def tape() -> None:
+        with fastpath.use_fast_path(False):
+            forecaster.predict(sample_context, start_index=start_index)
+
+    def f32() -> None:
+        forecaster.set_inference_dtype(np.float32)
+        try:
+            forecaster.predict(sample_context, start_index=start_index)
+        finally:
+            forecaster.set_inference_dtype(np.float64)
+
+    times = interleaved_times({"fast": fast, "tape": tape, "float32": f32}, repeats)
+
+    fast_forecast = forecaster.predict(sample_context, start_index=start_index)
+    fast_attention = forecaster.attention_weights().copy()
+    with fastpath.use_fast_path(False):
+        tape_forecast = forecaster.predict(sample_context, start_index=start_index)
+    tape_attention = forecaster.attention_weights().copy()
+    values_bitwise = bool(np.array_equal(fast_forecast.values, tape_forecast.values))
+    attention_bitwise = bool(np.array_equal(fast_attention, tape_attention))
+
+    def run_backtest():
+        return backtest(
+            forecaster,
+            test_values,
+            forecaster.context_length,
+            forecaster.horizon,
+            LEVELS,
+            series_start_index=train_length,
+            stride=stride,
+            n_jobs=None,
+        )
+
+    f64_result = run_backtest()
+    forecaster.set_inference_dtype(np.float32)
+    try:
+        f32_result = run_backtest()
+    finally:
+        forecaster.set_inference_dtype(np.float64)
+    wql_64 = f64_result.mean_wql()
+    wql_32 = f32_result.mean_wql()
+    wql_rel_delta = abs(wql_32 - wql_64) / max(abs(wql_64), 1e-12)
+    coverage_delta = max(
+        abs(f32_result.coverage(level) - f64_result.coverage(level))
+        for level in LEVELS
+    )
+    return {
+        **times,
+        "speedup_vs_tape": times["tape"]["best_ms"] / times["fast"]["best_ms"],
+        "float32_speedup": times["tape"]["best_ms"] / times["float32"]["best_ms"],
+        "values_bitwise": values_bitwise,
+        "attention_bitwise": attention_bitwise,
+        "wql_float64": wql_64,
+        "wql_float32": wql_32,
+        "wql_rel_delta": wql_rel_delta,
+        "wql_rel_tolerance": WQL_REL_TOLERANCE,
+        "coverage_max_delta": coverage_delta,
+        "coverage_tolerance": COVERAGE_TOLERANCE,
+        "float32_accuracy_ok": bool(
+            wql_rel_delta <= WQL_REL_TOLERANCE
+            and coverage_delta <= COVERAGE_TOLERANCE
+        ),
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="perf_inference")
     parser.add_argument("--quick", action="store_true",
@@ -383,6 +473,16 @@ def main(argv: list[str] | None = None) -> int:
             len(train.values), max(1, repeats // 2), stride,
         ),
     }
+
+    print(f"training TFT ({epochs} epochs)...", file=sys.stderr)
+    tft = TFTForecaster(
+        context_length, horizon, quantile_levels=LEVELS, d_model=32, num_heads=4,
+        config=TrainingConfig(epochs=epochs, batch_size=64, window_stride=3, seed=0),
+    ).fit(train.values)
+    report["tft_predict"] = bench_tft_predict(
+        tft, sample_context, test.values, len(train.values),
+        len(train.values), repeats, stride,
+    )
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2)
         handle.write("\n")
@@ -410,10 +510,31 @@ def main(argv: list[str] | None = None) -> int:
         f"coverage delta {f32['coverage_max_delta']:.3f}  "
         f"accuracy_ok={f32['accuracy_ok']}"
     )
+    tp = report["tft_predict"]
+    print(
+        f"tft_predict : fast {tp['fast']['best_ms']:.1f}ms  "
+        f"tape {tp['tape']['best_ms']:.1f}ms  -> {tp['speedup_vs_tape']:.2f}x, "
+        f"bitwise values={tp['values_bitwise']} attention={tp['attention_bitwise']}, "
+        f"float32 wQL rel delta {tp['wql_rel_delta']:.2e} "
+        f"(accuracy_ok={tp['float32_accuracy_ok']})"
+    )
     print(f"wrote {args.output}")
     failed = False
     if not sp["parity_fast_vs_tape"]:
         print("PARITY FAILURE: fast and tape paths disagree", file=sys.stderr)
+        failed = True
+    if not (tp["values_bitwise"] and tp["attention_bitwise"]):
+        print(
+            "TFT PARITY FAILURE: fused kernels are not bitwise-identical "
+            "to the tape in float64",
+            file=sys.stderr,
+        )
+        failed = True
+    if not tp["float32_accuracy_ok"]:
+        print(
+            "TFT FLOAT32 ACCURACY FAILURE: deltas exceed the documented tolerance",
+            file=sys.stderr,
+        )
         failed = True
     if not bt["deterministic"]:
         print(

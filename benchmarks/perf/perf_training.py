@@ -3,13 +3,15 @@
 Three measurements around the analytic training kernels
 (:mod:`repro.nn.fastgrad`) and the persistent evaluation pool:
 
-* **epoch_deepar / epoch_mlp** — wall-clock of one training epoch with
-  ``train_fast_path=True`` (fused analytic forward+backward) vs
-  ``False`` (the autograd tape), on freshly built networks so both
-  variants optimise from the same weights;
+* **epoch_deepar / epoch_mlp / epoch_tft** — wall-clock of one training
+  epoch with ``train_fast_path=True`` (fused analytic forward+backward)
+  vs ``False`` (the autograd tape), on freshly built networks so both
+  variants optimise from the same weights; the TFT speedup is hard-gated
+  at ``TFT_MIN_SPEEDUP``;
 * **parity** — the two paths must follow the same loss trajectory; the
   max relative divergence over a short multi-epoch fit is recorded and
-  gated;
+  gated (1e-6 drift allowance for DeepAR/MLP, bitwise-level 1e-12 for
+  the TFT, whose fastgrad mirrors the tape composition exactly);
 * **pool_reuse** — repeated ``backtest(n_jobs=2)`` calls on the shared
   persistent pool, against serial and against a fresh throwaway pool
   per call (the historical regression: per-call pool spawn made small
@@ -41,7 +43,7 @@ import time
 import numpy as np
 
 from repro.evaluation.backtest import backtest
-from repro.forecast import DeepARForecaster, MLPForecaster, TrainingConfig
+from repro.forecast import DeepARForecaster, MLPForecaster, TFTForecaster, TrainingConfig
 from repro.parallel import shutdown_shared_pool
 from repro.traces import STEPS_PER_DAY, alibaba_like_trace
 
@@ -52,6 +54,14 @@ LEVELS = (0.1, 0.5, 0.9)
 # Loss trajectories are mathematically identical; summation order
 # differs, so allow accumulated float drift but nothing structural.
 PARITY_RTOL = 1e-6
+
+# The TFT fastgrad path mirrors the tape composition op for op
+# (including summation order), so its losses are bitwise-identical —
+# gate at 1e-12 rather than the drift allowance above.
+TFT_PARITY_RTOL = 1e-12
+
+# Hard floor for the analytic TFT epoch speedup over the tape.
+TFT_MIN_SPEEDUP = 1.5
 
 
 def _fit_config(fast: bool, epochs: int, seed: int = 0) -> TrainingConfig:
@@ -78,6 +88,13 @@ def _make_mlp(fast: bool, epochs: int, context_length: int, horizon: int):
     )
 
 
+def _make_tft(fast: bool, epochs: int, context_length: int, horizon: int):
+    return TFTForecaster(
+        context_length, horizon, d_model=32, num_heads=4,
+        config=_fit_config(fast, epochs),
+    )
+
+
 def bench_epoch(factory, train_values: np.ndarray, repeats: int) -> dict:
     """One-epoch fit wall-clock, analytic fast path vs tape.
 
@@ -99,7 +116,9 @@ def bench_epoch(factory, train_values: np.ndarray, repeats: int) -> dict:
     }
 
 
-def bench_parity(factory, train_values: np.ndarray, epochs: int) -> dict:
+def bench_parity(
+    factory, train_values: np.ndarray, epochs: int, rtol: float = PARITY_RTOL
+) -> dict:
     """Max relative train-loss divergence between the two paths."""
     fast = factory(True, epochs).fit(train_values)
     tape = factory(False, epochs).fit(train_values)
@@ -111,7 +130,8 @@ def bench_parity(factory, train_values: np.ndarray, epochs: int) -> dict:
         "max_rel_loss_diff": float(rel.max()),
         "fast_losses": [float(v) for v in fast_losses],
         "tape_losses": [float(v) for v in tape_losses],
-        "ok": bool(rel.max() < PARITY_RTOL),
+        "rtol": rtol,
+        "ok": bool(rel.max() < rtol),
     }
 
 
@@ -218,7 +238,7 @@ def bench_float32_kernels(
         outputs, caches = fastgrad.lstm_forward_train(
             x, layer_params, hidden_size, dtype=dtype
         )
-        grads[dtype], _ = fastgrad.lstm_backward(
+        grads[dtype], _, _ = fastgrad.lstm_backward(
             np.ones_like(outputs), caches, hidden_size
         )
     rel_diffs = []
@@ -263,6 +283,9 @@ def main(argv: list[str] | None = None) -> int:
     def mlp_factory(fast: bool, epochs: int):
         return _make_mlp(fast, epochs, context_length, horizon)
 
+    def tft_factory(fast: bool, epochs: int):
+        return _make_tft(fast, epochs, context_length, horizon)
+
     print(f"timing epochs ({repeats} repeats/variant, interleaved)...", file=sys.stderr)
     report = {
         "benchmark": "training",
@@ -278,9 +301,13 @@ def main(argv: list[str] | None = None) -> int:
         },
         "epoch_deepar": bench_epoch(deepar_factory, train.values, repeats),
         "epoch_mlp": bench_epoch(mlp_factory, train.values, repeats),
+        "epoch_tft": bench_epoch(tft_factory, train.values, repeats),
         "parity": {
             "deepar": bench_parity(deepar_factory, train.values, parity_epochs),
             "mlp": bench_parity(mlp_factory, train.values, parity_epochs),
+            "tft": bench_parity(
+                tft_factory, train.values, parity_epochs, rtol=TFT_PARITY_RTOL
+            ),
         },
     }
 
@@ -297,7 +324,7 @@ def main(argv: list[str] | None = None) -> int:
         json.dump(report, handle, indent=2)
         handle.write("\n")
 
-    for key in ("epoch_deepar", "epoch_mlp"):
+    for key in ("epoch_deepar", "epoch_mlp", "epoch_tft"):
         e = report[key]
         print(
             f"{key:12s}: fast {e['fast']['best_ms']:.0f}ms  "
@@ -331,6 +358,13 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     if not pr["deterministic"]:
         print("DETERMINISM FAILURE: pooled backtests disagree with serial", file=sys.stderr)
+        return 1
+    if report["epoch_tft"]["speedup"] < TFT_MIN_SPEEDUP:
+        print(
+            f"SPEEDUP FAILURE: analytic TFT epoch "
+            f"{report['epoch_tft']['speedup']:.2f}x < {TFT_MIN_SPEEDUP}x tape",
+            file=sys.stderr,
+        )
         return 1
     return 0
 

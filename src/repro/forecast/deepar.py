@@ -201,7 +201,7 @@ class DeepARForecaster(NeuralForecaster):
             _accumulate(net.df_head.weight, dw_df)
             _accumulate(net.df_head.bias, db_df)
 
-        lstm_grads, _ = fastgrad.lstm_backward(
+        lstm_grads, _, _ = fastgrad.lstm_backward(
             dhidden.reshape(batch, steps, hs), caches, hs
         )
         for cell, (dw_ih, dw_hh, db) in zip(net.lstm._cells, lstm_grads):

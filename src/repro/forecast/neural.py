@@ -113,8 +113,8 @@ class NeuralForecaster(Forecaster):
 
         Subclasses that implement :meth:`_fastgrad_loss_backward` (a
         tape-free equivalent of ``_loss(...).backward()``) return True;
-        the default keeps the autograd tape (e.g. the TFT's attention
-        stack, where per-op autograd earns its keep).
+        the default keeps the autograd tape.  All built-in forecasters
+        (MLP, DeepAR, TFT) opt in; the tape remains the parity oracle.
         """
         return False
 

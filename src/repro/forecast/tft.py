@@ -35,6 +35,8 @@ from ..nn import (
     Module,
     Tensor,
     causal_mask,
+    fastgrad,
+    fastpath,
     no_grad,
 )
 from ..nn import functional as F
@@ -43,6 +45,8 @@ from .features import NUM_CALENDAR_FEATURES, calendar_features
 from .neural import NeuralForecaster, TrainingConfig
 
 __all__ = ["TFTForecaster"]
+
+_accumulate = fastgrad.accumulate_grad
 
 
 class _TFTNetwork(Module):
@@ -69,6 +73,16 @@ class _TFTNetwork(Module):
 
     def forward(self, past: Tensor, future: Tensor) -> Tensor:
         """past: (B, T, 1+F); future: (B, H, F) -> quantiles (B, H, Q)."""
+        # Whole-network raw-array dispatch under no_grad: one kernel
+        # composition instead of per-layer Tensor wrapping.  (The GRN's
+        # dropout is inactive in eval mode or at p == 0 — the TFT
+        # default — which is what the fused kernels assume.)
+        if fastpath.should_use_fast_path() and (
+            not self.training or self.feed_forward.dropout.p == 0.0
+        ):
+            past_data = past.data if isinstance(past, Tensor) else np.asarray(past)
+            future_data = future.data if isinstance(future, Tensor) else np.asarray(future)
+            return Tensor(self.fast_forward(past_data, future_data))
         encoded_in = self.past_proj(past)
         decoded_in = self.future_proj(future)
         encoded, state = self.encoder(encoded_in)
@@ -87,6 +101,61 @@ class _TFTNetwork(Module):
         attended = self.attn_norm(query + self.attn_gate(attended))
 
         return self.quantile_head(self.feed_forward(attended))
+
+    def fast_forward(
+        self,
+        past: np.ndarray,
+        future: np.ndarray,
+        dtype: "np.dtype | type | None" = None,
+    ) -> np.ndarray:
+        """Tape-free forward on raw arrays via the fused fastpath kernels.
+
+        ``dtype=None`` computes in float64 — bitwise-identical to the
+        tape forward, including the stored attention pattern;
+        ``np.float32`` casts inputs and weights once and runs the whole
+        stack in single precision (the inference dtype mode).
+        """
+        work = np.float64 if dtype is None else np.dtype(dtype)
+        cast = None if work == np.dtype(np.float64) else work
+
+        def proj(linear: Linear, x: np.ndarray) -> np.ndarray:
+            weight = linear.weight.data
+            bias = linear.bias.data if linear.bias is not None else None
+            if cast is not None:
+                weight = weight.astype(cast, copy=False)
+                bias = None if bias is None else bias.astype(cast, copy=False)
+            return fastpath.linear_forward(x, weight, bias)
+
+        past = past.astype(work, copy=False)
+        future = future.astype(work, copy=False)
+        hidden_size = self.encoder.hidden_size
+        encoded_in = proj(self.past_proj, past)
+        decoded_in = proj(self.future_proj, future)
+        encoded, state = fastpath.lstm_forward(
+            encoded_in, self.encoder._layer_params(), hidden_size, dtype=cast
+        )
+        decoded, _ = fastpath.lstm_forward(
+            decoded_in, self.decoder._layer_params(), hidden_size, state=state, dtype=cast
+        )
+
+        sequence = np.concatenate([encoded, decoded], axis=1)
+        skip = np.concatenate([encoded_in, decoded_in], axis=1)
+        sequence = self.lstm_norm.fast_forward(
+            skip + self.lstm_gate.fast_forward(sequence, dtype=cast), dtype=cast
+        )
+
+        horizon = decoded.shape[1]
+        query = sequence[:, -horizon:, :]
+        mask = causal_mask(query_len=horizon, key_len=sequence.shape[1])
+        attended, weights = self.attention.fast_forward(
+            query, sequence, sequence, mask=mask, dtype=cast
+        )
+        self._last_attention = weights
+        attended = self.attn_norm.fast_forward(
+            query + self.attn_gate.fast_forward(attended, dtype=cast), dtype=cast
+        )
+
+        return proj(self.quantile_head, self.feed_forward.fast_forward(attended, dtype=cast))
 
 
 class TFTForecaster(NeuralForecaster):
@@ -163,6 +232,129 @@ class TFTForecaster(NeuralForecaster):
         predictions = self.network(Tensor(past), Tensor(future))  # (B, H, Q)
         return F.quantile_loss(predictions, horizon, list(self.quantile_levels))
 
+    def _supports_fastgrad(self) -> bool:
+        return True
+
+    def _fastgrad_loss_backward(
+        self, context: np.ndarray, horizon: np.ndarray, start_indices: np.ndarray
+    ) -> float:
+        """Analytic loss + gradients: ``_loss(...).backward()`` without a tape.
+
+        One cached-activations forward through the fused kernels, then
+        closed-form backwards in reverse order (quantile head -> GRN ->
+        attention block -> gated LSTM skip -> decoder -> encoder ->
+        input projections).  Every composition mirrors the tape op for
+        op, so float64 losses and accumulated gradients are
+        bitwise-identical to ``_loss``.  Gradients go straight into
+        ``param.grad``; the surrounding clip/Adam/early-stopping loop is
+        unchanged.
+        """
+        assert self.network is not None
+        net = self.network
+        if self.window_normalization:
+            mean, std = self._window_stats(context)
+            context = (context - mean) / std
+            horizon = (horizon - mean) / std
+        past, future = self._network_inputs(context, start_indices)
+
+        # -- forward (cached activations) --------------------------------
+        hs = net.encoder.hidden_size
+        encoded_in = fastpath.linear_forward(
+            past, net.past_proj.weight.data, net.past_proj.bias.data
+        )
+        decoded_in = fastpath.linear_forward(
+            future, net.future_proj.weight.data, net.future_proj.bias.data
+        )
+        encoded, enc_caches = fastgrad.lstm_forward_train(
+            encoded_in, net.encoder._layer_params(), hs
+        )
+        decoded, dec_caches = fastgrad.lstm_forward_train(
+            decoded_in,
+            net.decoder._layer_params(),
+            hs,
+            state=fastgrad.lstm_final_state(enc_caches),
+        )
+
+        seq_in = np.concatenate([encoded, decoded], axis=1)
+        skip = np.concatenate([encoded_in, decoded_in], axis=1)
+        gated_seq, lstm_glu_cache = fastgrad.glu_forward_train(net.lstm_gate, seq_in)
+        sequence, lstm_norm_cache = fastgrad.layer_norm_forward_train(
+            net.lstm_norm, skip + gated_seq
+        )
+
+        h = decoded.shape[1]
+        query = sequence[:, -h:, :]
+        mask = causal_mask(query_len=h, key_len=sequence.shape[1])
+        attended, weights, attn_cache = fastgrad.attention_forward_train(
+            net.attention, query, sequence, sequence, mask=mask
+        )
+        net._last_attention = weights
+        gated_attn, attn_glu_cache = fastgrad.glu_forward_train(net.attn_gate, attended)
+        attended_res, attn_norm_cache = fastgrad.layer_norm_forward_train(
+            net.attn_norm, query + gated_attn
+        )
+        grn_out, grn_cache = fastgrad.grn_forward_train(net.feed_forward, attended_res)
+        predictions = fastpath.linear_forward(
+            grn_out, net.quantile_head.weight.data, net.quantile_head.bias.data
+        )
+
+        loss, dpred = fastgrad.quantile_loss_grads(
+            predictions, horizon, list(self.quantile_levels)
+        )
+
+        # -- backward ----------------------------------------------------
+        dgrn, dw_head, db_head = fastgrad.linear_backward(
+            grn_out, net.quantile_head.weight.data, dpred
+        )
+        _accumulate(net.quantile_head.weight, dw_head)
+        _accumulate(net.quantile_head.bias, db_head)
+
+        dattended_res = fastgrad.grn_backward(net.feed_forward, grn_cache, dgrn)
+        dsum = fastgrad.layer_norm_backward(net.attn_norm, attn_norm_cache, dattended_res)
+        dquery = dsum.copy()  # residual branch
+        dattended = fastgrad.glu_backward(net.attn_gate, attn_glu_cache, dsum)
+        dq_attn, dkey, dvalue = fastgrad.attention_backward(
+            net.attention, attn_cache, dattended
+        )
+        dquery += dq_attn
+        dsequence = dkey + dvalue
+        dsequence[:, -h:, :] += dquery
+
+        dsum = fastgrad.layer_norm_backward(net.lstm_norm, lstm_norm_cache, dsequence)
+        dseq_in = fastgrad.glu_backward(net.lstm_gate, lstm_glu_cache, dsum)
+        steps = encoded.shape[1]
+        dskip = dsum  # residual branch; split below
+        denc_in = dskip[:, :steps, :].copy()
+        ddec_in = dskip[:, steps:, :].copy()
+
+        dec_grads, ddec_x, dec_dstate = fastgrad.lstm_backward(
+            dseq_in[:, steps:, :], dec_caches, hs, need_dx=True
+        )
+        ddec_in += ddec_x
+        # The decoder's initial state is the encoder's final state, so
+        # d(h0)/d(c0) of the decoder flows into the encoder backward.
+        enc_grads, denc_x, _ = fastgrad.lstm_backward(
+            dseq_in[:, :steps, :], enc_caches, hs, need_dx=True, dstate=dec_dstate
+        )
+        denc_in += denc_x
+        for lstm, grads in ((net.encoder, enc_grads), (net.decoder, dec_grads)):
+            for cell, (dw_ih, dw_hh, db) in zip(lstm._cells, grads):
+                _accumulate(cell.w_ih, dw_ih)
+                _accumulate(cell.w_hh, dw_hh)
+                _accumulate(cell.bias, db)
+
+        _, dw_past, db_past = fastgrad.linear_backward(
+            past, net.past_proj.weight.data, denc_in, need_dx=False
+        )
+        _accumulate(net.past_proj.weight, dw_past)
+        _accumulate(net.past_proj.bias, db_past)
+        _, dw_future, db_future = fastgrad.linear_backward(
+            future, net.future_proj.weight.data, ddec_in, need_dx=False
+        )
+        _accumulate(net.future_proj.weight, dw_future)
+        _accumulate(net.future_proj.bias, db_future)
+        return loss
+
     def predict(
         self,
         context: np.ndarray,
@@ -189,7 +381,12 @@ class TFTForecaster(NeuralForecaster):
             normalised = (normalised - mean) / std
         past, future = self._network_inputs(normalised, np.array([start_index]))
         with no_grad():
-            raw = self.network(Tensor(past), Tensor(future)).data[0]  # (H, Q)
+            if self.inference_dtype != np.dtype(np.float64):
+                raw = self.network.fast_forward(
+                    past, future, dtype=self.inference_dtype
+                )[0].astype(np.float64)  # (H, Q)
+            else:
+                raw = self.network(Tensor(past), Tensor(future)).data[0]  # (H, Q)
         if self.window_normalization:
             raw = raw * std[0, 0] + mean[0, 0]
         grid_values = self.scaler.inverse_transform(raw.T)  # (Q, H)

@@ -10,11 +10,14 @@ from __future__ import annotations
 
 import numpy as np
 
+from . import fastpath
 from .layers import Linear
 from .module import Module
 from .tensor import Tensor
 
 __all__ = ["scaled_dot_product_attention", "causal_mask", "InterpretableMultiHeadAttention"]
+
+_MASK_CACHE: dict[tuple[int, int], np.ndarray] = {}
 
 
 def causal_mask(query_len: int, key_len: int) -> np.ndarray:
@@ -23,12 +26,21 @@ def causal_mask(query_len: int, key_len: int) -> np.ndarray:
     Position ``i`` of the query may attend to key positions ``j`` with
     ``j <= i + (key_len - query_len)`` — i.e. the decoder can see the whole
     encoder plus its own past.
+
+    Built with one vectorized triu-style comparison and cached per
+    ``(query_len, key_len)``: every TFT forward at a given geometry asks
+    for the same mask, so repeated predict/train calls stop reallocating
+    it.  The cached array is marked read-only; callers only ever add it
+    to score tensors.
     """
-    offset = key_len - query_len
-    mask = np.zeros((query_len, key_len))
-    for i in range(query_len):
-        mask[i, i + offset + 1 :] = -1e9
-    return mask
+    cached = _MASK_CACHE.get((query_len, key_len))
+    if cached is None:
+        offset = key_len - query_len
+        future = np.arange(key_len)[None, :] > np.arange(query_len)[:, None] + offset
+        cached = np.where(future, -1e9, 0.0)
+        cached.setflags(write=False)
+        _MASK_CACHE[(query_len, key_len)] = cached
+    return cached
 
 
 def scaled_dot_product_attention(
@@ -85,6 +97,14 @@ class InterpretableMultiHeadAttention(Module):
         mask: np.ndarray | None = None,
     ) -> tuple[Tensor, Tensor]:
         """Returns (output (B, Tq, d_model), mean attention (B, Tq, Tk))."""
+        if fastpath.should_use_fast_path():
+            out, weights = self.fast_forward(
+                query.data if isinstance(query, Tensor) else np.asarray(query),
+                key.data if isinstance(key, Tensor) else np.asarray(key),
+                value.data if isinstance(value, Tensor) else np.asarray(value),
+                mask=mask,
+            )
+            return Tensor(out), Tensor(weights)
         shared_value = self.v_proj(value)
         head_outputs = []
         head_weights = []
@@ -97,3 +117,41 @@ class InterpretableMultiHeadAttention(Module):
         mean_output = Tensor.stack(head_outputs, axis=0).mean(axis=0)
         mean_weights = Tensor.stack(head_weights, axis=0).mean(axis=0)
         return self.out_proj(mean_output), mean_weights
+
+    def fast_forward(
+        self,
+        query: np.ndarray,
+        key: np.ndarray,
+        value: np.ndarray,
+        mask: np.ndarray | None = None,
+        dtype: "np.dtype | type | None" = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Tape-free forward on raw ndarrays.
+
+        Batches the per-head Q/K projections into single concatenated
+        gemms (:func:`repro.nn.fastpath.prepare_attention_params`);
+        float64 outputs and attention weights are bitwise-identical to
+        :meth:`forward`.
+        """
+        w_q, b_q = fastpath.prepare_attention_params(
+            [(p.weight.data, p.bias.data) for p in self._q_projs], dtype=dtype
+        )
+        w_k, b_k = fastpath.prepare_attention_params(
+            [(p.weight.data, p.bias.data) for p in self._k_projs], dtype=dtype
+        )
+        return fastpath.interpretable_attention(
+            query,
+            key,
+            value,
+            w_q,
+            b_q,
+            w_k,
+            b_k,
+            self.v_proj.weight.data,
+            self.v_proj.bias.data,
+            self.out_proj.weight.data,
+            self.out_proj.bias.data,
+            self.num_heads,
+            mask=mask,
+            dtype=dtype,
+        )

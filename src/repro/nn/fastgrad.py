@@ -1,10 +1,10 @@
 """Analytic training kernels: fused forward+backward for the hot loop.
 
 :mod:`repro.nn.fastpath` removed the Tensor tape from *inference*; this
-module removes it from *training*.  The per-op autograd tape is the
-right tool for odd architectures (the TFT's attention stack still uses
-it), but for the teacher-forced LSTM/MLP losses that dominate retraining
-wall-clock the gradients are known in closed form, so the whole backward
+module removes it from *training*.  The per-op autograd tape stays as
+the parity oracle, but for every loss in the repo — the teacher-forced
+LSTM/MLP likelihoods *and* the TFT's attention/LayerNorm/GRN quantile
+loss — the gradients are known in closed form, so the whole backward
 pass collapses into a handful of fused numpy sweeps:
 
 * **LSTM BPTT** — one cached-activations forward over the entire
@@ -21,6 +21,17 @@ pass collapses into a handful of fused numpy sweeps:
   (the ``df`` gradient differentiates the same shifted-Stirling
   ``log Gamma`` series the tape uses, so both paths optimise the same
   approximate objective).
+* **Attention / LayerNorm / GLU / GRN** — cached-activations forwards
+  through :mod:`fastpath`'s batched-head attention and fused layer
+  kernels, then closed-form backwards: the softmax Jacobian-vector
+  product ``dx = s * (dout - sum(dout * s))``, LayerNorm's fused
+  mean/variance backward, and the GLU/GRN chain with the residual and
+  gate paths folded together.  Because the shared value projection and
+  the head average make every head's output gradient identical, the
+  attention backward needs one score-gradient batch and a handful of
+  whole-sequence gemms.
+* **Quantile (pinball) loss** — the subgradient is a sign test per
+  quantile level, matching the tape's ``maximum`` tie rule exactly.
 
 The forward computes the same float64 operations in the same
 association order as the tape (it reuses :mod:`fastpath`'s
@@ -57,8 +68,23 @@ __all__ = [
     "digamma",
     "gaussian_nll_grads",
     "student_t_nll_grads",
+    "quantile_loss_grads",
+    "softmax_backward",
+    "LayerNormCache",
+    "layer_norm_forward_train",
+    "layer_norm_backward",
+    "GLUCache",
+    "glu_forward_train",
+    "glu_backward",
+    "GRNCache",
+    "grn_forward_train",
+    "grn_backward",
+    "AttentionCache",
+    "attention_forward_train",
+    "attention_backward",
     "LSTMLayerCache",
     "lstm_forward_train",
+    "lstm_final_state",
     "lstm_backward",
 ]
 
@@ -138,6 +164,19 @@ def relu_backward(x: np.ndarray, dout: np.ndarray) -> np.ndarray:
 def softplus_backward(x: np.ndarray, dout: np.ndarray) -> np.ndarray:
     """d/dx softplus = sigmoid(x), using the stable fastpath sigmoid."""
     return dout * fastpath.sigmoid(x)
+
+
+def softmax_backward(out: np.ndarray, dout: np.ndarray) -> np.ndarray:
+    """Softmax Jacobian-vector product from the forward *output*.
+
+    For ``s = softmax(x)`` along the last axis,
+    ``dx = s * (dout - sum(dout * s, axis=-1))`` — the full Jacobian
+    ``diag(s) - s s^T`` contracted with ``dout`` without materialising
+    it.  (The tape's max-subtraction shift is constant w.r.t. the input
+    of each row's softmax — ``Tensor.softmax`` detaches the max — so no
+    extra term appears.)  ``dout`` may broadcast against ``out``.
+    """
+    return out * (dout - (dout * out).sum(axis=-1, keepdims=True))
 
 
 # ---------------------------------------------------------------------------
@@ -240,6 +279,308 @@ def student_t_nll_grads(
     return loss, dmean, dscale, ddf
 
 
+def quantile_loss_grads(
+    predictions: np.ndarray, target: np.ndarray, quantiles: list[float]
+) -> tuple[float, np.ndarray]:
+    """Total pinball loss (Eq. 2) and its gradient w.r.t. ``predictions``.
+
+    ``predictions`` has a trailing quantile axis; ``target`` broadcasts
+    against one quantile slice.  The forward replicates
+    ``functional.quantile_loss`` term for term (per-level elementwise
+    pinball, ``mean`` as ``sum * (1/n)``, levels accumulated in grid
+    order) so float64 loss values are bitwise-identical to the tape.
+
+    The pinball subgradient per level ``tau`` with ``diff = y - yhat``:
+
+    ``dL/dyhat = ((diff <= 0) * (1 - tau) - (diff >= 0) * tau) / n``
+
+    At the kink (``diff == 0``) *both* indicators fire — exactly the
+    tape's ``maximum`` tie rule, where each ``maximum(·, 0)`` routes the
+    gradient to its first argument on ties.
+    """
+    loss = 0.0
+    dpred = np.empty_like(predictions)
+    for index, tau in enumerate(quantiles):
+        diff = target - predictions[..., index]
+        pos = np.where(diff >= 0, diff, 0.0)
+        neg = np.where(-diff >= 0, -diff, 0.0)
+        term = float((pos * tau + neg * (1.0 - tau)).sum() * (1.0 / diff.size))
+        loss = term if index == 0 else loss + term
+        dpred[..., index] = (
+            (diff <= 0) * (1.0 - tau) - (diff >= 0) * tau
+        ) / diff.size
+    return loss, dpred
+
+
+# ---------------------------------------------------------------------------
+# TFT building-block kernels (LayerNorm / GLU / GRN / attention)
+#
+# These take the layer *module* (duck-typed — no import of repro.nn.layers,
+# so no circular dependency) and accumulate weight gradients straight into
+# ``param.grad`` like the DeepAR composition does, returning only the input
+# gradient the caller must keep chaining.
+# ---------------------------------------------------------------------------
+@dataclass
+class LayerNormCache:
+    """Forward activations of one LayerNorm call."""
+
+    normed: np.ndarray  # (x - mu) / std — pre-affine output
+    std: np.ndarray  # sqrt(var + eps), keepdims along the last axis
+
+
+def layer_norm_forward_train(norm, x: np.ndarray) -> tuple[np.ndarray, LayerNormCache]:
+    """Cached-activations LayerNorm forward (mirrors ``LayerNorm.forward``).
+
+    Same ``sum * (1/n)`` mean composition as the tape, so float64
+    outputs are bitwise-identical.
+    """
+    n = x.shape[-1]
+    mu = x.sum(axis=-1, keepdims=True) * (1.0 / n)
+    centered = x - mu
+    var = (centered * centered).sum(axis=-1, keepdims=True) * (1.0 / n)
+    std = np.sqrt(var + norm.eps)
+    normed = centered / std
+    return normed * norm.gamma.data + norm.beta.data, LayerNormCache(normed=normed, std=std)
+
+
+def layer_norm_backward(norm, cache: LayerNormCache, dout: np.ndarray) -> np.ndarray:
+    """Closed-form LayerNorm backward; accumulates ``gamma``/``beta`` grads.
+
+    With ``y = (x - mu)/std`` and ``std = sqrt(var + eps)`` (variance
+    computed against the same ``mu``), the fused input gradient is
+
+    ``dx = (dn - mean(dn) - y * mean(dn * y)) / std``,  ``dn = dout * gamma``
+
+    — the mean/variance chain collapsed into two row means.  The ``eps``
+    inside the square root is absorbed exactly (no approximation).
+    """
+    normed = cache.normed
+    width = normed.shape[-1]
+    dn = dout * norm.gamma.data
+    flat = (dout * normed).reshape(-1, width)
+    accumulate_grad(norm.gamma, flat.sum(axis=0))
+    accumulate_grad(norm.beta, dout.reshape(-1, width).sum(axis=0))
+    dn_mean = dn.sum(axis=-1, keepdims=True) * (1.0 / width)
+    proj = (dn * normed).sum(axis=-1, keepdims=True) * (1.0 / width)
+    return (dn - dn_mean - normed * proj) / cache.std
+
+
+@dataclass
+class GLUCache:
+    """Forward activations of one GatedLinearUnit call."""
+
+    x: np.ndarray  # layer input
+    gate: np.ndarray  # sigmoid(x W1 + b1)
+    value: np.ndarray  # x W2 + b2
+
+
+def glu_forward_train(glu, x: np.ndarray) -> tuple[np.ndarray, GLUCache]:
+    """Cached-activations GLU forward (mirrors ``GatedLinearUnit.forward``)."""
+    gate = fastpath.sigmoid(
+        fastpath.linear_forward(x, glu.gate.weight.data, glu.gate.bias.data)
+    )
+    value = fastpath.linear_forward(x, glu.value.weight.data, glu.value.bias.data)
+    return gate * value, GLUCache(x=x, gate=gate, value=value)
+
+
+def glu_backward(
+    glu, cache: GLUCache, dout: np.ndarray, need_dx: bool = True
+) -> np.ndarray | None:
+    """GLU backward: sigmoid and value branches fused into two gemms each."""
+    dgate_pre = (dout * cache.value) * cache.gate * (1.0 - cache.gate)
+    dvalue = dout * cache.gate
+    dx_gate, dw_gate, db_gate = linear_backward(
+        cache.x, glu.gate.weight.data, dgate_pre, need_dx=need_dx
+    )
+    accumulate_grad(glu.gate.weight, dw_gate)
+    accumulate_grad(glu.gate.bias, db_gate)
+    dx_value, dw_value, db_value = linear_backward(
+        cache.x, glu.value.weight.data, dvalue, need_dx=need_dx
+    )
+    accumulate_grad(glu.value.weight, dw_value)
+    accumulate_grad(glu.value.bias, db_value)
+    if not need_dx:
+        return None
+    return dx_gate + dx_value
+
+
+@dataclass
+class GRNCache:
+    """Forward activations of one GatedResidualNetwork call."""
+
+    x: np.ndarray  # layer input
+    tanh_out: np.ndarray  # tanh(fc1(x))
+    drop_mask: np.ndarray | None  # inverted-dropout mask, None when inactive
+    glu: GLUCache
+    norm: LayerNormCache
+
+
+def grn_forward_train(grn, x: np.ndarray) -> tuple[np.ndarray, GRNCache]:
+    """Cached-activations GRN forward (mirrors ``GatedResidualNetwork.forward``).
+
+    When dropout is active (training mode and ``p > 0``) the mask is
+    drawn from the layer's own rng exactly as the tape path would, so
+    both paths consume the same stream; the TFT's GRNs run with
+    ``p == 0`` and skip the draw entirely.
+    """
+    tanh_out = np.tanh(
+        fastpath.linear_forward(x, grn.fc1.weight.data, grn.fc1.bias.data)
+    )
+    hidden = fastpath.linear_forward(tanh_out, grn.fc2.weight.data, grn.fc2.bias.data)
+    drop_mask = None
+    if grn.dropout.training and grn.dropout.p > 0.0:
+        keep = 1.0 - grn.dropout.p
+        drop_mask = grn.dropout._rng.binomial(1, keep, size=hidden.shape) / keep
+        hidden = hidden * drop_mask
+    gated, glu_cache = glu_forward_train(grn.glu, hidden)
+    residual = x if grn.skip is None else x @ grn.skip.weight.data
+    out, norm_cache = layer_norm_forward_train(grn.norm, residual + gated)
+    return out, GRNCache(
+        x=x, tanh_out=tanh_out, drop_mask=drop_mask, glu=glu_cache, norm=norm_cache
+    )
+
+
+def grn_backward(grn, cache: GRNCache, dout: np.ndarray) -> np.ndarray:
+    """GRN backward: LayerNorm, GLU, dropout, tanh, and the residual
+    branch chained on the cached activations; returns the input grad."""
+    dsum = layer_norm_backward(grn.norm, cache.norm, dout)
+    dhidden = glu_backward(grn.glu, cache.glu, dsum)
+    if cache.drop_mask is not None:
+        dhidden = dhidden * cache.drop_mask
+    dtanh, dw_fc2, db_fc2 = linear_backward(
+        cache.tanh_out, grn.fc2.weight.data, dhidden
+    )
+    accumulate_grad(grn.fc2.weight, dw_fc2)
+    accumulate_grad(grn.fc2.bias, db_fc2)
+    dfc1 = dtanh * (1.0 - cache.tanh_out * cache.tanh_out)
+    dx, dw_fc1, db_fc1 = linear_backward(cache.x, grn.fc1.weight.data, dfc1)
+    accumulate_grad(grn.fc1.weight, dw_fc1)
+    accumulate_grad(grn.fc1.bias, db_fc1)
+    if grn.skip is None:
+        dx = dx + dsum  # identity residual
+    else:
+        dx_skip, dw_skip, _ = linear_backward(cache.x, grn.skip.weight.data, dsum)
+        accumulate_grad(grn.skip.weight, dw_skip)
+        dx = dx + dx_skip
+    return dx
+
+
+@dataclass
+class AttentionCache:
+    """Forward activations of one InterpretableMultiHeadAttention call."""
+
+    query: np.ndarray  # (B, Tq, d_model)
+    key: np.ndarray  # (B, Tk, d_model)
+    value: np.ndarray  # (B, Tk, d_model)
+    w_q: np.ndarray  # concatenated per-head query weights (d_model, H*dh)
+    w_k: np.ndarray
+    q_heads: np.ndarray  # (H, B, Tq, dh)
+    k_heads: np.ndarray  # (H, B, Tk, dh)
+    v: np.ndarray  # shared value projection (B, Tk, dh)
+    weights: np.ndarray  # per-head softmax (H, B, Tq, Tk)
+    mean_weights: np.ndarray  # head average (B, Tq, Tk)
+    mean_heads: np.ndarray  # head-averaged context (B, Tq, dh)
+
+
+def attention_forward_train(
+    attn, query: np.ndarray, key: np.ndarray, value: np.ndarray,
+    mask: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray, AttentionCache]:
+    """Cached-activations interpretable attention forward.
+
+    Identical arithmetic to :func:`fastpath.interpretable_attention`
+    (itself bitwise-identical to the tape's per-head loop in float64);
+    returns ``(output, mean attention weights, cache)``.
+    """
+    w_q, b_q = fastpath.prepare_attention_params(
+        [(p.weight.data, p.bias.data) for p in attn._q_projs]
+    )
+    w_k, b_k = fastpath.prepare_attention_params(
+        [(p.weight.data, p.bias.data) for p in attn._k_projs]
+    )
+    num_heads = attn.num_heads
+    d_head = attn.d_head
+    batch, t_query, _ = query.shape
+    t_key = key.shape[1]
+    q_all = fastpath.linear_forward(query, w_q, b_q)
+    k_all = fastpath.linear_forward(key, w_k, b_k)
+    v = fastpath.linear_forward(value, attn.v_proj.weight.data, attn.v_proj.bias.data)
+    q_heads = np.ascontiguousarray(
+        np.moveaxis(q_all.reshape(batch, t_query, num_heads, d_head), 2, 0)
+    )
+    k_heads = np.ascontiguousarray(
+        np.moveaxis(k_all.reshape(batch, t_key, num_heads, d_head), 2, 0)
+    )
+    scores = (q_heads @ np.swapaxes(k_heads, -1, -2)) * (1.0 / np.sqrt(d_head))
+    if mask is not None:
+        scores = scores + mask
+    weights = fastpath.softmax(scores, axis=-1)
+    heads = weights @ v
+    mean_heads = heads.sum(axis=0) * (1.0 / num_heads)
+    mean_weights = weights.sum(axis=0) * (1.0 / num_heads)
+    out = fastpath.linear_forward(
+        mean_heads, attn.out_proj.weight.data, attn.out_proj.bias.data
+    )
+    cache = AttentionCache(
+        query=query, key=key, value=value, w_q=w_q, w_k=w_k,
+        q_heads=q_heads, k_heads=k_heads, v=v, weights=weights,
+        mean_weights=mean_weights, mean_heads=mean_heads,
+    )
+    return out, mean_weights, cache
+
+
+def attention_backward(
+    attn, cache: AttentionCache, dout: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Interpretable-attention backward on the cached forward.
+
+    The structure collapses nicely: the head average hands every head
+    the *same* output gradient ``dmean/H``, and the value projection is
+    shared, so
+
+    * ``dV = mean_weights^T @ dmean`` (one batched gemm — the per-head
+      sum telescopes into the already-averaged attention pattern), and
+    * the pre-softmax weight gradient is the same for every head; only
+      the softmax JVP (which uses each head's own weights) splits per
+      head, followed by one ``(H*B)``-batched gemm pair for dQ/dK.
+
+    Weight gradients accumulate into the per-head Q/K projections (by
+    slicing the concatenated gemm gradient), the shared value
+    projection, and the output head.  Returns ``(dquery, dkey,
+    dvalue)``.
+    """
+    num_heads = attn.num_heads
+    d_head = attn.d_head
+    batch, t_query, _ = cache.query.shape
+    t_key = cache.key.shape[1]
+    dmean, dw_out, db_out = linear_backward(
+        cache.mean_heads, attn.out_proj.weight.data, dout
+    )
+    accumulate_grad(attn.out_proj.weight, dw_out)
+    accumulate_grad(attn.out_proj.bias, db_out)
+    dheads = dmean * (1.0 / num_heads)  # identical for every head
+    dv = np.swapaxes(cache.mean_weights, -1, -2) @ dmean
+    dweights = dheads @ np.swapaxes(cache.v, -1, -2)  # shared across heads
+    dscores = softmax_backward(cache.weights, dweights)
+    dscores *= 1.0 / np.sqrt(d_head)
+    dq_heads = dscores @ cache.k_heads  # (H, B, Tq, dh)
+    dk_heads = np.swapaxes(dscores, -1, -2) @ cache.q_heads  # (H, B, Tk, dh)
+    dq_all = np.moveaxis(dq_heads, 0, 2).reshape(batch, t_query, num_heads * d_head)
+    dk_all = np.moveaxis(dk_heads, 0, 2).reshape(batch, t_key, num_heads * d_head)
+    dquery, dw_q, db_q = linear_backward(cache.query, cache.w_q, dq_all)
+    dkey, dw_k, db_k = linear_backward(cache.key, cache.w_k, dk_all)
+    for head, (q_proj, k_proj) in enumerate(zip(attn._q_projs, attn._k_projs)):
+        cols = slice(head * d_head, (head + 1) * d_head)
+        accumulate_grad(q_proj.weight, dw_q[:, cols])
+        accumulate_grad(q_proj.bias, db_q[cols])
+        accumulate_grad(k_proj.weight, dw_k[:, cols])
+        accumulate_grad(k_proj.bias, db_k[cols])
+    dvalue, dw_v, db_v = linear_backward(cache.value, attn.v_proj.weight.data, dv)
+    accumulate_grad(attn.v_proj.weight, dw_v)
+    accumulate_grad(attn.v_proj.bias, db_v)
+    return dquery, dkey, dvalue
+
+
 # ---------------------------------------------------------------------------
 # Fused LSTM BPTT
 # ---------------------------------------------------------------------------
@@ -260,21 +601,26 @@ class LSTMLayerCache:
     tanh_c: np.ndarray  # (B, T, H) — tanh of the new cell state
     w_ih: np.ndarray  # permuted weights used in the forward
     w_hh: np.ndarray
+    h_last: np.ndarray  # (B, H) — final hidden state (seeds a chained LSTM)
+    c_last: np.ndarray  # (B, H) — final cell state
 
 
 def lstm_forward_train(
     x: np.ndarray,
     layer_params: list[tuple[np.ndarray, np.ndarray, np.ndarray]],
     hidden_size: int,
+    state: list[tuple[np.ndarray, np.ndarray]] | None = None,
     dtype: np.dtype | type | None = None,
 ) -> tuple[np.ndarray, list[LSTMLayerCache]]:
     """Teacher-forced multi-layer LSTM forward with cached activations.
 
     Parameters mirror :func:`fastpath.lstm_forward` (standard-layout
-    ``(w_ih, w_hh, bias)`` per layer; zero initial state, as training
-    always uses).  Returns the top layer's hidden sequence
+    ``(w_ih, w_hh, bias)`` per layer; optional per-layer ``(h, c)``
+    initial ``state`` — the TFT decoder is seeded with the encoder's
+    final state).  Returns the top layer's hidden sequence
     ``(batch, time, hidden)`` plus per-layer caches for
-    :func:`lstm_backward`.
+    :func:`lstm_backward`; :func:`lstm_final_state` extracts the final
+    per-layer state for chaining into a second LSTM.
 
     The input gemm is hoisted: ``x @ W_ih`` runs once over the flattened
     ``(batch*time)`` axis per layer, so the time loop only pays the
@@ -291,9 +637,13 @@ def lstm_forward_train(
     batch, steps, _ = x.shape
     hs = hidden_size
     prepared = fastpath.prepare_lstm_params(layer_params, hs, dtype=dtype)
+    if state is not None:
+        state = [
+            (h.astype(work, copy=False), c.astype(work, copy=False)) for h, c in state
+        ]
     caches: list[LSTMLayerCache] = []
     layer_input = x
-    for w_ih, w_hh, bias in prepared:
+    for layer, (w_ih, w_hh, bias) in enumerate(prepared):
         in_features = layer_input.shape[-1]
         # Hoisted input gemm: one (B*T, F) @ (F, 4H) for the whole sequence.
         xg = (layer_input.reshape(-1, in_features) @ w_ih).reshape(batch, steps, 4 * hs)
@@ -302,8 +652,11 @@ def lstm_forward_train(
         c_prev = np.empty((batch, steps, hs), dtype=work)
         tanh_c = np.empty((batch, steps, hs), dtype=work)
         outputs = np.empty((batch, steps, hs), dtype=work)
-        h = np.zeros((batch, hs), dtype=work)
-        c = np.zeros((batch, hs), dtype=work)
+        if state is None:
+            h = np.zeros((batch, hs), dtype=work)
+            c = np.zeros((batch, hs), dtype=work)
+        else:
+            h, c = state[layer]
         for t in range(steps):
             h_prev[:, t] = h
             c_prev[:, t] = c
@@ -326,10 +679,18 @@ def lstm_forward_train(
                 tanh_c=tanh_c,
                 w_ih=w_ih,
                 w_hh=w_hh,
+                h_last=h,
+                c_last=c,
             )
         )
         layer_input = outputs
     return layer_input, caches
+
+
+def lstm_final_state(caches: list[LSTMLayerCache]) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Per-layer final ``(h, c)`` of a cached forward — ready to seed a
+    chained :func:`lstm_forward_train` (the TFT encoder -> decoder hand-off)."""
+    return [(cache.h_last, cache.c_last) for cache in caches]
 
 
 def lstm_backward(
@@ -337,14 +698,24 @@ def lstm_backward(
     caches: list[LSTMLayerCache],
     hidden_size: int,
     need_dx: bool = False,
-) -> tuple[list[tuple[np.ndarray, np.ndarray, np.ndarray]], np.ndarray | None]:
+    dstate: list[tuple[np.ndarray, np.ndarray]] | None = None,
+) -> tuple[
+    list[tuple[np.ndarray, np.ndarray, np.ndarray]],
+    np.ndarray | None,
+    list[tuple[np.ndarray, np.ndarray]],
+]:
     """Fused BPTT through every layer of :func:`lstm_forward_train`.
 
     ``dout`` is the loss gradient w.r.t. the top layer's hidden sequence
-    ``(batch, time, hidden)``.  Returns per-layer standard-layout
-    ``(dW_ih, dW_hh, db)`` gradients (ready to drop into the tape's
-    parameter buffers) and, when ``need_dx``, the gradient w.r.t. the
-    bottom layer's input.
+    ``(batch, time, hidden)``; ``dstate`` optionally adds the loss
+    gradient w.r.t. each layer's *final* ``(h, c)`` — this is how the
+    TFT decoder's initial-state gradient flows back into the encoder.
+    Returns per-layer standard-layout ``(dW_ih, dW_hh, db)`` gradients
+    (ready to drop into the tape's parameter buffers), the gradient
+    w.r.t. the bottom layer's input when ``need_dx``, and the per-layer
+    gradient w.r.t. the *initial* ``(h, c)`` state (the reverse sweep's
+    carries after step 0 — free to return, and exactly what a chained
+    :func:`lstm_backward` upstream consumes as its ``dstate``).
 
     The reverse time sweep only computes the per-step gate deltas and
     the two recurrences (``dh`` through ``W_hh``, ``dc`` through the
@@ -354,6 +725,7 @@ def lstm_backward(
     hs = hidden_size
     perm = gate_permutation(hs)
     grads: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = [None] * len(caches)  # type: ignore[list-item]
+    dstate0: list[tuple[np.ndarray, np.ndarray]] = [None] * len(caches)  # type: ignore[list-item]
     dh_seq = dout
     dx: np.ndarray | None = None
     for layer in range(len(caches) - 1, -1, -1):
@@ -363,8 +735,12 @@ def lstm_backward(
         # reverse sweep (for float64 this allocates exactly as before).
         work = cache.gates.dtype
         dz = np.empty((batch, steps, 4 * hs), dtype=work)
-        dh_carry = np.zeros((batch, hs), dtype=work)
-        dc_carry = np.zeros((batch, hs), dtype=work)
+        if dstate is None:
+            dh_carry = np.zeros((batch, hs), dtype=work)
+            dc_carry = np.zeros((batch, hs), dtype=work)
+        else:
+            dh_carry = np.asarray(dstate[layer][0], dtype=work)
+            dc_carry = np.asarray(dstate[layer][1], dtype=work)
         w_hh_t = cache.w_hh.T
         for t in range(steps - 1, -1, -1):
             gates_t = cache.gates[:, t]
@@ -383,6 +759,8 @@ def lstm_backward(
             dz_t[:, 3 * hs :] = (dc * i) * (1.0 - g * g)
             dh_carry = dz_t @ w_hh_t
             dc_carry = dc * f
+        # After the t = 0 iteration the carries *are* d(h0)/d(c0).
+        dstate0[layer] = (dh_carry, dc_carry)
         dz2 = dz.reshape(-1, 4 * hs)
         in_features = cache.inputs.shape[-1]
         dw_ih = cache.inputs.reshape(-1, in_features).T @ dz2
@@ -396,4 +774,4 @@ def lstm_backward(
             dh_seq = dx
         else:
             dx = None
-    return grads, dx
+    return grads, dx, dstate0

@@ -10,6 +10,9 @@ order as the Tensor path, so outputs are numerically identical, without
 building any Tensor objects.
 
 Dispatch is automatic: :class:`~repro.nn.layers.Linear`,
+:class:`~repro.nn.layers.LayerNorm`, :class:`~repro.nn.layers.GatedLinearUnit`,
+:class:`~repro.nn.layers.GatedResidualNetwork`,
+:class:`~repro.nn.attention.InterpretableMultiHeadAttention`,
 :class:`~repro.nn.rnn.LSTMCell`, and :class:`~repro.nn.rnn.LSTM` check
 :func:`should_use_fast_path` at the top of ``forward`` and route through
 these kernels whenever gradients are disabled.  The result is wrapped
@@ -37,7 +40,13 @@ __all__ = [
     "tanh",
     "relu",
     "softplus",
+    "softmax",
     "linear_forward",
+    "layer_norm",
+    "glu_forward",
+    "grn_forward",
+    "prepare_attention_params",
+    "interpretable_attention",
     "lstm_cell_forward",
     "lstm_cell_permuted",
     "prepare_lstm_params",
@@ -122,15 +131,187 @@ def softplus(x: np.ndarray) -> np.ndarray:
     return np.logaddexp(0.0, x)
 
 
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax; bitwise-identical to ``Tensor.softmax``.
+
+    Same max-subtraction composition as the tape op (``exp(x - max)``
+    normalised by its sum), so every element matches bit for bit.
+    """
+    exp = np.exp(x - x.max(axis=axis, keepdims=True))
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
 # ---------------------------------------------------------------------------
 # Layer kernels
 # ---------------------------------------------------------------------------
+def _cast(array: np.ndarray | None, dtype: np.dtype | type | None) -> np.ndarray | None:
+    """Cast an array for the float32 inference mode; ``None`` is a no-op."""
+    if array is None or dtype is None:
+        return array
+    return array.astype(dtype, copy=False)
+
+
 def linear_forward(x: np.ndarray, weight: np.ndarray, bias: np.ndarray | None) -> np.ndarray:
     """``x @ W (+ b)`` on raw arrays; same op order as ``Linear.forward``."""
     out = x @ weight
     if bias is not None:
         out = out + bias
     return out
+
+
+def layer_norm(
+    x: np.ndarray,
+    gamma: np.ndarray,
+    beta: np.ndarray,
+    eps: float,
+    dtype: np.dtype | type | None = None,
+) -> np.ndarray:
+    """LayerNorm over the last axis; mirrors ``LayerNorm.forward`` exactly.
+
+    The mean is computed as ``sum * (1/n)`` — the tape's ``Tensor.mean``
+    composition — not ``np.mean``, so float64 results are bitwise
+    identical.  ``dtype=np.float32`` casts the input and affine
+    parameters once for the single-precision inference mode.
+    """
+    x = _cast(x, dtype)
+    gamma = _cast(gamma, dtype)
+    beta = _cast(beta, dtype)
+    n = x.shape[-1]
+    mu = x.sum(axis=-1, keepdims=True) * (1.0 / n)
+    centered = x - mu
+    var = (centered * centered).sum(axis=-1, keepdims=True) * (1.0 / n)
+    normed = centered / np.sqrt(var + eps)
+    return normed * gamma + beta
+
+
+def glu_forward(
+    x: np.ndarray,
+    w_gate: np.ndarray,
+    b_gate: np.ndarray,
+    w_value: np.ndarray,
+    b_value: np.ndarray,
+    dtype: np.dtype | type | None = None,
+) -> np.ndarray:
+    """GLU(x) = sigmoid(x W1 + b1) * (x W2 + b2) on raw arrays.
+
+    Same gemm/sigmoid/multiply order as ``GatedLinearUnit.forward``.
+    """
+    x = _cast(x, dtype)
+    gate = sigmoid(linear_forward(x, _cast(w_gate, dtype), _cast(b_gate, dtype)))
+    return gate * linear_forward(x, _cast(w_value, dtype), _cast(b_value, dtype))
+
+
+def grn_forward(
+    x: np.ndarray,
+    w_fc1: np.ndarray,
+    b_fc1: np.ndarray,
+    w_fc2: np.ndarray,
+    b_fc2: np.ndarray,
+    w_gate: np.ndarray,
+    b_gate: np.ndarray,
+    w_value: np.ndarray,
+    b_value: np.ndarray,
+    gamma: np.ndarray,
+    beta: np.ndarray,
+    eps: float,
+    w_skip: np.ndarray | None = None,
+    dtype: np.dtype | type | None = None,
+) -> np.ndarray:
+    """Gated Residual Network forward (eval mode — dropout is identity).
+
+    Mirrors ``GatedResidualNetwork.forward``: fc1 -> tanh -> fc2 ->
+    GLU -> (projected) residual -> LayerNorm.  ``w_skip`` is the
+    bias-free residual projection when in/out widths differ.
+    """
+    x = _cast(x, dtype)
+    hidden = linear_forward(
+        np.tanh(linear_forward(x, _cast(w_fc1, dtype), _cast(b_fc1, dtype))),
+        _cast(w_fc2, dtype),
+        _cast(b_fc2, dtype),
+    )
+    gated = glu_forward(hidden, w_gate, b_gate, w_value, b_value, dtype=dtype)
+    residual = x if w_skip is None else x @ _cast(w_skip, dtype)
+    return layer_norm(residual + gated, gamma, beta, eps, dtype=dtype)
+
+
+def prepare_attention_params(
+    head_params: list[tuple[np.ndarray, np.ndarray]],
+    dtype: np.dtype | type | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Concatenate per-head ``(weight, bias)`` pairs along the output axis.
+
+    Each gemm output column is an independent dot product, so running
+    all heads' query (or key) projections as one ``(d_model, H*d_head)``
+    matmul produces bitwise-identical columns to H separate per-head
+    gemms — the same argument as the LSTM gate permutation.  Prepared
+    per call, not cached: optimizers update the arrays in place.
+    """
+    w_cat = np.concatenate([w for w, _ in head_params], axis=1)
+    b_cat = np.concatenate([b for _, b in head_params])
+    if dtype is not None:
+        w_cat = w_cat.astype(dtype, copy=False)
+        b_cat = b_cat.astype(dtype, copy=False)
+    return w_cat, b_cat
+
+
+def interpretable_attention(
+    query: np.ndarray,
+    key: np.ndarray,
+    value: np.ndarray,
+    w_q: np.ndarray,
+    b_q: np.ndarray,
+    w_k: np.ndarray,
+    b_k: np.ndarray,
+    w_v: np.ndarray,
+    b_v: np.ndarray,
+    w_out: np.ndarray,
+    b_out: np.ndarray,
+    num_heads: int,
+    mask: np.ndarray | None = None,
+    dtype: np.dtype | type | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Interpretable multi-head attention on raw arrays.
+
+    ``w_q``/``w_k`` are the concatenated per-head projections from
+    :func:`prepare_attention_params`; the value projection ``w_v`` is
+    shared across heads (TFT Sec. 4.4).  Returns
+    ``(output (B, Tq, d_model), mean attention (B, Tq, Tk))``.
+
+    Heads are stacked on a leading axis so the score and context matmuls
+    run as single H*B-batched gemms instead of a Python loop over heads;
+    each 2-D slice is the same gemm the tape's per-head loop issues, and
+    the head average is ``sum * (1/H)`` exactly like ``Tensor.stack(...)
+    .mean(axis=0)`` — so float64 outputs (and the attention pattern) are
+    bitwise-identical to ``InterpretableMultiHeadAttention.forward``.
+    """
+    query = _cast(query, dtype)
+    key = _cast(key, dtype)
+    value = _cast(value, dtype)
+    batch, t_query, _ = query.shape
+    t_key = key.shape[1]
+    d_head = w_v.shape[1]
+    q_all = linear_forward(query, w_q, b_q)  # (B, Tq, H*dh)
+    k_all = linear_forward(key, w_k, b_k)  # (B, Tk, H*dh)
+    v = linear_forward(value, _cast(w_v, dtype), _cast(b_v, dtype))  # (B, Tk, dh)
+    # Heads-first contiguous stacking: each (h, b) slice is then the
+    # exact 2-D gemm the per-head tape loop performs.
+    q_heads = np.ascontiguousarray(
+        np.moveaxis(q_all.reshape(batch, t_query, num_heads, d_head), 2, 0)
+    )
+    k_heads = np.ascontiguousarray(
+        np.moveaxis(k_all.reshape(batch, t_key, num_heads, d_head), 2, 0)
+    )
+    # float(): a strong-typed np.float64 scalar would promote float32
+    # scores back to float64 under NEP 50.
+    scores = (q_heads @ np.swapaxes(k_heads, -1, -2)) * (1.0 / float(np.sqrt(d_head)))
+    if mask is not None:
+        scores = scores + _cast(mask, dtype)
+    weights = softmax(scores, axis=-1)  # (H, B, Tq, Tk)
+    heads = weights @ v  # value broadcast across the head axis
+    mean_heads = heads.sum(axis=0) * (1.0 / num_heads)
+    mean_weights = weights.sum(axis=0) * (1.0 / num_heads)
+    out = linear_forward(mean_heads, _cast(w_out, dtype), _cast(b_out, dtype))
+    return out, mean_weights
 
 
 def lstm_cell_forward(

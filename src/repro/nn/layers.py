@@ -84,7 +84,12 @@ class Dropout(Module):
 
 
 class LayerNorm(Module):
-    """Layer normalization over the last axis."""
+    """Layer normalization over the last axis.
+
+    Under ``no_grad`` the forward dispatches to the tape-free
+    :func:`repro.nn.fastpath.layer_norm` kernel; results are bitwise
+    identical in float64.
+    """
 
     def __init__(self, normalized_shape: int, eps: float = 1e-5) -> None:
         super().__init__()
@@ -93,10 +98,21 @@ class LayerNorm(Module):
         self.beta = Parameter(init.zeros((normalized_shape,)))
 
     def forward(self, x: Tensor) -> Tensor:
+        if fastpath.should_use_fast_path():
+            data = x.data if isinstance(x, Tensor) else np.asarray(x, dtype=np.float64)
+            return Tensor(self.fast_forward(data))
         mu = x.mean(axis=-1, keepdims=True)
         var = ((x - mu) * (x - mu)).mean(axis=-1, keepdims=True)
         normed = (x - mu) / (var + self.eps).sqrt()
         return normed * self.gamma + self.beta
+
+    def fast_forward(
+        self, x: np.ndarray, dtype: "np.dtype | type | None" = None
+    ) -> np.ndarray:
+        """Tape-free forward on a raw ndarray."""
+        return fastpath.layer_norm(
+            x, self.gamma.data, self.beta.data, self.eps, dtype=dtype
+        )
 
 
 class Embedding(Module):
@@ -141,7 +157,12 @@ class Sequential(Module):
 
 
 class GatedLinearUnit(Module):
-    """GLU(x) = sigmoid(W1 x + b1) * (W2 x + b2) — TFT's gating primitive."""
+    """GLU(x) = sigmoid(W1 x + b1) * (W2 x + b2) — TFT's gating primitive.
+
+    Under ``no_grad`` the forward dispatches to the fused tape-free
+    :func:`repro.nn.fastpath.glu_forward` kernel (bitwise-identical in
+    float64).
+    """
 
     def __init__(self, in_features: int, out_features: int, rng: np.random.Generator) -> None:
         super().__init__()
@@ -149,7 +170,23 @@ class GatedLinearUnit(Module):
         self.value = Linear(in_features, out_features, rng)
 
     def forward(self, x: Tensor) -> Tensor:
+        if fastpath.should_use_fast_path():
+            data = x.data if isinstance(x, Tensor) else np.asarray(x, dtype=np.float64)
+            return Tensor(self.fast_forward(data))
         return self.gate(x).sigmoid() * self.value(x)
+
+    def fast_forward(
+        self, x: np.ndarray, dtype: "np.dtype | type | None" = None
+    ) -> np.ndarray:
+        """Tape-free forward on a raw ndarray."""
+        return fastpath.glu_forward(
+            x,
+            self.gate.weight.data,
+            self.gate.bias.data,
+            self.value.weight.data,
+            self.value.bias.data,
+            dtype=dtype,
+        )
 
 
 class GatedResidualNetwork(Module):
@@ -182,8 +219,36 @@ class GatedResidualNetwork(Module):
             self.skip = None
 
     def forward(self, x: Tensor) -> Tensor:
+        # The fused kernel skips dropout, so it is only valid when
+        # dropout is inactive (eval mode, or p == 0 as the TFT uses).
+        if fastpath.should_use_fast_path() and (
+            not self.training or self.dropout.p == 0.0
+        ):
+            data = x.data if isinstance(x, Tensor) else np.asarray(x, dtype=np.float64)
+            return Tensor(self.fast_forward(data))
         hidden = self.fc2(self.fc1(x).tanh())
         hidden = self.dropout(hidden)
         gated = self.glu(hidden)
         residual = self.skip(x) if self.skip is not None else x
         return self.norm(residual + gated)
+
+    def fast_forward(
+        self, x: np.ndarray, dtype: "np.dtype | type | None" = None
+    ) -> np.ndarray:
+        """Tape-free forward on a raw ndarray (dropout inactive)."""
+        return fastpath.grn_forward(
+            x,
+            self.fc1.weight.data,
+            self.fc1.bias.data,
+            self.fc2.weight.data,
+            self.fc2.bias.data,
+            self.glu.gate.weight.data,
+            self.glu.gate.bias.data,
+            self.glu.value.weight.data,
+            self.glu.value.bias.data,
+            self.norm.gamma.data,
+            self.norm.beta.data,
+            self.norm.eps,
+            w_skip=self.skip.weight.data if self.skip is not None else None,
+            dtype=dtype,
+        )

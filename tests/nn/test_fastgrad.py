@@ -164,7 +164,7 @@ class TestLSTMAgainstTape:
 
         out, caches = fastgrad.lstm_forward_train(x, lstm._layer_params(), hidden)
         np.testing.assert_allclose(out, seq.data, rtol=1e-12, atol=1e-12)
-        grads, dx = fastgrad.lstm_backward(proj, caches, hidden, need_dx=True)
+        grads, dx, _ = fastgrad.lstm_backward(proj, caches, hidden, need_dx=True)
         np.testing.assert_allclose(dx, tape_dx, rtol=1e-9, atol=1e-11)
         for layer, (dw_ih, dw_hh, db) in enumerate(grads):
             for name, got in (("w_ih", dw_ih), ("w_hh", dw_hh), ("bias", db)):
@@ -184,7 +184,7 @@ class TestLSTMAgainstTape:
             return float((out * proj).sum())
 
         _, caches = fastgrad.lstm_forward_train(x, params, hidden)
-        grads, _ = fastgrad.lstm_backward(proj, caches, hidden)
+        grads, _, _ = fastgrad.lstm_backward(proj, caches, hidden)
         dw_ih, dw_hh, db = grads[0]
         w_ih, w_hh, bias = params[0]
         np.testing.assert_allclose(dw_ih, _fd_grad(loss, w_ih), atol=1e-6)

@@ -68,7 +68,7 @@ def test_fastgrad_forward_and_backward_float32(lstm, sequence):
         sequence, lstm._layer_params(), HIDDEN, dtype=np.float32
     )
     assert outputs.dtype == np.float32
-    grads, _ = fastgrad.lstm_backward(np.ones_like(outputs), caches, HIDDEN)
+    grads, _, _ = fastgrad.lstm_backward(np.ones_like(outputs), caches, HIDDEN)
     for dw_ih, dw_hh, db in grads:
         assert dw_ih.dtype == dw_hh.dtype == db.dtype == np.float32
 
